@@ -1,0 +1,78 @@
+"""Ablation: how much work the DP optimizations of Sections 5.2-5.3 save.
+
+Not a figure of the paper, but DESIGN.md calls out the two DP refinements
+(constant-time SSE via prefix sums; gap pruning with i_max / j_min and the
+early break) as separate design choices.  This bench quantifies both:
+
+* split-point candidates evaluated with and without the gap pruning, on data
+  with and without aggregation groups;
+* runtime of the prefix-sum SSE against a naive recomputation.
+"""
+
+import time
+
+from repro.core import PrefixSums, sse_of_run
+from repro.core.dp import reduce_to_size
+from repro.datasets import synthetic_grouped_segments, synthetic_sequential_segments
+from repro.evaluation import format_table
+
+from paperbench import workload_scale, publish
+
+PARAMETERS = {
+    "tiny": dict(flat=400, groups=40, per_group=10, output=40),
+    "small": dict(flat=2000, groups=200, per_group=10, output=200),
+    "paper": dict(flat=2000, groups=200, per_group=10, output=200),
+}
+
+
+def bench_ablation_dp_optimizations(benchmark):
+    config = PARAMETERS[workload_scale()]
+    flat = synthetic_sequential_segments(config["flat"], dimensions=4, seed=71)
+    grouped = synthetic_grouped_segments(
+        config["groups"], config["per_group"], dimensions=4, seed=72
+    )
+
+    rows = []
+    for label, segments in (("no gaps", flat), ("with groups", grouped)):
+        pruned = reduce_to_size(segments, config["output"], optimized=True)
+        plain = reduce_to_size(segments, config["output"], optimized=False)
+        saving = 1.0 - pruned.stats.split_candidates / max(
+            plain.stats.split_candidates, 1
+        )
+        rows.append([
+            label,
+            plain.stats.split_candidates,
+            pruned.stats.split_candidates,
+            f"{100.0 * saving:.1f}%",
+        ])
+    table_pruning = format_table(
+        ("data", "split candidates (plain DP)", "split candidates (PTAc)",
+         "work saved"),
+        rows,
+        title="Ablation — gap pruning and early break (Section 5.3)",
+    )
+
+    # Prefix-sum SSE vs. naive recomputation over many runs of the flat data.
+    prefix = PrefixSums(flat)
+    probes = [(i, min(i + 50, len(flat) - 1)) for i in range(0, len(flat) - 1, 25)]
+    start = time.perf_counter()
+    for first, last in probes:
+        prefix.sse(first, last)
+    prefix_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for first, last in probes:
+        sse_of_run(flat[first:last + 1])
+    naive_seconds = time.perf_counter() - start
+    table_sse = format_table(
+        ("method", "time for %d run errors (s)" % len(probes)),
+        [["prefix sums (Prop. 1)", round(prefix_seconds, 6)],
+         ["naive recomputation", round(naive_seconds, 6)]],
+        title="Ablation — constant-time SSE (Section 5.2)",
+    )
+
+    publish("ablation_dp_optimizations", table_pruning + "\n\n" + table_sse)
+
+    benchmark(reduce_to_size, grouped, config["output"])
+
+    assert rows[1][2] < rows[1][1]  # pruning saves work when groups exist
+    assert prefix_seconds <= naive_seconds

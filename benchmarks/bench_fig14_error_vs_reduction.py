@@ -1,0 +1,84 @@
+"""Figure 14: PTA error as a function of the reduction ratio.
+
+Part (a) sweeps the reduction ratio from 90 % to 100 % for the catalogue
+queries and reports the normalised error of the optimal (DP) reduction; part
+(b) repeats the sweep on synthetic data with 1–10 aggregate dimensions.
+
+Expected shape (paper): most queries stay below ~10 % error even at 95 %
+reduction; the error grows with the dimensionality of the data.
+"""
+
+from repro.core import max_error, optimal_error_curve
+from repro.datasets import synthetic_sequential_segments
+from repro.evaluation import format_series, size_for_reduction_ratio
+
+from paperbench import workload_scale, catalogue, publish
+
+RATIOS = (90.0, 92.0, 94.0, 96.0, 98.0, 99.0, 100.0)
+DIMENSIONS = (1, 2, 4, 6, 8, 10)
+DIMENSION_RATIOS = (20.0, 40.0, 60.0, 80.0, 90.0, 95.0, 99.0)
+
+
+def _curve(segments, ratios):
+    """Normalised error (percent of SSE_max) at the requested reduction ratios."""
+    n = len(segments)
+    maximum = max_error(segments)
+    sizes = {
+        ratio: max(size_for_reduction_ratio(n, ratio), 1) for ratio in ratios
+    }
+    errors = optimal_error_curve(segments, sorted(set(sizes.values())))
+    points = []
+    for ratio, size in sizes.items():
+        error = errors.get(size)
+        if error is None or error == float("inf"):
+            continue
+        normalized = 0.0 if maximum == 0 else 100.0 * error / maximum
+        points.append((ratio, round(normalized, 3)))
+    return points
+
+
+def bench_fig14_error_vs_reduction(benchmark):
+    cases = catalogue()
+    quality_queries = [
+        name for name in ("E1", "E2", "E3", "I1", "I2", "I3", "T1", "T2", "T3")
+        if name in cases
+    ]
+
+    series_a = {}
+    for name in quality_queries:
+        case = cases[name]
+        series_a[name] = _curve(case.segments, RATIOS)
+
+    # Part (b): dimensionality sweep over a synthetic sequential relation.
+    size_by_scale = {"tiny": 300, "small": 2000, "paper": 2000}
+    base_size = size_by_scale[workload_scale()]
+    series_b = {}
+    for dimensions in DIMENSIONS:
+        segments = synthetic_sequential_segments(base_size, dimensions, seed=17)
+        series_b[f"{dimensions}D"] = _curve(segments, DIMENSION_RATIOS)
+
+    publish(
+        "fig14a_error_vs_reduction",
+        format_series(series_a, "reduction ratio (%)", "error (% of SSE_max)",
+                      title="Fig. 14(a) — PTA error vs. reduction ratio"),
+    )
+    publish(
+        "fig14b_dimensionality",
+        format_series(series_b, "reduction ratio (%)", "error (% of SSE_max)",
+                      title="Fig. 14(b) — impact of dimensionality"),
+    )
+
+    # Representative timing: the full DP error curve of T1.
+    t1 = cases["T1"]
+    sizes = sorted({size_for_reduction_ratio(t1.ita_size, r) for r in RATIOS})
+    benchmark(optimal_error_curve, t1.segments, sizes)
+
+    # Shape assertions: error grows with the reduction ratio and with the
+    # number of dimensions.
+    for points in series_a.values():
+        errors = [error for _, error in points]
+        assert errors == sorted(errors)
+    low_dim = dict(series_b["1D"])
+    high_dim = dict(series_b["10D"])
+    shared = set(low_dim) & set(high_dim)
+    assert sum(high_dim[r] for r in shared) >= sum(low_dim[r] for r in shared)

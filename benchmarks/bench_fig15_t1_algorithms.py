@@ -1,0 +1,98 @@
+"""Figure 15: reduction error of the different algorithms on query T1.
+
+For a range of size bounds the chaotic series T1 is reduced with the exact
+DP algorithm (PTAc), the greedy algorithm (gPTAc with δ=∞, i.e. GMS), ATC,
+APCA, DWT and PAA; part (a) reports the absolute error, part (b) the ratio
+against the PTAc optimum.
+
+Expected shape (paper): gPTAc hugs the optimal curve (ratio close to 1,
+bounded by Theorem 1), ATC and APCA lag behind, DWT and PAA are
+significantly worse.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    apca,
+    atc_error_sweep,
+    dwt_approximate_to_size,
+    exponential_bounds,
+    paa,
+    series_from_segments,
+)
+from repro.core import (
+    gms_reduce_to_size,
+    max_error,
+    optimal_error_curve,
+    reduce_to_size,
+)
+from repro.evaluation import format_series, reduction_ratio
+
+from paperbench import catalogue, publish
+
+
+def bench_fig15_t1_algorithms(benchmark):
+    case = catalogue()["T1"]
+    segments = case.segments
+    series = np.asarray(series_from_segments(segments))
+    n = len(segments)
+
+    sizes = sorted({max(int(round(n * fraction)), 1)
+                    for fraction in (0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8)})
+    optimal_errors = optimal_error_curve(segments, sizes)
+    atc_by_size = atc_error_sweep(
+        segments, exponential_bounds(max_error(segments), count=60, decay=0.8)
+    )
+
+    error_series = {name: [] for name in
+                    ("PTAc", "gPTAc", "ATC", "APCA", "DWT", "PAA")}
+    ratio_series = {name: [] for name in ("gPTAc", "ATC", "APCA")}
+    maximum = max_error(segments)
+
+    for size in sizes:
+        ratio = round(reduction_ratio(n, size), 2)
+        optimal = optimal_errors[size]
+        greedy = gms_reduce_to_size(segments, size).error
+        atc_result = min(
+            (result for s, result in atc_by_size.items() if s <= size),
+            key=lambda result: result.error,
+            default=None,
+        )
+        measurements = {
+            "PTAc": optimal,
+            "gPTAc": greedy,
+            "ATC": atc_result.error if atc_result else float("nan"),
+            "APCA": apca(series, size).error,
+            "DWT": dwt_approximate_to_size(series, size).error,
+            "PAA": paa(series, size).error,
+        }
+        for name, error in measurements.items():
+            normalized = 0.0 if maximum == 0 else 100.0 * error / maximum
+            error_series[name].append((ratio, round(normalized, 3)))
+        for name in ratio_series:
+            if optimal > 0 and measurements[name] == measurements[name]:
+                ratio_series[name].append(
+                    (ratio, round(measurements[name] / optimal, 4))
+                )
+
+    publish(
+        "fig15a_t1_errors",
+        format_series(error_series, "reduction ratio (%)",
+                      "error (% of SSE_max)",
+                      title="Fig. 15(a) — reduction error on T1"),
+    )
+    publish(
+        "fig15b_t1_error_ratio",
+        format_series(ratio_series, "reduction ratio (%)",
+                      "error ratio vs. PTAc",
+                      title="Fig. 15(b) — error ratio on T1"),
+    )
+
+    # Representative timing: the exact DP reduction at the median size bound.
+    benchmark(reduce_to_size, segments, sizes[len(sizes) // 2])
+
+    # Shape assertions: the greedy algorithm is the closest to the optimum.
+    for (_, greedy_ratio) in ratio_series["gPTAc"]:
+        assert greedy_ratio >= 1.0 - 1e-9
+    mean = lambda pairs: sum(v for _, v in pairs) / len(pairs)  # noqa: E731
+    assert mean(ratio_series["gPTAc"]) <= mean(ratio_series["APCA"]) + 1e-9

@@ -1,0 +1,115 @@
+"""Figure 16: average error ratio of the approximation techniques per query.
+
+For every query of the catalogue and a range of size bounds, each technique's
+error is divided by the optimal (PTAc) error at the same size; the figure
+reports the average ratio per query.  Techniques that cannot handle
+aggregation groups or temporal gaps (APCA, DWT, PAA, Chebyshev) are marked
+not applicable for the grouped queries, exactly as in the paper.
+
+Expected shape (paper): gPTAc consistently has the best (lowest) ratio, ATC
+is second but less consistent, the time-series techniques trail far behind
+on temporal data.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    NotSeriesError,
+    apca,
+    atc_error_sweep,
+    chebyshev_approximate,
+    dwt_approximate_to_size,
+    exponential_bounds,
+    paa,
+    series_from_segments,
+)
+from repro.core import gms_reduce_to_size, max_error, optimal_error_curve
+from repro.evaluation import format_table, summarize_error_ratios
+
+from paperbench import catalogue, publish
+
+TECHNIQUES = ("gPTAc", "ATC", "APCA", "DWT", "PAA", "Chebyshev")
+
+
+def _size_grid(case):
+    n = case.ita_size
+    fractions = (0.05, 0.1, 0.2, 0.4, 0.6)
+    return sorted({max(int(round(n * f)), case.cmin) for f in fractions})
+
+
+def _ratios_for_case(case):
+    segments = case.segments
+    sizes = _size_grid(case)
+    optimal = optimal_error_curve(segments, sizes)
+    try:
+        series = np.asarray(series_from_segments(segments))
+    except NotSeriesError:
+        series = None
+    atc_by_size = atc_error_sweep(
+        segments, exponential_bounds(max_error(segments), count=40, decay=0.75)
+    )
+
+    ratios = {name: [] for name in TECHNIQUES}
+    for size in sizes:
+        base = optimal.get(size)
+        if base is None or base <= 0 or base == float("inf"):
+            continue
+        ratios["gPTAc"].append(gms_reduce_to_size(segments, size).error / base)
+        atc_candidates = [r for s, r in atc_by_size.items() if s <= size]
+        if atc_candidates:
+            ratios["ATC"].append(
+                min(result.error for result in atc_candidates) / base
+            )
+        if series is not None:
+            ratios["APCA"].append(apca(series, size).error / base)
+            ratios["DWT"].append(dwt_approximate_to_size(series, size).error / base)
+            ratios["PAA"].append(paa(series, size).error / base)
+            ratios["Chebyshev"].append(
+                chebyshev_approximate(series, size).error / base
+            )
+    return ratios
+
+
+def bench_fig16_error_ratio(benchmark):
+    cases = catalogue()
+    query_names = [
+        name for name in ("E1", "E2", "E3", "E4", "I1", "I2", "I3",
+                          "T1", "T2", "T3")
+        if name in cases
+    ]
+
+    rows = []
+    collected = {}
+    for name in query_names:
+        ratios = _ratios_for_case(cases[name])
+        collected[name] = ratios
+        row = [name]
+        for technique in TECHNIQUES:
+            summary = summarize_error_ratios(ratios[technique])
+            row.append(
+                "n/a" if summary.count == 0
+                else f"{summary.mean_ratio:.2f}±{summary.standard_error:.2f}"
+            )
+        rows.append(row)
+
+    publish(
+        "fig16_error_ratio",
+        format_table(("Query",) + TECHNIQUES, rows,
+                     title="Fig. 16 — average error ratio vs. PTAc "
+                           "(mean ± standard error; logscale in the paper)"),
+    )
+
+    # Representative timing: the greedy reduction of E1 at 10% size.
+    e1 = cases["E1"]
+    benchmark(gms_reduce_to_size, e1.segments, max(e1.ita_size // 10, e1.cmin))
+
+    # Shape assertion: gPTAc has the lowest average ratio on every
+    # single-group query where the series techniques are applicable.
+    for name, ratios in collected.items():
+        greedy_summary = summarize_error_ratios(ratios["gPTAc"])
+        for technique in ("APCA", "DWT", "PAA"):
+            other = summarize_error_ratios(ratios[technique])
+            if other.count:
+                assert greedy_summary.mean_ratio <= other.mean_ratio + 1e-6, (
+                    f"{technique} unexpectedly beats gPTAc on {name}"
+                )

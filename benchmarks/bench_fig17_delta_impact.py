@@ -1,0 +1,101 @@
+"""Figure 17: impact of the read-ahead parameter δ on the greedy algorithms.
+
+For δ ∈ {0, 1, 2, ∞} the error of gPTAc (and gPTAε) is divided by the error
+of the exact DP solution at the same size (respectively the same error
+bound), averaged over a grid of bounds per query.
+
+Expected shape (paper): δ = 0 gives the worst ratios, δ = ∞ the best possible
+greedy result, and already δ = 1 is practically indistinguishable from δ = ∞.
+"""
+
+from repro.core import (
+    DELTA_INFINITY,
+    greedy_reduce_to_error,
+    greedy_reduce_to_size,
+    max_error,
+    optimal_error_curve,
+    reduce_to_error,
+)
+from repro.evaluation import format_table, summarize_error_ratios
+
+from paperbench import catalogue, publish
+
+DELTAS = (0, 1, 2, DELTA_INFINITY)
+QUERIES = ("E1", "E2", "E3", "I1", "I2", "I3", "T1", "T2", "T3")
+
+
+def _delta_label(delta):
+    return "inf" if delta == DELTA_INFINITY else str(delta)
+
+
+def _size_ratios(case, delta):
+    sizes = sorted({max(int(round(case.ita_size * f)), case.cmin)
+                    for f in (0.05, 0.1, 0.25, 0.5)})
+    optimal = optimal_error_curve(case.segments, sizes)
+    ratios = []
+    for size in sizes:
+        base = optimal.get(size)
+        if not base or base == float("inf"):
+            continue
+        result = greedy_reduce_to_size(iter(case.segments), size, delta=delta)
+        ratios.append(result.error / base)
+    return ratios
+
+
+def _error_ratios(case, delta):
+    emax = max_error(case.segments)
+    ratios = []
+    for epsilon in (0.01, 0.05, 0.2):
+        optimal = reduce_to_error(case.segments, epsilon)
+        greedy = greedy_reduce_to_error(
+            iter(case.segments), epsilon, delta=delta,
+            input_size_estimate=case.ita_size, max_error_estimate=emax,
+        )
+        if optimal.error > 0:
+            ratios.append(greedy.error / optimal.error)
+        # When both reach the bound losslessly compare the achieved sizes.
+        elif optimal.size:
+            ratios.append(greedy.size / optimal.size)
+    return ratios
+
+
+def bench_fig17_delta_impact(benchmark):
+    cases = catalogue()
+    names = [name for name in QUERIES if name in cases]
+
+    size_rows, error_rows = [], []
+    averaged = {}
+    for name in names:
+        case = cases[name]
+        size_row, error_row = [name], [name]
+        for delta in DELTAS:
+            size_summary = summarize_error_ratios(_size_ratios(case, delta))
+            error_summary = summarize_error_ratios(_error_ratios(case, delta))
+            size_row.append(f"{size_summary.mean_ratio:.3f}")
+            error_row.append(f"{error_summary.mean_ratio:.3f}")
+            averaged.setdefault(delta, []).append(size_summary.mean_ratio)
+        size_rows.append(size_row)
+        error_rows.append(error_row)
+
+    headers = ("Query",) + tuple(f"delta={_delta_label(d)}" for d in DELTAS)
+    publish(
+        "fig17a_delta_gptac",
+        format_table(headers, size_rows,
+                     title="Fig. 17(a) — error ratio of gPTAc vs. PTAc"),
+    )
+    publish(
+        "fig17b_delta_gptaeps",
+        format_table(headers, error_rows,
+                     title="Fig. 17(b) — error ratio of gPTAeps vs. PTAeps"),
+    )
+
+    # Representative timing: gPTAc with delta=1 on T2.
+    t2 = cases["T2"]
+    benchmark(
+        greedy_reduce_to_size, list(t2.segments), max(t2.ita_size // 10, 1), 1
+    )
+
+    # Shape assertion: averaging over the queries, delta=infinity is at least
+    # as good as delta=0 (the paper's "worst result at delta=0").
+    mean = lambda values: sum(values) / len(values)  # noqa: E731
+    assert mean(averaged[DELTA_INFINITY]) <= mean(averaged[0]) + 1e-6

@@ -1,0 +1,80 @@
+"""Figure 18: merging-phase runtime as a function of the input size.
+
+Compares the plain DP scheme (no gap pruning) with the optimized PTAc
+algorithm on synthetic data (a) without gaps (query S1) and (b) with
+aggregation groups (query S2).
+
+Expected shape (paper): without gaps the two curves coincide and grow
+quadratically; with groups PTAc is far faster and scales almost linearly
+because every group boundary prunes the split-point search.
+"""
+
+from repro.core.dp import reduce_to_size
+from repro.datasets import synthetic_grouped_segments, synthetic_sequential_segments
+from repro.evaluation import format_series, timed
+
+from paperbench import workload_scale, publish
+
+SIZES = {
+    "tiny": (200, 400, 600, 800),
+    "small": (500, 1500, 3000, 4500, 6500),
+    "paper": (500, 1500, 3000, 4500, 6500),
+}
+OUTPUT_FRACTION = {"tiny": 0.1, "small": 0.08, "paper": 0.08}
+DIMENSIONS = {"tiny": 4, "small": 10, "paper": 10}
+
+
+def bench_fig18_runtime_input_size(benchmark):
+    scale = workload_scale()
+    sizes = SIZES[scale]
+    dimensions = DIMENSIONS[scale]
+    output_size = max(int(sizes[0] * OUTPUT_FRACTION[scale]), 10)
+    groups = max(sizes[0] // 20, 10)
+
+    no_gaps = {"DP": [], "PTAc": []}
+    with_gaps = {"DP": [], "PTAc": []}
+    for size in sizes:
+        flat = synthetic_sequential_segments(size, dimensions, seed=31)
+        grouped = synthetic_grouped_segments(
+            groups, size // groups, dimensions, seed=32
+        )
+        no_gaps["DP"].append(
+            (size, round(timed(reduce_to_size, flat, output_size,
+                               optimized=False).seconds, 4))
+        )
+        no_gaps["PTAc"].append(
+            (size, round(timed(reduce_to_size, flat, output_size,
+                               optimized=True).seconds, 4))
+        )
+        with_gaps["DP"].append(
+            (size, round(timed(reduce_to_size, grouped, max(output_size, groups),
+                               optimized=False).seconds, 4))
+        )
+        with_gaps["PTAc"].append(
+            (size, round(timed(reduce_to_size, grouped, max(output_size, groups),
+                               optimized=True).seconds, 4))
+        )
+
+    publish(
+        "fig18a_runtime_no_gaps",
+        format_series(no_gaps, "input size (tuples)", "merging time (s)",
+                      title="Fig. 18(a) — synthetic data without gaps (S1)"),
+    )
+    publish(
+        "fig18b_runtime_with_gaps",
+        format_series(with_gaps, "input size (tuples)", "merging time (s)",
+                      title="Fig. 18(b) — synthetic data with groups (S2)"),
+    )
+
+    # Representative timing: PTAc on the largest gapped input.
+    largest = synthetic_grouped_segments(
+        groups, sizes[-1] // groups, dimensions, seed=32
+    )
+    benchmark(reduce_to_size, largest, max(output_size, groups))
+
+    # Shape assertions: with gaps PTAc beats the plain DP at the largest size;
+    # without gaps the two are comparable (within 3x of each other).
+    assert with_gaps["PTAc"][-1][1] <= with_gaps["DP"][-1][1]
+    dp_time = no_gaps["DP"][-1][1]
+    ptac_time = no_gaps["PTAc"][-1][1]
+    assert ptac_time <= dp_time * 3 + 0.05

@@ -1,0 +1,57 @@
+"""Figure 19: merging-phase runtime as a function of the output size.
+
+On grouped synthetic data the output size bound ``c`` is swept while the
+input size stays fixed, comparing the plain DP scheme with PTAc.
+
+Expected shape (paper): runtime grows roughly linearly with ``c`` for both
+algorithms, PTAc stays well below the plain DP, and PTAc is not overly
+sensitive to ``c`` because the group boundaries dominate the pruning.
+"""
+
+from repro.core.dp import reduce_to_size
+from repro.datasets import synthetic_grouped_segments
+from repro.evaluation import format_series, timed
+
+from paperbench import workload_scale, publish
+
+PARAMETERS = {
+    "tiny": dict(groups=40, per_group=10, dimensions=4),
+    "small": dict(groups=200, per_group=10, dimensions=10),
+    "paper": dict(groups=200, per_group=10, dimensions=10),
+}
+
+
+def bench_fig19_runtime_output_size(benchmark):
+    config = PARAMETERS[workload_scale()]
+    segments = synthetic_grouped_segments(
+        config["groups"], config["per_group"], config["dimensions"], seed=41
+    )
+    n = len(segments)
+    output_sizes = sorted({
+        max(int(n * fraction), config["groups"])
+        for fraction in (0.1, 0.25, 0.5, 0.75, 1.0)
+    })
+
+    series = {"DP": [], "PTAc": []}
+    for output_size in output_sizes:
+        series["DP"].append(
+            (output_size, round(timed(reduce_to_size, segments, output_size,
+                                      optimized=False).seconds, 4))
+        )
+        series["PTAc"].append(
+            (output_size, round(timed(reduce_to_size, segments, output_size,
+                                      optimized=True).seconds, 4))
+        )
+
+    publish(
+        "fig19_runtime_output_size",
+        format_series(series, "output size c (tuples)", "merging time (s)",
+                      title="Fig. 19 — runtime vs. output size "
+                            "(grouped synthetic data)"),
+    )
+
+    benchmark(reduce_to_size, segments, output_sizes[len(output_sizes) // 2])
+
+    # Shape assertion: PTAc never slower than the plain DP on gapped data.
+    for (_, dp_time), (_, ptac_time) in zip(series["DP"], series["PTAc"]):
+        assert ptac_time <= dp_time * 1.5 + 0.05

@@ -1,0 +1,74 @@
+"""Figure 20: maximal heap size of gPTAc and gPTAε as a function of c / ε.
+
+On gap-free synthetic data the read-ahead parameter δ controls how large the
+merge heap may grow: δ = 0 pins it to the output size, δ = ∞ lets it grow to
+the full ITA result, intermediate values give ``c + β`` with a small β.
+gPTAε behaves similarly but needs a noticeably larger heap.
+
+Expected shape (paper, Fig. 20): for gPTAc the curves for δ = 0, 1, 2
+converge to the output size while δ = ∞ stays at the input size; gPTAε's
+heap is larger for every δ.
+"""
+
+from repro.core import (
+    DELTA_INFINITY,
+    greedy_reduce_to_error,
+    greedy_reduce_to_size,
+    max_error,
+)
+from repro.datasets import synthetic_sequential_segments
+from repro.evaluation import format_series
+
+from paperbench import workload_scale, publish
+
+INPUT_SIZE = {"tiny": 2000, "small": 20000, "paper": 200000}
+DELTAS = (0, 1, 2, DELTA_INFINITY)
+
+
+def _label(delta):
+    return "delta=inf" if delta == DELTA_INFINITY else f"delta={delta}"
+
+
+def bench_fig20_heap_size(benchmark):
+    n = INPUT_SIZE[workload_scale()]
+    segments = synthetic_sequential_segments(n, dimensions=2, seed=51)
+    emax = max_error(segments)
+    output_sizes = sorted({max(int(n * f), 1) for f in (0.01, 0.05, 0.1, 0.3, 0.6)})
+
+    size_series = {_label(delta): [] for delta in DELTAS}
+    for delta in DELTAS:
+        for output_size in output_sizes:
+            result = greedy_reduce_to_size(iter(segments), output_size,
+                                           delta=delta)
+            size_series[_label(delta)].append((output_size, result.max_heap_size))
+
+    error_series = {_label(delta): [] for delta in DELTAS}
+    for delta in DELTAS:
+        for epsilon in (0.05, 0.2, 0.5, 0.8):
+            result = greedy_reduce_to_error(
+                iter(segments), epsilon, delta=delta,
+                input_size_estimate=n, max_error_estimate=emax,
+            )
+            error_series[_label(delta)].append((result.size, result.max_heap_size))
+
+    publish(
+        "fig20a_heap_gptac",
+        format_series(size_series, "PTA result size c", "max heap size",
+                      title=f"Fig. 20(a) — gPTAc heap size (n={n})"),
+    )
+    publish(
+        "fig20b_heap_gptaeps",
+        format_series(error_series, "PTA result size", "max heap size",
+                      title=f"Fig. 20(b) — gPTAeps heap size (n={n})"),
+    )
+
+    benchmark(greedy_reduce_to_size, list(segments), output_sizes[1], 1)
+
+    # Shape assertions: delta=0 pins the heap near c; delta=inf uses the whole
+    # input; gPTAeps needs at least as much heap as gPTAc for small bounds.
+    for (c, heap_size) in size_series["delta=0"]:
+        assert heap_size <= c + 1
+    assert all(h == n for _, h in size_series["delta=inf"])
+    assert max(h for _, h in error_series["delta=1"]) >= max(
+        h for c, h in size_series["delta=1"] if c <= n // 10
+    )

@@ -1,0 +1,79 @@
+"""Figure 21: runtime of the greedy algorithms vs. other linear methods.
+
+Sweeps the input size on gap-free synthetic data and measures the merging
+time of gPTAc (c = 10 % of the input, δ = 1), gPTAε (ε = 0.65, δ = 1), ATC,
+APCA, DWT and PAA.
+
+Expected shape (paper): all methods scale roughly linearly; gPTAε is the
+slowest because of its larger heap, gPTAc is comparable to the other
+linear-time approximation techniques.
+"""
+
+import numpy as np
+
+from repro.baselines import apca, atc, dwt_approximate, paa, series_from_segments
+from repro.core import (
+    greedy_reduce_to_error,
+    greedy_reduce_to_size,
+    max_error,
+)
+from repro.datasets import synthetic_sequential_segments
+from repro.evaluation import format_series, timed
+
+from paperbench import workload_scale, publish
+
+SIZES = {
+    "tiny": (2000, 4000, 8000),
+    "small": (20000, 50000, 100000),
+    "paper": (100000, 300000, 1000000),
+}
+
+
+def bench_fig21_greedy_runtime(benchmark):
+    sizes = SIZES[workload_scale()]
+    series = {name: [] for name in
+              ("gPTAeps", "PAA", "ATC", "gPTAc", "APCA", "DWT")}
+
+    for n in sizes:
+        segments = synthetic_sequential_segments(n, dimensions=1, seed=61)
+        point_series = np.asarray(series_from_segments(segments))
+        output_size = max(n // 10, 1)
+        emax = max_error(segments)
+        local_bound = 0.01 * emax / n
+
+        series["gPTAc"].append(
+            (n, round(timed(greedy_reduce_to_size, iter(segments),
+                            output_size, 1).seconds, 4))
+        )
+        series["gPTAeps"].append(
+            (n, round(timed(
+                greedy_reduce_to_error, iter(segments), 0.65, 1, None,
+                n, emax,
+            ).seconds, 4))
+        )
+        series["ATC"].append(
+            (n, round(timed(atc, segments, local_bound).seconds, 4))
+        )
+        series["PAA"].append(
+            (n, round(timed(paa, point_series, output_size).seconds, 4))
+        )
+        series["APCA"].append(
+            (n, round(timed(apca, point_series, output_size).seconds, 4))
+        )
+        series["DWT"].append(
+            (n, round(timed(dwt_approximate, point_series,
+                            output_size).seconds, 4))
+        )
+
+    publish(
+        "fig21_greedy_runtime",
+        format_series(series, "input size (tuples)", "time (s)",
+                      title="Fig. 21 — greedy algorithms vs. other linear "
+                            "approximation methods"),
+    )
+
+    segments = synthetic_sequential_segments(sizes[0], dimensions=1, seed=61)
+    benchmark(greedy_reduce_to_size, list(segments), max(sizes[0] // 10, 1), 1)
+
+    # Shape assertion: gPTAeps is the slowest of the greedy pair, as reported.
+    assert series["gPTAeps"][-1][1] >= series["gPTAc"][-1][1] * 0.8

@@ -1,0 +1,52 @@
+"""Table 1: the catalogue of ITA queries used throughout the evaluation.
+
+Prints, for every query of the catalogue, its grouping attributes, aggregate
+functions, ITA result size and ``cmin`` — the same columns the paper's
+Table 1 reports — and times the ITA evaluation of the Incumbents-style query
+I1 as the representative aggregation workload.
+"""
+
+from repro import ita
+from repro.datasets import generate_incumbents
+from repro.evaluation import format_table
+
+from paperbench import workload_scale, catalogue, publish
+
+
+def bench_table1_queries(benchmark):
+    cases = catalogue()
+    rows = [
+        [
+            case.name,
+            ", ".join(case.group_columns) or "-",
+            ", ".join(case.value_columns),
+            case.ita_size,
+            case.cmin,
+            case.dimensions,
+        ]
+        for case in cases.values()
+    ]
+    publish(
+        "table1_queries",
+        format_table(
+            ("Query", "Grouping", "Aggregates", "ITA size", "cmin", "dims"),
+            rows,
+            title=f"Table 1 — ITA query catalogue (scale={workload_scale()!r})",
+        ),
+    )
+
+    parameters = {
+        "tiny": dict(departments=3, projects_per_department=3,
+                     incumbents_per_project=6, months=120),
+        "small": dict(departments=8, projects_per_department=5,
+                      incumbents_per_project=12, months=240),
+        "paper": dict(departments=20, projects_per_department=10,
+                      incumbents_per_project=40, months=480),
+    }[workload_scale()]
+    relation = generate_incumbents(seed=7, **parameters)
+    result = benchmark(
+        ita, relation, ["dept", "proj"], {"avg_salary": ("avg", "salary")}
+    )
+
+    assert len(result) > 0
+    assert set(cases) == {"E1", "E2", "E3", "E4", "I1", "I2", "I3", "T1", "T2", "T3"}

@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*.py`` file reproduces one table or figure of the paper's
+evaluation section: it computes the rows/series, prints them, writes them to
+``benchmarks/results/`` and registers one representative timing with
+pytest-benchmark.  The experiment scale is controlled by the environment
+variable ``REPRO_BENCH_SCALE`` (``tiny`` by default so the whole harness
+finishes in minutes; ``small`` and ``paper`` trade runtime for fidelity, see
+``repro.datasets.queries``).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict
+
+from repro.datasets import QueryCase, table1_catalogue
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def workload_scale() -> str:
+    """Scale of the benchmark workloads (``tiny`` / ``small`` / ``paper``)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@lru_cache(maxsize=None)
+def catalogue(scale: str | None = None) -> Dict[str, QueryCase]:
+    """Cached Table 1 query catalogue at the requested scale."""
+    return table1_catalogue(scale or workload_scale())
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====")
+    print(text)

@@ -1,0 +1,83 @@
+"""Parsimonious temporal aggregation (PTA).
+
+A from-scratch implementation of the temporal aggregation operators and the
+parsimonious temporal aggregation algorithms of Gordevicius, Gamper and
+Böhlen (EDBT 2009 / VLDB Journal 2012), together with the baselines and the
+data generators needed to reproduce the paper's experimental evaluation.
+
+Typical usage::
+
+    from repro import Interval, TemporalRelation, ita, pta
+
+    proj = TemporalRelation.from_records(
+        columns=("empl", "proj", "sal"),
+        records=[
+            ("John", "A", 800, Interval(1, 4)),
+            ("Ann", "A", 400, Interval(3, 6)),
+            ("Tom", "A", 300, Interval(4, 7)),
+            ("John", "B", 500, Interval(4, 5)),
+            ("John", "B", 500, Interval(7, 8)),
+        ],
+    )
+    summary = pta(proj, group_by=["proj"],
+                  aggregates={"avg_sal": ("avg", "sal")}, size=4)
+"""
+
+from .aggregation import (
+    AggregateSpec,
+    ita,
+    iter_ita,
+    mwta,
+    register_aggregate,
+    regular_spans,
+    sta,
+)
+from .core import (
+    DELTA_INFINITY,
+    AggregateSegment,
+    DPResult,
+    GreedyResult,
+    estimate_max_error,
+    gpta_error_bounded,
+    gpta_size_bounded,
+    pta,
+    pta_error_bounded,
+    pta_size_bounded,
+    reduce_ita,
+)
+from .temporal import (
+    Interval,
+    TemporalRelation,
+    TemporalSchema,
+    TemporalTuple,
+    coalesce,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateSegment",
+    "AggregateSpec",
+    "DELTA_INFINITY",
+    "DPResult",
+    "GreedyResult",
+    "Interval",
+    "TemporalRelation",
+    "TemporalSchema",
+    "TemporalTuple",
+    "coalesce",
+    "estimate_max_error",
+    "gpta_error_bounded",
+    "gpta_size_bounded",
+    "ita",
+    "iter_ita",
+    "mwta",
+    "pta",
+    "pta_error_bounded",
+    "pta_size_bounded",
+    "reduce_ita",
+    "register_aggregate",
+    "regular_spans",
+    "sta",
+    "__version__",
+]

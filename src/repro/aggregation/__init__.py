@@ -1,0 +1,26 @@
+"""Temporal aggregation operators: ITA, STA and MWTA."""
+
+from .functions import (
+    AggregateSpec,
+    UnknownAggregateError,
+    normalize_aggregates,
+    register_aggregate,
+    resolve_aggregate,
+)
+from .ita import ita, ita_schema, iter_ita
+from .mwta import mwta
+from .sta import regular_spans, sta
+
+__all__ = [
+    "AggregateSpec",
+    "UnknownAggregateError",
+    "normalize_aggregates",
+    "register_aggregate",
+    "resolve_aggregate",
+    "ita",
+    "ita_schema",
+    "iter_ita",
+    "mwta",
+    "sta",
+    "regular_spans",
+]

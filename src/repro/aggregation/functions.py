@@ -1,0 +1,135 @@
+"""Aggregate functions used by the temporal aggregation operators.
+
+The paper writes a query's aggregate functions as ``F = {f1/B1, ..., fp/Bp}``
+where each ``fi`` is applied to the tuples of an aggregation group valid at a
+time instant, and the result is stored in attribute ``Bi`` (Definition 1).
+This module provides the built-in functions (``avg``, ``sum``, ``min``,
+``max``, ``count``) and the :class:`AggregateSpec` binding a function to a
+source attribute and an output attribute name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence, Tuple, Union
+
+AggregateCallable = Callable[[Sequence[float]], float]
+
+
+class UnknownAggregateError(ValueError):
+    """Raised when an aggregate function name is not registered."""
+
+
+def _avg(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _sum(values: Sequence[float]) -> float:
+    return float(sum(values))
+
+
+def _min(values: Sequence[float]) -> float:
+    return float(min(values))
+
+
+def _max(values: Sequence[float]) -> float:
+    return float(max(values))
+
+
+def _count(values: Sequence[float]) -> float:
+    return float(len(values))
+
+
+_REGISTRY: Dict[str, AggregateCallable] = {
+    "avg": _avg,
+    "mean": _avg,
+    "sum": _sum,
+    "min": _min,
+    "max": _max,
+    "count": _count,
+}
+
+
+def register_aggregate(name: str, function: AggregateCallable) -> None:
+    """Register a custom aggregate function under ``name``.
+
+    The function receives the list of attribute values of all tuples valid at
+    a time instant and must return a single float.
+    """
+    _REGISTRY[name.lower()] = function
+
+
+def resolve_aggregate(name: str) -> AggregateCallable:
+    """Look up a registered aggregate function by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownAggregateError(
+            f"unknown aggregate function {name!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate of a temporal aggregation query: ``f(attribute) AS output``.
+
+    Parameters
+    ----------
+    output:
+        Name of the result attribute (``Bi`` in the paper).
+    function:
+        Name of a registered aggregate function (``fi``).
+    attribute:
+        Source attribute the function is applied to.  ``count`` may use
+        ``None`` to count tuples regardless of attribute values.
+    """
+
+    output: str
+    function: str
+    attribute: str | None
+
+    def __post_init__(self) -> None:
+        resolve_aggregate(self.function)
+        if self.attribute is None and self.function.lower() != "count":
+            raise ValueError(
+                f"aggregate {self.function!r} requires a source attribute"
+            )
+
+    def evaluate(self, values: Sequence[float]) -> float:
+        """Apply the aggregate function to the given attribute values."""
+        return resolve_aggregate(self.function)(values)
+
+
+AggregatesLike = Union[
+    Sequence[AggregateSpec],
+    Mapping[str, Tuple[str, str | None]],
+]
+
+
+def normalize_aggregates(aggregates: AggregatesLike) -> Tuple[AggregateSpec, ...]:
+    """Normalise the user-facing aggregate description to ``AggregateSpec``s.
+
+    Accepted forms::
+
+        [AggregateSpec("avg_sal", "avg", "sal"), ...]
+        {"avg_sal": ("avg", "sal"), "n": ("count", None)}
+    """
+    if isinstance(aggregates, Mapping):
+        specs = tuple(
+            AggregateSpec(output, function, attribute)
+            for output, (function, attribute) in aggregates.items()
+        )
+    else:
+        specs = tuple(aggregates)
+        if not all(isinstance(spec, AggregateSpec) for spec in specs):
+            raise TypeError(
+                "aggregates must be AggregateSpec instances or a mapping "
+                "{output: (function, attribute)}"
+            )
+    if not specs:
+        raise ValueError("at least one aggregate function is required")
+    outputs = [spec.output for spec in specs]
+    if len(set(outputs)) != len(outputs):
+        raise ValueError(f"duplicate output attribute names in {outputs}")
+    return specs

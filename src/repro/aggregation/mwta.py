@@ -1,0 +1,54 @@
+"""Moving-window (cumulative) temporal aggregation (MWTA).
+
+MWTA extends ITA: the aggregate at time instant ``t`` is computed over all
+tuples that hold anywhere in a window around ``t`` (Section 2.1 of the
+paper).  A window of zero width degenerates to plain ITA.  MWTA is included
+for completeness of the temporal-aggregation substrate; the PTA operator
+itself always reduces an ITA result.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..temporal import Interval, TemporalRelation
+from .functions import AggregatesLike
+from .ita import ita
+
+
+def mwta(
+    relation: TemporalRelation,
+    group_by: Sequence[str] = (),
+    aggregates: AggregatesLike = (),
+    window_before: int = 0,
+    window_after: int = 0,
+) -> TemporalRelation:
+    """Evaluate moving-window temporal aggregation over ``relation``.
+
+    A tuple valid over ``[tb, te]`` contributes to every instant in
+    ``[tb - window_after, te + window_before]``: an instant ``t`` "sees" the
+    tuple when the window ``[t - window_before, t + window_after]``
+    intersects the tuple's validity interval.  The implementation widens each
+    argument interval accordingly and then runs the ITA sweep, which yields
+    exactly the per-instant window semantics.
+
+    Parameters
+    ----------
+    window_before:
+        Number of chronons before ``t`` included in the window (``>= 0``).
+    window_after:
+        Number of chronons after ``t`` included in the window (``>= 0``).
+    """
+    if window_before < 0 or window_after < 0:
+        raise ValueError("window extents must be non-negative")
+    if window_before == 0 and window_after == 0:
+        return ita(relation, group_by, aggregates)
+
+    widened = TemporalRelation(relation.schema)
+    for values, interval in relation.rows():
+        widened.append(
+            values,
+            Interval(interval.start - window_after,
+                     interval.end + window_before),
+        )
+    return ita(widened, group_by, aggregates)

@@ -1,0 +1,101 @@
+"""Span temporal aggregation (STA).
+
+STA partitions the time line into application-specified spans (e.g. one span
+per trimester) and reports, for each aggregation group and each span that
+intersects at least one argument tuple, the aggregate computed over *all*
+argument tuples overlapping that span (Section 2.1 and Fig. 1(b) of the
+paper).  The result size is therefore predictable, but the spans ignore the
+distribution of the data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..temporal import Interval, TemporalRelation, TemporalSchema
+from .functions import AggregatesLike, normalize_aggregates
+from .ita import ita_schema
+
+
+def regular_spans(cover: Interval, span_length: int) -> List[Interval]:
+    """Partition ``cover`` into consecutive spans of ``span_length`` chronons.
+
+    The last span is truncated to the end of ``cover`` if the length does not
+    divide evenly.  This is the usual way STA queries express granularities
+    such as "each trimester" or "each year".
+    """
+    if span_length <= 0:
+        raise ValueError(f"span_length must be positive, got {span_length}")
+    spans = []
+    start = cover.start
+    while start <= cover.end:
+        end = min(start + span_length - 1, cover.end)
+        spans.append(Interval(start, end))
+        start = end + 1
+    return spans
+
+
+def sta(
+    relation: TemporalRelation,
+    group_by: Sequence[str] = (),
+    aggregates: AggregatesLike = (),
+    spans: Sequence[Interval] | None = None,
+    span_length: int | None = None,
+) -> TemporalRelation:
+    """Evaluate span temporal aggregation over ``relation``.
+
+    Exactly one of ``spans`` or ``span_length`` must be provided.  With
+    ``span_length`` the spans are derived from the relation's covering
+    interval via :func:`regular_spans`.
+
+    Returns
+    -------
+    TemporalRelation
+        One tuple per (group, span) pair for which at least one argument
+        tuple overlaps the span, with schema ``(A..., B..., T)``.
+    """
+    if (spans is None) == (span_length is None):
+        raise ValueError("provide exactly one of 'spans' or 'span_length'")
+    if spans is None:
+        spans = regular_spans(relation.timespan(), int(span_length))
+
+    specs = normalize_aggregates(aggregates)
+    group_by = tuple(group_by)
+    group_indices = relation.schema.indices_of(group_by)
+    value_indices = tuple(
+        relation.schema.index_of(spec.attribute)
+        if spec.attribute is not None
+        else None
+        for spec in specs
+    )
+
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for row_index, (values, _) in enumerate(relation.rows()):
+        key = tuple(values[i] for i in group_indices)
+        groups.setdefault(key, []).append(row_index)
+
+    schema: TemporalSchema = ita_schema(relation, group_by, aggregates)
+    result = TemporalRelation(schema)
+    rows = relation.rows()
+    for key in sorted(groups, key=_group_sort_key):
+        for span in spans:
+            members = [
+                row_index
+                for row_index in groups[key]
+                if rows[row_index][1].overlaps(span)
+            ]
+            if not members:
+                continue
+            aggregate_values = []
+            for spec, value_index in zip(specs, value_indices):
+                if value_index is None:
+                    member_values: Sequence[float] = [1.0] * len(members)
+                else:
+                    member_values = [rows[m][0][value_index] for m in members]
+                aggregate_values.append(spec.evaluate(member_values))
+            result.append(key + tuple(aggregate_values), span)
+    return result
+
+
+def _group_sort_key(key: Tuple[Any, ...]) -> Tuple:
+    return tuple((str(type(v)), str(v)) for v in key)

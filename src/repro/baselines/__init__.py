@@ -1,0 +1,50 @@
+"""Approximation baselines the paper compares PTA against."""
+
+from .apca import APCAResult, apca
+from .atc import ATCResult, atc, atc_error_sweep, exponential_bounds
+from .base import (
+    NotSeriesError,
+    segment_count,
+    segments_from_series,
+    series_from_segments,
+    series_sse,
+    step_function_segments,
+)
+from .chebyshev import ChebyshevResult, chebyshev_approximate
+from .dft import DFTResult, dft_approximate
+from .dwt import DWTResult, dwt_approximate, dwt_approximate_to_size, haar_decompose, haar_reconstruct
+from .optimal_histogram import Histogram, v_optimal_histogram, v_optimal_histogram_for_error
+from .paa import PAAResult, paa
+from .sax import SAXResult, gaussian_breakpoints, sax_transform
+
+__all__ = [
+    "APCAResult",
+    "ATCResult",
+    "ChebyshevResult",
+    "DFTResult",
+    "DWTResult",
+    "Histogram",
+    "NotSeriesError",
+    "PAAResult",
+    "SAXResult",
+    "apca",
+    "atc",
+    "atc_error_sweep",
+    "chebyshev_approximate",
+    "dft_approximate",
+    "dwt_approximate",
+    "dwt_approximate_to_size",
+    "exponential_bounds",
+    "gaussian_breakpoints",
+    "haar_decompose",
+    "haar_reconstruct",
+    "paa",
+    "sax_transform",
+    "segment_count",
+    "segments_from_series",
+    "series_from_segments",
+    "series_sse",
+    "step_function_segments",
+    "v_optimal_histogram",
+    "v_optimal_histogram_for_error",
+]

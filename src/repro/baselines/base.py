@@ -1,0 +1,111 @@
+"""Shared helpers for the approximation baselines.
+
+The time-series baselines of the paper's evaluation (PAA, DWT, DFT, APCA,
+Chebyshev, SAX) operate on plain point series: an ITA result without
+aggregation groups and temporal gaps is expanded to one value per chronon,
+approximated, and the approximation error is measured against that expanded
+series — which is exactly the weighted SSE of Definition 5 because every
+chronon of a segment carries the segment's value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.merge import AggregateSegment, adjacent
+from ..temporal import Interval
+
+
+class NotSeriesError(ValueError):
+    """Raised when segments with gaps or groups are passed to a series baseline."""
+
+
+def series_from_segments(segments: Sequence[AggregateSegment]) -> np.ndarray:
+    """Expand a gapless, single-group, 1-D segment list to a point series.
+
+    Raises
+    ------
+    NotSeriesError
+        If the segments span multiple aggregation groups, contain temporal
+        gaps, or carry more than one aggregate value — the cases the paper
+        notes the time-series baselines cannot handle (Section 2.2).
+    """
+    if not segments:
+        return np.empty(0, dtype=float)
+    if segments[0].dimensions != 1:
+        raise NotSeriesError(
+            "series baselines support exactly one aggregate dimension"
+        )
+    for left, right in zip(segments, segments[1:]):
+        if not adjacent(left, right):
+            raise NotSeriesError(
+                "series baselines require a single group without temporal gaps"
+            )
+    values: List[float] = []
+    for segment in segments:
+        values.extend([segment.values[0]] * segment.length)
+    return np.asarray(values, dtype=float)
+
+
+def segments_from_series(
+    values: Sequence[float],
+    start: int = 1,
+    group: tuple = (),
+) -> List[AggregateSegment]:
+    """Convert a point series into unit-interval segments.
+
+    Consecutive equal values are *not* coalesced; each point becomes its own
+    segment, mirroring how the paper converts UCR time series into
+    sequential relations by attaching unit-length validity intervals.
+    """
+    return [
+        AggregateSegment(group, (float(value),), Interval(start + i, start + i))
+        for i, value in enumerate(values)
+    ]
+
+
+def step_function_segments(
+    approximation: np.ndarray,
+    start: int = 1,
+    group: tuple = (),
+) -> List[AggregateSegment]:
+    """Convert a step-function approximation into maximal constant segments."""
+    segments: List[AggregateSegment] = []
+    if approximation.size == 0:
+        return segments
+    run_start = 0
+    for index in range(1, approximation.size + 1):
+        if (
+            index == approximation.size
+            or approximation[index] != approximation[run_start]
+        ):
+            segments.append(
+                AggregateSegment(
+                    group,
+                    (float(approximation[run_start]),),
+                    Interval(start + run_start, start + index - 1),
+                )
+            )
+            run_start = index
+    return segments
+
+
+def series_sse(original: np.ndarray, approximation: np.ndarray) -> float:
+    """Sum squared error between a series and its approximation."""
+    original = np.asarray(original, dtype=float)
+    approximation = np.asarray(approximation, dtype=float)
+    if original.shape != approximation.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {approximation.shape}"
+        )
+    return float(np.sum((original - approximation) ** 2))
+
+
+def segment_count(approximation: np.ndarray) -> int:
+    """Number of constant-value runs in a step-function approximation."""
+    if approximation.size == 0:
+        return 0
+    changes = np.sum(approximation[1:] != approximation[:-1])
+    return int(changes) + 1

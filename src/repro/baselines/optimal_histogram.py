@@ -1,0 +1,67 @@
+"""V-optimal histograms (Jagadish et al., VLDB 1998).
+
+The paper's dynamic-programming scheme "emanates from" the optimal histogram
+construction of Jagadish et al. and extends it to multi-dimensional data with
+temporal gaps and aggregation groups (Section 2.3).  This module exposes the
+one-dimensional original as a thin wrapper over the PTA DP engine applied to
+unit-length, single-group segments, both as a baseline and as a sanity check
+that the extension degenerates to the classical algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core import dp
+from ..core.merge import AggregateSegment
+from .base import segments_from_series
+
+
+@dataclass
+class Histogram:
+    """A V-optimal histogram: bucket boundaries, means and total SSE."""
+
+    buckets: List[Tuple[int, int, float]]
+    error: float
+
+    @property
+    def size(self) -> int:
+        return len(self.buckets)
+
+
+def v_optimal_histogram(values: Sequence[float], buckets: int) -> Histogram:
+    """Partition ``values`` into ``buckets`` buckets minimising the SSE.
+
+    Each bucket is reported as ``(first_index, last_index, mean)`` with
+    0-based inclusive indices into ``values``.
+    """
+    values = list(values)
+    if not values:
+        return Histogram([], 0.0)
+    if buckets < 1:
+        raise ValueError(f"bucket count must be positive, got {buckets}")
+    segments = segments_from_series(values, start=0)
+    result = dp.reduce_to_size(segments, min(buckets, len(values)))
+    return Histogram(_to_buckets(result.segments), result.error)
+
+
+def v_optimal_histogram_for_error(
+    values: Sequence[float], epsilon: float
+) -> Histogram:
+    """Smallest V-optimal histogram whose SSE stays within ``ε · SSE_max``."""
+    values = list(values)
+    if not values:
+        return Histogram([], 0.0)
+    segments = segments_from_series(values, start=0)
+    result = dp.reduce_to_error(segments, epsilon)
+    return Histogram(_to_buckets(result.segments), result.error)
+
+
+def _to_buckets(
+    segments: Sequence[AggregateSegment],
+) -> List[Tuple[int, int, float]]:
+    return [
+        (segment.interval.start, segment.interval.end, segment.values[0])
+        for segment in segments
+    ]

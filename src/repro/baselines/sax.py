@@ -1,0 +1,120 @@
+"""Symbolic aggregate approximation (SAX).
+
+Lin et al. (DMKD 2007): the series is z-normalised, reduced with PAA to
+``c`` segments, and each segment mean is mapped to one of ``w`` symbols whose
+breakpoints are the ``w``-quantiles of the standard normal distribution, so
+every symbol is (approximately) equally likely.  SAX inherits PAA's
+non-adaptive segmentation; it is included for completeness of the paper's
+related-work discussion (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .base import series_sse
+from .paa import paa
+
+#: Default SAX alphabet used when rendering words.
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass
+class SAXResult:
+    """A SAX representation together with its numeric reconstruction."""
+
+    word: str
+    symbols: List[int]
+    approximation: np.ndarray
+    breakpoints: np.ndarray
+    error: float
+
+
+def gaussian_breakpoints(alphabet_size: int) -> np.ndarray:
+    """Breakpoints splitting N(0, 1) into ``alphabet_size`` equiprobable bins."""
+    if alphabet_size < 2:
+        raise ValueError(f"alphabet size must be at least 2, got {alphabet_size}")
+    quantiles = [i / alphabet_size for i in range(1, alphabet_size)]
+    return np.array([_normal_quantile(q) for q in quantiles])
+
+
+def sax_transform(
+    series: np.ndarray, segments: int, alphabet_size: int = 8
+) -> SAXResult:
+    """Compute the SAX word of ``series`` and a numeric reconstruction.
+
+    The reconstruction maps every symbol back to the centre of its bin (in
+    the z-normalised domain) and undoes the normalisation, providing a step
+    function whose error can be compared against the other baselines.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1 or series.size == 0:
+        raise ValueError("SAX expects a non-empty one-dimensional series")
+    if alphabet_size > len(ALPHABET):
+        raise ValueError(
+            f"alphabet size must be at most {len(ALPHABET)}, got {alphabet_size}"
+        )
+
+    mean = float(series.mean())
+    std = float(series.std())
+    normalised = (series - mean) / std if std > 0 else np.zeros_like(series)
+
+    reduced = paa(normalised, segments)
+    breakpoints = gaussian_breakpoints(alphabet_size)
+    bin_centres = _bin_centres(breakpoints)
+
+    symbols: List[int] = []
+    reconstruction = np.empty_like(series)
+    for lo, hi in reduced.boundaries:
+        segment_mean = float(reduced.approximation[lo])
+        symbol = int(np.searchsorted(breakpoints, segment_mean))
+        symbols.append(symbol)
+        reconstruction[lo : hi + 1] = bin_centres[symbol] * (std if std > 0 else 1.0) + mean
+
+    word = "".join(ALPHABET[symbol] for symbol in symbols)
+    return SAXResult(
+        word, symbols, reconstruction, breakpoints,
+        series_sse(series, reconstruction),
+    )
+
+
+def _bin_centres(breakpoints: np.ndarray) -> np.ndarray:
+    """Representative value for each SAX bin (midpoint, clamped at the tails)."""
+    extended = np.concatenate(([breakpoints[0] - 1.0], breakpoints,
+                               [breakpoints[-1] + 1.0]))
+    return (extended[:-1] + extended[1:]) / 2.0
+
+
+def _normal_quantile(probability: float) -> float:
+    """Inverse CDF of the standard normal (Acklam's rational approximation)."""
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    # Coefficients of Peter Acklam's approximation, accurate to ~1e-9.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low = 0.02425
+    if probability < p_low:
+        q = math.sqrt(-2.0 * math.log(probability))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if probability > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - probability))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = probability - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )

@@ -1,0 +1,367 @@
+"""Greedy PTA evaluation (Section 6).
+
+The greedy merging strategy (GMS) repeatedly merges the currently most
+similar pair of adjacent tuples — the pair whose merge introduces the least
+additional error (Proposition 2) — until the size or error bound is
+satisfied.  Theorem 1 bounds the error ratio against the optimal DP solution
+by ``O(log n)``.
+
+Two online algorithms integrate GMS with ITA so that merging starts while
+ITA tuples are still being produced:
+
+* :func:`greedy_reduce_to_size` — algorithm ``gPTAc`` (Fig. 11);
+* :func:`greedy_reduce_to_error` — algorithm ``gPTAε`` (Fig. 13).
+
+Both keep at most ``c + β`` tuples in a merge heap, where the read-ahead
+parameter ``δ`` controls how eagerly tuples are merged before a temporal gap
+confirms that the merge is safe (Propositions 3 and 4).  ``δ = 0`` keeps the
+heap smallest, ``δ = ∞`` makes the output identical to plain GMS
+(Theorems 2 and 3).
+
+The batch helpers :func:`gms_reduce_to_size` and :func:`gms_reduce_to_error`
+run GMS over a fully materialised segment list and are the reference the
+online algorithms are validated against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from .errors import Weights, max_error, resolve_weights
+from .heap import MergeHeap
+from .merge import AggregateSegment, adjacent
+
+Delta = float  # non-negative int or math.inf
+
+#: Read-ahead value meaning "never merge ahead of a confirmed gap".
+DELTA_INFINITY: Delta = math.inf
+
+
+@dataclass
+class GreedyResult:
+    """Result of a greedy PTA reduction.
+
+    Attributes
+    ----------
+    segments:
+        The reduced relation in group-then-time order.
+    error:
+        Total SSE introduced, i.e. the sum of the pairwise merge errors of
+        all merge steps (equal to ``SSE(s, result)`` by Proposition 2).
+    size:
+        Number of output segments.
+    max_heap_size:
+        Largest number of tuples simultaneously held in the merge heap
+        (``c + β`` in the paper's notation; reported in Fig. 20).
+    merges:
+        Number of merge steps performed.
+    input_size:
+        Number of ITA tuples consumed.
+    """
+
+    segments: List[AggregateSegment] = field(default_factory=list)
+    error: float = 0.0
+    size: int = 0
+    max_heap_size: int = 0
+    merges: int = 0
+    input_size: int = 0
+
+    def __iter__(self):
+        return iter(self.segments)
+
+
+# ----------------------------------------------------------------------
+# Plain greedy merging strategy over a materialised relation
+# ----------------------------------------------------------------------
+def gms_reduce_to_size(
+    segments: Sequence[AggregateSegment],
+    size: int,
+    weights: Weights | None = None,
+) -> GreedyResult:
+    """Reduce to at most ``size`` tuples with the greedy merging strategy."""
+    if size < 1:
+        raise ValueError(f"size bound must be at least 1, got {size}")
+    heap = _build_heap(segments, weights)
+    total_error = 0.0
+    merges = 0
+    while len(heap) > size:
+        top = heap.peek()
+        if top is None or math.isinf(top.key):
+            break  # reached cmin: only non-adjacent pairs remain
+        total_error += top.key
+        heap.merge_top()
+        merges += 1
+    return _result(heap, total_error, merges, len(segments))
+
+
+def gms_reduce_to_error(
+    segments: Sequence[AggregateSegment],
+    epsilon: float,
+    weights: Weights | None = None,
+) -> GreedyResult:
+    """Merge greedily while the accumulated error stays within ``ε·SSE_max``."""
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be within [0, 1], got {epsilon}")
+    threshold = epsilon * max_error(segments, weights)
+    heap = _build_heap(segments, weights)
+    total_error = 0.0
+    merges = 0
+    while True:
+        top = heap.peek()
+        if top is None or math.isinf(top.key):
+            break
+        if total_error + top.key > threshold + 1e-9:
+            break
+        total_error += top.key
+        heap.merge_top()
+        merges += 1
+    return _result(heap, total_error, merges, len(segments))
+
+
+# ----------------------------------------------------------------------
+# Online algorithms gPTAc and gPTAε
+# ----------------------------------------------------------------------
+def greedy_reduce_to_size(
+    source: Iterable[AggregateSegment],
+    size: int,
+    delta: Delta = 1,
+    weights: Weights | None = None,
+) -> GreedyResult:
+    """Online size-bounded greedy reduction (algorithm ``gPTAc``, Fig. 11).
+
+    Parameters
+    ----------
+    source:
+        ITA result tuples in group-then-time order; typically an iterator so
+        merging starts before the full ITA result exists.
+    size:
+        Size bound ``c``.
+    delta:
+        Read-ahead ``δ``: minimum number of adjacent successors a merge
+        candidate must have before it may be merged ahead of a confirmed
+        gap.  Use :data:`DELTA_INFINITY` to reproduce plain GMS exactly.
+    """
+    if size < 1:
+        raise ValueError(f"size bound must be at least 1, got {size}")
+    _check_delta(delta)
+
+    heap = MergeHeap(weights)
+    last_gap_id = 0
+    before_gap = 0
+    after_gap = 0
+    total_error = 0.0
+    merges = 0
+    consumed = 0
+
+    for segment in source:
+        consumed += 1
+        node = heap.insert(segment)
+        if math.isinf(node.key):
+            last_gap_id = node.id
+            before_gap += after_gap
+            after_gap = 1
+        else:
+            after_gap += 1
+
+        while len(heap) > size:
+            top = heap.peek()
+            if top is None:
+                break
+            if top.id < last_gap_id and before_gap >= size:
+                before_gap -= 1
+            elif top.id > last_gap_id and _has_read_ahead(heap, top, delta):
+                after_gap -= 1
+            else:
+                break
+            total_error += top.key
+            heap.merge_top()
+            merges += 1
+
+    # The whole ITA result has been read: finish with plain greedy merging.
+    while len(heap) > size:
+        top = heap.peek()
+        if top is None or math.isinf(top.key):
+            break
+        total_error += top.key
+        heap.merge_top()
+        merges += 1
+    return _result(heap, total_error, merges, consumed)
+
+
+def greedy_reduce_to_error(
+    source: Iterable[AggregateSegment],
+    epsilon: float,
+    delta: Delta = 1,
+    weights: Weights | None = None,
+    input_size_estimate: int | None = None,
+    max_error_estimate: float | None = None,
+) -> GreedyResult:
+    """Online error-bounded greedy reduction (algorithm ``gPTAε``, Fig. 13).
+
+    While tuples arrive, a merge candidate is only merged when its merge
+    error does not exceed the *expected average* error per step,
+    ``ε · Êmax / n̂``, and Proposition 4's safety condition (gap after the
+    candidate, or ``δ`` adjacent successors) holds.  Once the input is
+    exhausted the exact maximal error is known and plain greedy merging
+    continues until the threshold ``ε · SSE_max`` would be exceeded.
+
+    Parameters
+    ----------
+    input_size_estimate:
+        Estimate ``n̂`` of the ITA result size; the safe default used by the
+        operator facade is ``2·|r| − 1``.  ``None`` disables early merging,
+        which is always correct but lets the heap grow to the full ITA size.
+    max_error_estimate:
+        Estimate ``Êmax`` of ``SSE_max``.  Underestimating is safe
+        (Theorem 3); overestimating may lead to a result different from GMS.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be within [0, 1], got {epsilon}")
+    _check_delta(delta)
+
+    if input_size_estimate and max_error_estimate is not None:
+        step_threshold = epsilon * max_error_estimate / input_size_estimate
+    else:
+        step_threshold = 0.0  # disables early merging
+
+    heap = MergeHeap(weights)
+    tracker = _MaxErrorTracker(weights)
+    last_gap_id = 0
+    before_gap = 0
+    after_gap = 0
+    total_error = 0.0
+    merges = 0
+    consumed = 0
+
+    for segment in source:
+        consumed += 1
+        tracker.push(segment)
+        node = heap.insert(segment)
+        if math.isinf(node.key):
+            last_gap_id = node.id
+            before_gap += after_gap
+            after_gap = 1
+        else:
+            after_gap += 1
+
+        while True:
+            top = heap.peek()
+            if top is None or top.key > step_threshold:
+                break
+            if top.id < last_gap_id:
+                before_gap -= 1
+            elif top.id > last_gap_id and _has_read_ahead(heap, top, delta):
+                after_gap -= 1
+            else:
+                break
+            total_error += top.key
+            heap.merge_top()
+            merges += 1
+
+    # Finalisation: the true SSE_max is now known exactly.
+    threshold = epsilon * tracker.total()
+    while True:
+        top = heap.peek()
+        if top is None or math.isinf(top.key):
+            break
+        if total_error + top.key > threshold + 1e-9:
+            break
+        total_error += top.key
+        heap.merge_top()
+        merges += 1
+    return _result(heap, total_error, merges, consumed)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _build_heap(
+    segments: Sequence[AggregateSegment], weights: Weights | None
+) -> MergeHeap:
+    heap = MergeHeap(weights)
+    for segment in segments:
+        heap.insert(segment)
+    return heap
+
+
+def _result(
+    heap: MergeHeap, error: float, merges: int, input_size: int
+) -> GreedyResult:
+    segments = heap.segments()
+    return GreedyResult(
+        segments=segments,
+        error=error,
+        size=len(segments),
+        max_heap_size=heap.max_size,
+        merges=merges,
+        input_size=input_size,
+    )
+
+
+def _check_delta(delta: Delta) -> None:
+    if delta != DELTA_INFINITY and (delta < 0 or int(delta) != delta):
+        raise ValueError(
+            f"delta must be a non-negative integer or DELTA_INFINITY, "
+            f"got {delta!r}"
+        )
+
+
+def _has_read_ahead(heap: MergeHeap, node, delta: Delta) -> bool:
+    """Check the δ read-ahead heuristic for a merge candidate."""
+    if delta == DELTA_INFINITY:
+        return False
+    if delta == 0:
+        return True
+    return heap.adjacent_successor_count(node, int(delta)) >= delta
+
+
+class _MaxErrorTracker:
+    """Incrementally accumulate the exact ``SSE_max`` of the streamed input.
+
+    ``SSE_max`` is the error of collapsing every maximal adjacent run into a
+    single tuple; it is accumulated run by run as ITA tuples arrive so the
+    error-bounded algorithm knows the exact threshold at finalisation time
+    without a second pass.
+    """
+
+    def __init__(self, weights: Weights | None) -> None:
+        self._weights = weights
+        self._previous: AggregateSegment | None = None
+        self._length = 0.0
+        self._sums: List[float] = []
+        self._square_sums: List[float] = []
+        self._total = 0.0
+
+    def push(self, segment: AggregateSegment) -> None:
+        if self._previous is not None and not adjacent(self._previous, segment):
+            self._close_run()
+        if not self._sums:
+            self._sums = [0.0] * segment.dimensions
+            self._square_sums = [0.0] * segment.dimensions
+        length = float(segment.length)
+        self._length += length
+        for d, value in enumerate(segment.values):
+            self._sums[d] += length * value
+            self._square_sums[d] += length * value * value
+        self._previous = segment
+
+    def _close_run(self) -> None:
+        if self._length > 0:
+            weights = resolve_weights(self._weights, len(self._sums))
+            for d in range(len(self._sums)):
+                deviation = (
+                    self._square_sums[d]
+                    - self._sums[d] * self._sums[d] / self._length
+                )
+                self._total += weights[d] ** 2 * max(deviation, 0.0)
+        self._length = 0.0
+        self._sums = [0.0] * len(self._sums)
+        self._square_sums = [0.0] * len(self._square_sums)
+
+    def total(self) -> float:
+        """Return ``SSE_max`` over everything pushed so far."""
+        self._close_run()
+        self._previous = None
+        return self._total

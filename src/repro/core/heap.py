@@ -1,0 +1,183 @@
+"""Merge heap used by the greedy PTA algorithms (Section 6.2.2).
+
+Every node of the heap represents one tuple of the intermediate relation and
+is doubly linked to its chronological predecessor and successor.  A node's
+*key* is the error that merging it into its predecessor would introduce
+(``∞`` for the first tuple of a run or when the predecessor belongs to a
+different group / is separated by a gap).  ``peek`` returns the node with the
+smallest key and ``merge_top`` performs the merge, relinking neighbours and
+recomputing the affected keys.
+
+The priority queue is a binary heap (:mod:`heapq`) with lazy invalidation:
+when a node's key changes a fresh entry is pushed and stale entries are
+skipped during ``peek``.  This keeps all operations ``O(log h)`` for heap
+size ``h`` without implementing decrease-key.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterator, List, Optional
+
+from ..temporal import Interval
+from .errors import Weights, pairwise_merge_error, resolve_weights
+from .merge import AggregateSegment, adjacent, merge
+
+
+class HeapNode:
+    """One intermediate tuple inside the merge heap."""
+
+    __slots__ = ("id", "segment", "prev", "next", "key", "_version", "alive")
+
+    def __init__(self, node_id: int, segment: AggregateSegment) -> None:
+        self.id = node_id
+        self.segment = segment
+        self.prev: Optional["HeapNode"] = None
+        self.next: Optional["HeapNode"] = None
+        self.key = math.inf
+        self._version = 0
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeapNode(id={self.id}, key={self.key:.2f}, {self.segment})"
+
+
+class MergeHeap:
+    """Doubly linked list of tuples with a min-heap over pairwise merge errors."""
+
+    def __init__(self, weights: Weights | None = None) -> None:
+        self._weights = weights
+        self._entries: List[tuple] = []
+        self._counter = itertools.count()
+        self._head: Optional[HeapNode] = None
+        self._tail: Optional[HeapNode] = None
+        self._size = 0
+        self._next_id = 1
+        self.max_size = 0
+
+    # ------------------------------------------------------------------
+    # Basic state
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def tail(self) -> Optional[HeapNode]:
+        """The most recently inserted (chronologically last) node."""
+        return self._tail
+
+    @property
+    def head(self) -> Optional[HeapNode]:
+        """The chronologically first node."""
+        return self._head
+
+    # ------------------------------------------------------------------
+    # Operations of the paper: INSERT, PEEK, MERGE
+    # ------------------------------------------------------------------
+    def insert(self, segment: AggregateSegment) -> HeapNode:
+        """Append a new tuple at the end of the list and index it in the heap.
+
+        The node's key is the error of merging it with its predecessor, or
+        ``∞`` when there is no predecessor or the pair is not adjacent.
+        """
+        node = HeapNode(self._next_id, segment)
+        self._next_id += 1
+        if self._tail is None:
+            self._head = node
+        else:
+            node.prev = self._tail
+            self._tail.next = node
+        self._tail = node
+        self._size += 1
+        self.max_size = max(self.max_size, self._size)
+        self._refresh_key(node)
+        return node
+
+    def peek(self) -> Optional[HeapNode]:
+        """Return the node with the smallest key without removing it.
+
+        Returns ``None`` when the heap is empty.  A returned node with an
+        infinite key means no merge is currently possible.
+        """
+        while self._entries:
+            key, _, node, version = self._entries[0]
+            if node.alive and node._version == version and node.key == key:
+                return node
+            heapq.heappop(self._entries)
+        return None
+
+    def merge_top(self) -> HeapNode:
+        """Merge the minimum-key node into its predecessor.
+
+        Returns the surviving predecessor node (which keeps its ``id``, as in
+        the paper).  Raises :class:`ValueError` if no merge is possible.
+        """
+        node = self.peek()
+        if node is None or math.isinf(node.key):
+            raise ValueError("no adjacent pair available for merging")
+        predecessor = node.prev
+        assert predecessor is not None
+        predecessor.segment = merge(predecessor.segment, node.segment)
+
+        predecessor.next = node.next
+        if node.next is not None:
+            node.next.prev = predecessor
+        else:
+            self._tail = predecessor
+        node.alive = False
+        self._size -= 1
+
+        self._refresh_key(predecessor)
+        if predecessor.next is not None:
+            self._refresh_key(predecessor.next)
+        return predecessor
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _refresh_key(self, node: HeapNode) -> None:
+        if node.prev is None or not adjacent(node.prev.segment, node.segment):
+            node.key = math.inf
+        else:
+            node.key = pairwise_merge_error(
+                node.prev.segment, node.segment, self._weights
+            )
+        node._version += 1
+        if not math.isinf(node.key):
+            heapq.heappush(
+                self._entries,
+                (node.key, next(self._counter), node, node._version),
+            )
+
+    def adjacent_successor_count(self, node: HeapNode, limit: int) -> int:
+        """Number of successors chained to ``node`` by adjacency, up to ``limit``.
+
+        Walks ``next`` pointers while each consecutive pair is adjacent.  The
+        greedy algorithms use this to implement the read-ahead heuristic: a
+        merge candidate is only merged once at least ``δ`` adjacent tuples
+        follow it (Section 6.2.1).
+        """
+        count = 0
+        current = node
+        while count < limit and current.next is not None:
+            if not adjacent(current.segment, current.next.segment):
+                break
+            count += 1
+            current = current.next
+        return count
+
+    def __iter__(self) -> Iterator[HeapNode]:
+        """Iterate over live nodes in chronological (list) order."""
+        node = self._head
+        while node is not None:
+            yield node
+            node = node.next
+
+    def segments(self) -> List[AggregateSegment]:
+        """Return the current intermediate relation in list order."""
+        return [node.segment for node in self]

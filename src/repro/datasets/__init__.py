@@ -1,0 +1,40 @@
+"""Data generators standing in for the paper's evaluation data sets."""
+
+from .etds import generate_etds, etds_queries
+from .incumbents import generate_incumbents, incumbents_queries
+from .queries import QueryCase, SCALES, etds_cases, incumbents_cases, table1_catalogue, timeseries_cases
+from .synthetic import (
+    synthetic_grouped_segments,
+    synthetic_relation,
+    synthetic_sequential_segments,
+    value_columns,
+)
+from .timeseries import (
+    chaotic_series,
+    series_to_relation,
+    series_to_segments,
+    tide_series,
+    wind_series,
+)
+
+__all__ = [
+    "QueryCase",
+    "SCALES",
+    "chaotic_series",
+    "etds_cases",
+    "etds_queries",
+    "generate_etds",
+    "generate_incumbents",
+    "incumbents_cases",
+    "incumbents_queries",
+    "series_to_relation",
+    "series_to_segments",
+    "synthetic_grouped_segments",
+    "synthetic_relation",
+    "synthetic_sequential_segments",
+    "table1_catalogue",
+    "tide_series",
+    "value_columns",
+    "timeseries_cases",
+    "wind_series",
+]

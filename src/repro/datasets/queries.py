@@ -1,0 +1,167 @@
+"""The query catalogue of the experimental evaluation (Table 1).
+
+The paper evaluates PTA over 12 ITA relations obtained from four base data
+sets: the ETDS employee relation (E1–E4), the Incumbents relation (I1–I3),
+three UCR time series (T1–T3) and a large synthetic relation (S1, S2).  This
+module builds the equivalent catalogue from the synthetic generators of this
+package and returns, for every query, the ITA result as a list of segments
+ready for the PTA merging step.
+
+Because the DP algorithms are quadratic and this is a pure-Python
+reproduction, the catalogue supports three scales:
+
+* ``"tiny"``  — seconds; used by the test suite;
+* ``"small"`` — default for the benchmark harness on a laptop;
+* ``"paper"`` — sizes close to the originals (minutes to hours for the DP
+  quality experiments, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..aggregation import ita
+from ..core.merge import AggregateSegment, cmin, segments_from_relation
+from .etds import etds_queries, generate_etds
+from .incumbents import generate_incumbents, incumbents_queries
+from .timeseries import chaotic_series, series_to_segments, tide_series, wind_series
+
+SCALES = ("tiny", "small", "paper")
+
+
+@dataclass
+class QueryCase:
+    """One evaluation query: its ITA result plus bookkeeping metadata."""
+
+    name: str
+    description: str
+    segments: List[AggregateSegment]
+    group_columns: Tuple[str, ...]
+    value_columns: Tuple[str, ...]
+
+    @property
+    def ita_size(self) -> int:
+        """Number of ITA result tuples ``n``."""
+        return len(self.segments)
+
+    @property
+    def cmin(self) -> int:
+        """Smallest size any reduction can reach."""
+        return cmin(self.segments)
+
+    @property
+    def dimensions(self) -> int:
+        """Number of aggregate values per tuple ``p``."""
+        return self.segments[0].dimensions if self.segments else 0
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def etds_cases(scale: str = "small", seed: int = 42) -> List[QueryCase]:
+    """Queries E1–E4 over the ETDS-like relation (Table 1(a))."""
+    _check_scale(scale)
+    employees = {"tiny": 60, "small": 400, "paper": 20000}[scale]
+    months = {"tiny": 60, "small": 180, "paper": 480}[scale]
+    relation = generate_etds(employees=employees, months=months, seed=seed)
+    cases = []
+    for query in etds_queries():
+        group_by = query["group_by"]
+        aggregates = query["aggregates"]
+        result = ita(relation, group_by, aggregates)
+        value_columns = tuple(aggregates)
+        segments = segments_from_relation(result, group_by, value_columns)
+        cases.append(
+            QueryCase(
+                name=query["name"],
+                description=f"ETDS, group by {list(group_by) or 'nothing'}, "
+                f"{next(iter(aggregates.values()))[0]}(salary)",
+                segments=segments,
+                group_columns=tuple(group_by),
+                value_columns=value_columns,
+            )
+        )
+    return cases
+
+
+def incumbents_cases(scale: str = "small", seed: int = 7) -> List[QueryCase]:
+    """Queries I1–I3 over the Incumbents-like relation (Table 1(b))."""
+    _check_scale(scale)
+    parameters = {
+        "tiny": dict(departments=3, projects_per_department=3,
+                     incumbents_per_project=6, months=120),
+        "small": dict(departments=8, projects_per_department=5,
+                      incumbents_per_project=12, months=240),
+        "paper": dict(departments=20, projects_per_department=10,
+                      incumbents_per_project=40, months=480),
+    }[scale]
+    relation = generate_incumbents(seed=seed, **parameters)
+    cases = []
+    for query in incumbents_queries():
+        group_by = query["group_by"]
+        aggregates = query["aggregates"]
+        result = ita(relation, group_by, aggregates)
+        value_columns = tuple(aggregates)
+        segments = segments_from_relation(result, group_by, value_columns)
+        cases.append(
+            QueryCase(
+                name=query["name"],
+                description="Incumbents, group by dept/proj, "
+                f"{next(iter(aggregates.values()))[0]}(salary)",
+                segments=segments,
+                group_columns=tuple(group_by),
+                value_columns=value_columns,
+            )
+        )
+    return cases
+
+
+def timeseries_cases(scale: str = "small", seed: int = 3) -> List[QueryCase]:
+    """Queries T1–T3 over the synthetic UCR-style time series (Table 1(c))."""
+    _check_scale(scale)
+    lengths = {
+        "tiny": (150, 200, 120),
+        "small": (450, 700, 400),
+        "paper": (1800, 8746, 6574),
+    }[scale]
+    t1 = series_to_segments(chaotic_series(lengths[0], seed=seed))
+    t2 = series_to_segments(tide_series(lengths[1], seed=seed + 1))
+    t3 = series_to_segments(wind_series(lengths[2], dimensions=12, seed=seed + 2))
+    return [
+        QueryCase("T1", "chaotic (Mackey-Glass) series, 1 dimension",
+                  t1, (), ("v0",)),
+        QueryCase("T2", "tide-gauge style series, 1 dimension",
+                  t2, (), ("v0",)),
+        QueryCase("T3", "wind-station style series, 12 dimensions",
+                  t3, (), tuple(f"v{d}" for d in range(12))),
+    ]
+
+
+def table1_catalogue(
+    scale: str = "small",
+    families: Sequence[str] = ("etds", "incumbents", "timeseries"),
+) -> Dict[str, QueryCase]:
+    """Return the full query catalogue indexed by query name.
+
+    ``families`` selects which groups of queries to generate; the synthetic
+    S1/S2 workloads of Table 1(d) are produced separately by
+    :mod:`repro.datasets.synthetic` because their size is an experiment
+    parameter rather than a fixed value.
+    """
+    builders: Dict[str, Callable[[str], List[QueryCase]]] = {
+        "etds": etds_cases,
+        "incumbents": incumbents_cases,
+        "timeseries": timeseries_cases,
+    }
+    catalogue: Dict[str, QueryCase] = {}
+    for family in families:
+        if family not in builders:
+            raise ValueError(
+                f"unknown query family {family!r}; known: {sorted(builders)}"
+            )
+        for case in builders[family](scale):
+            catalogue[case.name] = case
+    return catalogue

@@ -1,0 +1,107 @@
+"""Synthetic datasets for the large-scale experiments.
+
+The paper generates a synthetic relation with 10 million tuples, one grouping
+attribute and 10 uniformly distributed aggregate attributes, and issues two
+queries over it: ``S1`` without grouping (no gaps, ``cmin = 1``) and ``S2``
+with 50 000 groups of 200 tuples each (Table 1(d)).  These generators build
+arbitrarily sized equivalents directly as *sequential* relations, so they can
+be fed straight into the PTA merging step just like the paper feeds the
+pre-computed ITA results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..core.merge import AggregateSegment
+from ..temporal import Interval, TemporalRelation, TemporalSchema
+
+
+def synthetic_sequential_segments(
+    size: int,
+    dimensions: int = 10,
+    seed: int = 0,
+    value_range: tuple[float, float] = (0.0, 1000.0),
+) -> List[AggregateSegment]:
+    """Sequential segments without groups or gaps (query ``S1``).
+
+    Every segment covers a unit interval and carries ``dimensions`` uniform
+    aggregate values, so ``cmin = 1``.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    rng = random.Random(seed)
+    low, high = value_range
+    return [
+        AggregateSegment(
+            (),
+            tuple(rng.uniform(low, high) for _ in range(dimensions)),
+            Interval(position + 1, position + 1),
+        )
+        for position in range(size)
+    ]
+
+
+def synthetic_grouped_segments(
+    groups: int,
+    tuples_per_group: int,
+    dimensions: int = 10,
+    seed: int = 0,
+    value_range: tuple[float, float] = (0.0, 1000.0),
+) -> List[AggregateSegment]:
+    """Sequential segments with aggregation groups (query ``S2``).
+
+    Each group forms one maximal adjacent run, so ``cmin = groups`` and every
+    group boundary is a pruning opportunity for the DP algorithms.
+    """
+    rng = random.Random(seed)
+    low, high = value_range
+    segments: List[AggregateSegment] = []
+    for group_index in range(groups):
+        group = (f"g{group_index:06d}",)
+        for position in range(tuples_per_group):
+            segments.append(
+                AggregateSegment(
+                    group,
+                    tuple(rng.uniform(low, high) for _ in range(dimensions)),
+                    Interval(position + 1, position + 1),
+                )
+            )
+    return segments
+
+
+def synthetic_relation(
+    size: int,
+    dimensions: int = 10,
+    groups: int = 1,
+    seed: int = 0,
+    max_interval_length: int = 5,
+    value_range: tuple[float, float] = (0.0, 1000.0),
+) -> TemporalRelation:
+    """A raw (non-sequential) synthetic temporal relation.
+
+    Unlike the segment generators above, the produced relation contains
+    overlapping validity intervals and therefore needs the full ITA step;
+    used by the integration tests and the end-to-end examples.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    rng = random.Random(seed)
+    low, high = value_range
+    columns = ("grp",) + tuple(f"v{d}" for d in range(dimensions))
+    schema = TemporalSchema(columns)
+    relation = TemporalRelation(schema)
+    horizon = max(size // max(groups, 1), 1) * 2
+    for _ in range(size):
+        group = f"g{rng.randrange(groups):04d}"
+        start = rng.randrange(1, horizon + 1)
+        length = rng.randrange(1, max_interval_length + 1)
+        values = tuple(rng.uniform(low, high) for _ in range(dimensions))
+        relation.append((group,) + values, Interval(start, start + length - 1))
+    return relation
+
+
+def value_columns(dimensions: int) -> Sequence[str]:
+    """Column names used by :func:`synthetic_relation` for aggregate values."""
+    return tuple(f"v{d}" for d in range(dimensions))

@@ -1,0 +1,129 @@
+"""Synthetic substitutes for the UCR time series used in the evaluation.
+
+The paper uses three series from the UCR repository: ``chaotic.dat`` (T1,
+1 800 points), ``tide.dat`` (T2, 8 746 points) and the 12-dimensional
+``wind.dat`` (T3, 6 574 points).  The repository files are not redistributed
+here, so seeded generators produce series with the same length,
+dimensionality and qualitative character:
+
+* :func:`chaotic_series` — a Mackey–Glass delay differential equation, the
+  standard benchmark chaotic signal;
+* :func:`tide_series` — a sum of tidal harmonic constituents plus noise,
+  smooth and strongly periodic like a tide gauge record;
+* :func:`wind_series` — correlated mean-reverting (Ornstein–Uhlenbeck style)
+  channels resembling wind measurements at 12 stations.
+
+Each series converts to a sequential relation by attaching unit-length
+validity intervals, exactly as the paper does (Section 7.1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from ..core.merge import AggregateSegment
+from ..temporal import Interval, TemporalRelation, TemporalSchema
+
+
+def chaotic_series(length: int = 1800, seed: int = 7) -> List[float]:
+    """Mackey–Glass chaotic series of the given length (T1 substitute)."""
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    rng = random.Random(seed)
+    tau, beta, gamma, exponent = 17, 0.2, 0.1, 10.0
+    history = [1.2 + 0.05 * rng.uniform(-1.0, 1.0) for _ in range(tau + 1)]
+    warmup = 200
+    values: List[float] = []
+    current = history[-1]
+    for step in range(length + warmup):
+        delayed = history[-(tau + 1)]
+        current = current + beta * delayed / (1.0 + delayed**exponent) - gamma * current
+        history.append(current)
+        if step >= warmup:
+            values.append(100.0 * current)
+    return values
+
+
+def tide_series(length: int = 8746, seed: int = 11) -> List[float]:
+    """Harmonic tide-gauge style series (T2 substitute)."""
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    rng = random.Random(seed)
+    # Principal lunar/solar semidiurnal and diurnal constituents (periods in
+    # hours) with plausible relative amplitudes.
+    constituents = [
+        (12.42, 100.0), (12.00, 46.0), (25.82, 19.0), (23.93, 10.0),
+        (12.66, 19.0), (26.87, 4.0),
+    ]
+    phases = [rng.uniform(0.0, 2.0 * math.pi) for _ in constituents]
+    values = []
+    for step in range(length):
+        tide = 250.0
+        for (period, amplitude), phase in zip(constituents, phases):
+            tide += amplitude * math.sin(2.0 * math.pi * step / period + phase)
+        tide += rng.gauss(0.0, 2.0)
+        values.append(tide)
+    return values
+
+
+def wind_series(
+    length: int = 6574, dimensions: int = 12, seed: int = 13
+) -> List[List[float]]:
+    """Correlated multi-channel wind-speed style series (T3 substitute).
+
+    Returns ``length`` rows of ``dimensions`` values each.  All channels
+    share a slowly varying regional component and add their own
+    mean-reverting local fluctuations, giving the moderate cross-correlation
+    typical of wind stations in one region.
+    """
+    if length < 1 or dimensions < 1:
+        raise ValueError("length and dimensions must be positive")
+    rng = random.Random(seed)
+    regional = 0.0
+    locals_ = [rng.uniform(4.0, 12.0) for _ in range(dimensions)]
+    baselines = [rng.uniform(6.0, 14.0) for _ in range(dimensions)]
+    rows: List[List[float]] = []
+    for step in range(length):
+        seasonal = 2.0 * math.sin(2.0 * math.pi * step / 365.0)
+        regional += 0.1 * (0.0 - regional) + rng.gauss(0.0, 0.6)
+        row = []
+        for d in range(dimensions):
+            locals_[d] += 0.2 * (baselines[d] - locals_[d]) + rng.gauss(0.0, 0.8)
+            row.append(max(locals_[d] + regional + seasonal, 0.0))
+        rows.append(row)
+    return rows
+
+
+def series_to_segments(
+    rows: Sequence[Sequence[float]] | Sequence[float],
+    group: tuple = (),
+) -> List[AggregateSegment]:
+    """Attach unit-length intervals to a (possibly multi-channel) series."""
+    segments: List[AggregateSegment] = []
+    for position, row in enumerate(rows):
+        if isinstance(row, (int, float)):
+            values = (float(row),)
+        else:
+            values = tuple(float(value) for value in row)
+        segments.append(
+            AggregateSegment(group, values, Interval(position + 1, position + 1))
+        )
+    return segments
+
+
+def series_to_relation(
+    rows: Sequence[Sequence[float]] | Sequence[float],
+    value_names: Sequence[str] | None = None,
+) -> TemporalRelation:
+    """Convert a series into a sequential temporal relation."""
+    segments = series_to_segments(rows)
+    dimensions = segments[0].dimensions if segments else 1
+    if value_names is None:
+        value_names = tuple(f"v{d}" for d in range(dimensions))
+    schema = TemporalSchema(tuple(value_names))
+    relation = TemporalRelation(schema)
+    for segment in segments:
+        relation.append(segment.values, segment.interval)
+    return relation

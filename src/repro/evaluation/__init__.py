@@ -1,0 +1,28 @@
+"""Experiment harness: metrics, runners and plain-text reporting."""
+
+from .metrics import (
+    ErrorRatioSummary,
+    error_curve_normalized,
+    feasible_sizes,
+    reduction_ratio,
+    relative_error,
+    size_for_reduction_ratio,
+    summarize_error_ratios,
+)
+from .reporting import format_series, format_table
+from .runner import ExperimentLog, TimedResult, timed
+
+__all__ = [
+    "ErrorRatioSummary",
+    "ExperimentLog",
+    "TimedResult",
+    "error_curve_normalized",
+    "feasible_sizes",
+    "format_series",
+    "format_table",
+    "reduction_ratio",
+    "relative_error",
+    "size_for_reduction_ratio",
+    "summarize_error_ratios",
+    "timed",
+]

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the rows and series of every reproduced table
+and figure; these helpers format them consistently (fixed-width tables and
+``x y`` series blocks that can be piped straight into gnuplot, the tool the
+original figures were drawn with).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple]],
+    x_label: str,
+    y_label: str,
+    title: str | None = None,
+) -> str:
+    """Render named (x, y) series as labelled text blocks."""
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(f"# x = {x_label}, y = {y_label}")
+    for name, points in series.items():
+        parts.append(f"## series: {name}")
+        for x, y in points:
+            parts.append(f"{_cell(x)}\t{_cell(y)}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)

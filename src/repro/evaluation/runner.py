@@ -1,0 +1,70 @@
+"""Helpers to run and time the experiments of the evaluation section.
+
+The paper times only the merging phase of each algorithm (Section 7.3); the
+:func:`timed` helper mirrors that by timing a single callable, and
+:class:`ExperimentLog` collects named measurement rows so benchmark scripts
+stay small and uniform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class TimedResult:
+    """A return value together with its wall-clock runtime in seconds."""
+
+    value: Any
+    seconds: float
+
+
+def timed(function: Callable[..., Any], *args: Any, **kwargs: Any) -> TimedResult:
+    """Call ``function`` and measure its wall-clock runtime."""
+    start = time.perf_counter()
+    value = function(*args, **kwargs)
+    return TimedResult(value, time.perf_counter() - start)
+
+
+@dataclass
+class ExperimentLog:
+    """A uniform container for experiment measurements.
+
+    Rows are dictionaries; the log remembers the column order of the first
+    row so the output table stays stable.
+    """
+
+    name: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record(self, **measurements: Any) -> None:
+        """Append one measurement row."""
+        self.rows.append(dict(measurements))
+
+    def columns(self) -> Sequence[str]:
+        """Column names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def as_table(self) -> Tuple[Sequence[str], List[Sequence[Any]]]:
+        """Return ``(headers, rows)`` suitable for ``format_table``."""
+        headers = self.columns()
+        return headers, [
+            [row.get(column, "") for column in headers] for row in self.rows
+        ]
+
+    def series(
+        self, x: str, y: str, split_by: str | None = None
+    ) -> Dict[str, List[Tuple[Any, Any]]]:
+        """Group rows into named (x, y) series, optionally split by a column."""
+        result: Dict[str, List[Tuple[Any, Any]]] = {}
+        for row in self.rows:
+            key = str(row.get(split_by, self.name)) if split_by else self.name
+            if x in row and y in row:
+                result.setdefault(key, []).append((row[x], row[y]))
+        return result

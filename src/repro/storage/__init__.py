@@ -1,0 +1,6 @@
+"""Storage substrate: in-memory tables and CSV persistence."""
+
+from .csv_io import read_relation, write_relation
+from .table import Table
+
+__all__ = ["Table", "read_relation", "write_relation"]

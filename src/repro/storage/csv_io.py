@@ -1,0 +1,62 @@
+"""CSV persistence for temporal relations.
+
+The paper stores its relations in an Oracle 11g database; this module is the
+light-weight stand-in: temporal relations round-trip through plain CSV files
+with two extra columns for the interval endpoints, which is sufficient for
+feeding external data into the operators and for persisting experiment
+inputs/outputs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from ..temporal import Interval, TemporalRelation, TemporalSchema
+
+_START_COLUMN = "t_start"
+_END_COLUMN = "t_end"
+
+
+def write_relation(relation: TemporalRelation, path: str | Path) -> None:
+    """Write ``relation`` to ``path`` as CSV with interval endpoint columns."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(relation.schema.columns) + [_START_COLUMN, _END_COLUMN])
+        for values, interval in relation.rows():
+            writer.writerow(list(values) + [interval.start, interval.end])
+
+
+def read_relation(
+    path: str | Path,
+    numeric_columns: Sequence[str] = (),
+    timestamp_name: str = "T",
+) -> TemporalRelation:
+    """Read a relation previously written by :func:`write_relation`.
+
+    CSV stores everything as text; ``numeric_columns`` lists the attributes
+    to convert back to ``float``.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header[-2:] != [_START_COLUMN, _END_COLUMN]:
+            raise ValueError(
+                f"{path} does not look like a temporal relation CSV "
+                f"(missing {_START_COLUMN}/{_END_COLUMN} columns)"
+            )
+        columns = tuple(header[:-2])
+        numeric = set(numeric_columns)
+        schema = TemporalSchema(columns, timestamp_name)
+        relation = TemporalRelation(schema)
+        for record in reader:
+            *values, start, end = record
+            converted = tuple(
+                float(value) if name in numeric else value
+                for name, value in zip(columns, values)
+            )
+            relation.append(converted, Interval(int(start), int(end)))
+    return relation

@@ -1,0 +1,106 @@
+"""A minimal in-memory table standing in for the paper's Oracle storage.
+
+The authors keep their relations in an Oracle 11g instance and read them into
+the aggregation operators; only the merging phase is ever timed.  This module
+provides the equivalent substrate for the reproduction: an append-only table
+with named columns, simple predicate scans and conversion to/from
+:class:`~repro.temporal.TemporalRelation`, so examples can model a small
+"database layer" without any external dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..temporal import Interval, TemporalRelation, TemporalSchema
+
+
+class Table:
+    """An append-only, in-memory table with named columns."""
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {columns}")
+        self.name = name
+        self.columns = tuple(columns)
+        self._index = {column: i for i, column in enumerate(self.columns)}
+        self._rows: List[Tuple[Any, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Insert one row; arity must match the column list."""
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(row)}"
+            )
+        self._rows.append(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Insert several rows."""
+        for row in rows:
+            self.insert(row)
+
+    def scan(
+        self, predicate: Callable[[Dict[str, Any]], bool] | None = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Iterate over rows as dicts, optionally filtered by ``predicate``."""
+        for row in self._rows:
+            record = dict(zip(self.columns, row))
+            if predicate is None or predicate(record):
+                yield record
+
+    def select(
+        self,
+        columns: Sequence[str],
+        predicate: Callable[[Dict[str, Any]], bool] | None = None,
+    ) -> List[Tuple[Any, ...]]:
+        """Return the projection of the (optionally filtered) rows."""
+        indices = [self._index[column] for column in columns]
+        result = []
+        for row in self._rows:
+            record = dict(zip(self.columns, row))
+            if predicate is None or predicate(record):
+                result.append(tuple(row[i] for i in indices))
+        return result
+
+    # ------------------------------------------------------------------
+    # Temporal conversions
+    # ------------------------------------------------------------------
+    def to_temporal_relation(
+        self,
+        value_columns: Sequence[str],
+        start_column: str,
+        end_column: str,
+        timestamp_name: str = "T",
+    ) -> TemporalRelation:
+        """Interpret two integer columns as interval endpoints."""
+        schema = TemporalSchema(tuple(value_columns), timestamp_name)
+        relation = TemporalRelation(schema)
+        value_indices = [self._index[column] for column in value_columns]
+        start_index = self._index[start_column]
+        end_index = self._index[end_column]
+        for row in self._rows:
+            relation.append(
+                tuple(row[i] for i in value_indices),
+                Interval(int(row[start_index]), int(row[end_index])),
+            )
+        return relation
+
+    @classmethod
+    def from_temporal_relation(
+        cls,
+        name: str,
+        relation: TemporalRelation,
+        start_column: str = "t_start",
+        end_column: str = "t_end",
+    ) -> "Table":
+        """Store a temporal relation as a table with endpoint columns."""
+        table = cls(name, relation.schema.columns + (start_column, end_column))
+        for values, interval in relation.rows():
+            table.insert(values + (interval.start, interval.end))
+        return table

@@ -1,0 +1,17 @@
+"""Temporal relational model: intervals, schemas, relations and coalescing."""
+
+from .coalesce import coalesce, split_into_maximal_segments
+from .interval import Interval, span
+from .relation import TemporalRelation, TemporalTuple
+from .schema import SchemaError, TemporalSchema
+
+__all__ = [
+    "Interval",
+    "span",
+    "SchemaError",
+    "TemporalSchema",
+    "TemporalRelation",
+    "TemporalTuple",
+    "coalesce",
+    "split_into_maximal_segments",
+]

@@ -1,0 +1,252 @@
+"""Temporal relations: bags of tuples carrying a validity interval.
+
+A :class:`TemporalRelation` is the central data container of the library.  It
+stores rows as plain Python tuples of attribute values plus an
+:class:`~repro.temporal.interval.Interval`, which keeps iteration cheap for
+the sweep-line and dynamic-programming algorithms while still offering a
+friendly record-style API through :class:`TemporalTuple`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from .interval import Interval
+from .schema import SchemaError, TemporalSchema
+
+
+@dataclass(frozen=True)
+class TemporalTuple:
+    """A single temporal tuple: attribute values plus a validity interval."""
+
+    schema: TemporalSchema
+    values: Tuple[Any, ...]
+    interval: Interval
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[self.schema.index_of(name)]
+
+    def value_dict(self) -> dict:
+        """Return the non-temporal attributes as an ordered dict."""
+        return dict(zip(self.schema.columns, self.values))
+
+    def project(self, names: Sequence[str]) -> Tuple[Any, ...]:
+        """Return the values of ``names`` in the given order."""
+        return tuple(self.values[self.schema.index_of(n)] for n in names)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{name}={value!r}"
+            for name, value in zip(self.schema.columns, self.values)
+        )
+        return f"({parts}, T={self.interval})"
+
+
+class TemporalRelation:
+    """An ordered bag of temporal tuples sharing one schema.
+
+    The relation preserves insertion order; algorithms that require a
+    particular order (e.g. the PTA merging step needs group-then-time order)
+    call :meth:`sorted_sequential` explicitly.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema (non-temporal attributes).
+    rows:
+        Iterable of ``(values, interval)`` pairs where ``values`` is a tuple
+        matching ``schema.columns`` and ``interval`` is an
+        :class:`Interval`.
+    """
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(
+        self,
+        schema: TemporalSchema,
+        rows: Iterable[Tuple[Tuple[Any, ...], Interval]] = (),
+    ) -> None:
+        self.schema = schema
+        self._rows: List[Tuple[Tuple[Any, ...], Interval]] = []
+        for values, interval in rows:
+            self.append(values, interval)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        columns: Sequence[str],
+        records: Iterable[Sequence[Any]],
+        timestamp_name: str = "T",
+    ) -> "TemporalRelation":
+        """Build a relation from records whose last element is the interval.
+
+        Each record is a sequence ``(v1, ..., vm, interval)`` where
+        ``interval`` is either an :class:`Interval` or a ``(start, end)``
+        pair.
+        """
+        schema = TemporalSchema(tuple(columns), timestamp_name)
+        relation = cls(schema)
+        for record in records:
+            *values, interval = record
+            if not isinstance(interval, Interval):
+                start, end = interval
+                interval = Interval(int(start), int(end))
+            relation.append(tuple(values), interval)
+        return relation
+
+    def append(self, values: Tuple[Any, ...], interval: Interval) -> None:
+        """Append one tuple; validates arity and the interval type."""
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"expected {len(self.schema)} values for schema "
+                f"{self.schema.columns}, got {len(values)}"
+            )
+        if not isinstance(interval, Interval):
+            raise TypeError(f"interval must be an Interval, got {interval!r}")
+        self._rows.append((tuple(values), interval))
+
+    def copy(self) -> "TemporalRelation":
+        """Return a shallow copy of the relation."""
+        return TemporalRelation(self.schema, list(self._rows))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[TemporalTuple]:
+        for values, interval in self._rows:
+            yield TemporalTuple(self.schema, values, interval)
+
+    def __getitem__(self, index: int) -> TemporalTuple:
+        values, interval = self._rows[index]
+        return TemporalTuple(self.schema, values, interval)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalRelation):
+            return NotImplemented
+        return (
+            self.schema.columns == other.schema.columns
+            and self._rows == other._rows
+        )
+
+    def rows(self) -> List[Tuple[Tuple[Any, ...], Interval]]:
+        """Return the raw ``(values, interval)`` row list (not a copy)."""
+        return self._rows
+
+    def intervals(self) -> List[Interval]:
+        """Return the validity intervals of all tuples in order."""
+        return [interval for _, interval in self._rows]
+
+    def column(self, name: str) -> List[Any]:
+        """Return all values of one attribute, in row order."""
+        idx = self.schema.index_of(name)
+        return [values[idx] for values, _ in self._rows]
+
+    def timespan(self) -> Interval:
+        """Return the smallest interval covering every tuple's timestamp."""
+        if not self._rows:
+            raise ValueError("timespan() of an empty relation")
+        return Interval(
+            min(iv.start for _, iv in self._rows),
+            max(iv.end for _, iv in self._rows),
+        )
+
+    def total_duration(self) -> int:
+        """Return the sum of interval lengths over all tuples."""
+        return sum(iv.length for _, iv in self._rows)
+
+    # ------------------------------------------------------------------
+    # Relational-style helpers
+    # ------------------------------------------------------------------
+    def filter(
+        self, predicate: Callable[[TemporalTuple], bool]
+    ) -> "TemporalRelation":
+        """Return a new relation keeping only tuples satisfying ``predicate``."""
+        result = TemporalRelation(self.schema)
+        for row in self:
+            if predicate(row):
+                result.append(row.values, row.interval)
+        return result
+
+    def project(self, names: Sequence[str]) -> "TemporalRelation":
+        """Return a new relation keeping only the attributes ``names``."""
+        indices = self.schema.indices_of(names)
+        projected = TemporalRelation(self.schema.project(names))
+        for values, interval in self._rows:
+            projected.append(tuple(values[i] for i in indices), interval)
+        return projected
+
+    def groups(self, group_by: Sequence[str]) -> dict:
+        """Partition tuple indices by the values of the grouping attributes.
+
+        Returns a dict mapping each grouping-value combination ``g`` to the
+        list of row indices having ``row.A = g``.  With an empty ``group_by``
+        every row falls into the single group ``()``.
+        """
+        indices = self.schema.indices_of(group_by)
+        partition: dict = {}
+        for row_index, (values, _) in enumerate(self._rows):
+            key = tuple(values[i] for i in indices)
+            partition.setdefault(key, []).append(row_index)
+        return partition
+
+    def sorted_sequential(
+        self, group_by: Sequence[str] | None = None
+    ) -> "TemporalRelation":
+        """Return a copy sorted by grouping attributes, then chronologically.
+
+        This is the order required by the PTA merging step (Section 5.1): all
+        tuples of one aggregation group are contiguous and, within a group,
+        sorted by interval start.
+        """
+        group_by = tuple(group_by or ())
+        indices = self.schema.indices_of(group_by)
+
+        def key(row: Tuple[Tuple[Any, ...], Interval]):
+            values, interval = row
+            return (
+                tuple(values[i] for i in indices),
+                interval.start,
+                interval.end,
+            )
+
+        return TemporalRelation(self.schema, sorted(self._rows, key=key))
+
+    def is_sequential(self, group_by: Sequence[str] | None = None) -> bool:
+        """Check that timestamps within each group are pairwise disjoint.
+
+        A relation is *sequential* (Section 3) when, for every pair of
+        distinct tuples with identical grouping attribute values, the
+        timestamps do not intersect.  ITA results are always sequential.
+
+        ``group_by=None`` (the default) groups by every non-temporal
+        attribute; an explicit empty sequence means a single global group.
+        """
+        group_by = (
+            self.schema.columns if group_by is None else tuple(group_by)
+        )
+        for rows in self.groups(group_by).values():
+            intervals = sorted(
+                (self._rows[i][1] for i in rows),
+                key=lambda iv: (iv.start, iv.end),
+            )
+            for left, right in zip(intervals, intervals[1:]):
+                if left.overlaps(right):
+                    return False
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        header = ", ".join(self.schema.columns + (self.schema.timestamp_name,))
+        lines = [header]
+        for row in self:
+            lines.append(str(row))
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Relation schemas for temporal relations.
+
+Following Section 3 of the paper, a temporal relation schema is an ordered
+list of named attributes together with one distinguished timestamp attribute
+``T`` ranging over the chronon domain.  The non-temporal attributes are plain
+Python values; the library does not enforce domains beyond the timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is malformed or an attribute is unknown."""
+
+
+@dataclass(frozen=True)
+class TemporalSchema:
+    """Schema of a temporal relation: named attributes plus a timestamp.
+
+    The timestamp attribute is implicit and always named ``timestamp_name``
+    (default ``"T"``); it is not listed in :attr:`columns`.
+
+    Parameters
+    ----------
+    columns:
+        Ordered names of the non-temporal attributes ``A1, ..., Am``.
+    timestamp_name:
+        Name of the timestamp attribute, ``"T"`` by default.
+    """
+
+    columns: Tuple[str, ...]
+    timestamp_name: str = "T"
+    _index: dict = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        columns = tuple(self.columns)
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"duplicate attribute names in {columns}")
+        if self.timestamp_name in columns:
+            raise SchemaError(
+                f"timestamp attribute {self.timestamp_name!r} must not be "
+                f"listed among the value columns"
+            )
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(
+            self, "_index", {name: i for i, name in enumerate(columns)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self.columns}"
+            ) from None
+
+    def indices_of(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Return positional indices for a sequence of attribute names."""
+        return tuple(self.index_of(name) for name in names)
+
+    def project(self, names: Sequence[str]) -> "TemporalSchema":
+        """Return a new schema keeping only ``names`` (order as given)."""
+        for name in names:
+            self.index_of(name)
+        return TemporalSchema(tuple(names), self.timestamp_name)
+
+    def extend(self, names: Sequence[str]) -> "TemporalSchema":
+        """Return a new schema with ``names`` appended."""
+        return TemporalSchema(self.columns + tuple(names), self.timestamp_name)

@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's running example and small helper builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interval, TemporalRelation, ita
+from repro.core import AggregateSegment, segments_from_relation
+
+
+@pytest.fixture
+def proj_relation() -> TemporalRelation:
+    """The ``proj`` relation of Fig. 1(a)."""
+    return TemporalRelation.from_records(
+        columns=("empl", "proj", "sal"),
+        records=[
+            ("John", "A", 800, Interval(1, 4)),
+            ("Ann", "A", 400, Interval(3, 6)),
+            ("Tom", "A", 300, Interval(4, 7)),
+            ("John", "B", 500, Interval(4, 5)),
+            ("John", "B", 500, Interval(7, 8)),
+        ],
+    )
+
+
+@pytest.fixture
+def proj_aggregates() -> dict:
+    """The aggregate specification of the running example query."""
+    return {"avg_sal": ("avg", "sal")}
+
+
+@pytest.fixture
+def proj_ita(proj_relation, proj_aggregates) -> TemporalRelation:
+    """The ITA result of Fig. 1(c)."""
+    return ita(proj_relation, ["proj"], proj_aggregates)
+
+
+@pytest.fixture
+def proj_segments(proj_ita) -> list:
+    """The ITA result of Fig. 1(c) as a sorted segment list (s1 ... s7)."""
+    return segments_from_relation(proj_ita, ["proj"], ["avg_sal"])
+
+
+def make_segment(start, end, value, group=()):
+    """Build a 1-D segment quickly in tests."""
+    return AggregateSegment(group, (float(value),), Interval(start, end))
+
+
+@pytest.fixture
+def make_seg():
+    """Expose :func:`make_segment` as a fixture-friendly callable."""
+    return make_segment

@@ -1,0 +1,199 @@
+"""Unit tests for the aggregation substrate: functions, ITA, STA, MWTA."""
+
+import pytest
+
+from repro import Interval, TemporalRelation, ita, iter_ita, mwta, sta
+from repro.aggregation import (
+    AggregateSpec,
+    UnknownAggregateError,
+    normalize_aggregates,
+    register_aggregate,
+    regular_spans,
+    resolve_aggregate,
+)
+
+
+class TestAggregateFunctions:
+    def test_builtin_functions(self):
+        assert resolve_aggregate("avg")([2, 4]) == 3
+        assert resolve_aggregate("sum")([2, 4]) == 6
+        assert resolve_aggregate("min")([2, 4]) == 2
+        assert resolve_aggregate("max")([2, 4]) == 4
+        assert resolve_aggregate("count")([2, 4]) == 2
+
+    def test_case_insensitive_lookup(self):
+        assert resolve_aggregate("AVG")([1, 3]) == 2
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnknownAggregateError):
+            resolve_aggregate("median_of_medians")
+
+    def test_register_custom_aggregate(self):
+        register_aggregate("range_", lambda values: max(values) - min(values))
+        spec = AggregateSpec("spread", "range_", "x")
+        assert spec.evaluate([2, 9, 4]) == 7
+
+    def test_spec_requires_attribute_except_count(self):
+        AggregateSpec("n", "count", None)
+        with pytest.raises(ValueError):
+            AggregateSpec("a", "avg", None)
+
+    def test_normalize_mapping_form(self):
+        specs = normalize_aggregates({"m": ("max", "x"), "n": ("count", None)})
+        assert [spec.output for spec in specs] == ["m", "n"]
+
+    def test_normalize_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            normalize_aggregates({})
+        with pytest.raises(ValueError):
+            normalize_aggregates(
+                [AggregateSpec("x", "avg", "a"), AggregateSpec("x", "sum", "a")]
+            )
+
+    def test_normalize_rejects_wrong_types(self):
+        with pytest.raises(TypeError):
+            normalize_aggregates([("avg", "a")])
+
+
+class TestITA:
+    def test_running_example(self, proj_ita):
+        rows = [
+            (row["proj"], row["avg_sal"], row.interval)
+            for row in proj_ita
+        ]
+        assert rows == [
+            ("A", 800.0, Interval(1, 2)),
+            ("A", 600.0, Interval(3, 3)),
+            ("A", 500.0, Interval(4, 4)),
+            ("A", 350.0, Interval(5, 6)),
+            ("A", 300.0, Interval(7, 7)),
+            ("B", 500.0, Interval(4, 5)),
+            ("B", 500.0, Interval(7, 8)),
+        ]
+
+    def test_result_is_sequential(self, proj_ita):
+        assert proj_ita.is_sequential(["proj"])
+
+    def test_result_size_bound(self, proj_relation, proj_aggregates):
+        result = ita(proj_relation, ["proj"], proj_aggregates)
+        assert len(result) <= 2 * len(proj_relation) - 1
+
+    def test_no_grouping(self, proj_relation):
+        result = ita(proj_relation, [], {"total": ("sum", "sal")})
+        # At instant 4 all of r1, r2, r3, r4 hold: 800+400+300+500.
+        at_4 = [row for row in result if 4 in row.interval]
+        assert len(at_4) == 1
+        assert at_4[0]["total"] == 2000.0
+
+    def test_count_aggregate(self, proj_relation):
+        result = ita(proj_relation, [], {"n": ("count", None)})
+        at_4 = [row for row in result if 4 in row.interval]
+        assert at_4[0]["n"] == 4.0
+
+    def test_multiple_aggregates(self, proj_relation):
+        result = ita(
+            proj_relation, ["proj"],
+            {"lo": ("min", "sal"), "hi": ("max", "sal")},
+        )
+        assert result.schema.columns == ("proj", "lo", "hi")
+
+    def test_gaps_are_preserved(self):
+        relation = TemporalRelation.from_records(
+            columns=("v",), records=[(1.0, (1, 2)), (5.0, (6, 8))]
+        )
+        result = ita(relation, [], {"m": ("avg", "v")})
+        assert result.intervals() == [Interval(1, 2), Interval(6, 8)]
+
+    def test_iter_ita_matches_batch(self, proj_relation, proj_aggregates):
+        streamed = list(iter_ita(proj_relation, ["proj"], proj_aggregates))
+        batch = ita(proj_relation, ["proj"], proj_aggregates)
+        assert len(streamed) == len(batch)
+        for (group, values, interval), row in zip(streamed, batch):
+            assert group == (row["proj"],)
+            assert values == (row["avg_sal"],)
+            assert interval == row.interval
+
+    def test_empty_relation(self):
+        relation = TemporalRelation.from_records(columns=("v",), records=[])
+        assert len(ita(relation, [], {"m": ("avg", "v")})) == 0
+
+    def test_coalescing_of_equal_aggregates(self):
+        relation = TemporalRelation.from_records(
+            columns=("v",),
+            records=[(3.0, (1, 4)), (3.0, (5, 9))],
+        )
+        result = ita(relation, [], {"m": ("avg", "v")})
+        assert len(result) == 1
+        assert result[0].interval == Interval(1, 9)
+
+
+class TestSTA:
+    def test_running_example_trimesters(self, proj_relation, proj_aggregates):
+        result = sta(proj_relation, ["proj"], proj_aggregates, span_length=4)
+        rows = [(r["proj"], r["avg_sal"], r.interval) for r in result]
+        assert rows == [
+            ("A", 500.0, Interval(1, 4)),
+            ("A", 350.0, Interval(5, 8)),
+            ("B", 500.0, Interval(1, 4)),
+            ("B", 500.0, Interval(5, 8)),
+        ]
+
+    def test_explicit_spans(self, proj_relation, proj_aggregates):
+        result = sta(
+            proj_relation, ["proj"], proj_aggregates,
+            spans=[Interval(1, 8)],
+        )
+        assert len(result) == 2  # one per project
+
+    def test_spans_without_data_are_skipped(self, proj_relation, proj_aggregates):
+        result = sta(
+            proj_relation, ["proj"], proj_aggregates,
+            spans=[Interval(100, 120)],
+        )
+        assert len(result) == 0
+
+    def test_requires_exactly_one_span_argument(self, proj_relation, proj_aggregates):
+        with pytest.raises(ValueError):
+            sta(proj_relation, ["proj"], proj_aggregates)
+        with pytest.raises(ValueError):
+            sta(proj_relation, ["proj"], proj_aggregates,
+                spans=[Interval(1, 4)], span_length=4)
+
+    def test_regular_spans(self):
+        spans = regular_spans(Interval(1, 10), 4)
+        assert spans == [Interval(1, 4), Interval(5, 8), Interval(9, 10)]
+
+    def test_regular_spans_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            regular_spans(Interval(1, 10), 0)
+
+
+class TestMWTA:
+    def test_zero_window_equals_ita(self, proj_relation, proj_aggregates):
+        assert mwta(proj_relation, ["proj"], proj_aggregates) == ita(
+            proj_relation, ["proj"], proj_aggregates
+        )
+
+    def test_window_widens_contribution(self):
+        relation = TemporalRelation.from_records(
+            columns=("v",), records=[(10.0, (5, 5))]
+        )
+        result = mwta(relation, [], {"m": ("avg", "v")},
+                      window_before=2, window_after=1)
+        # The tuple is visible from instants 4 (window reaches forward to 5)
+        # through 7 (window reaches back to 5).
+        assert result.intervals() == [Interval(4, 7)]
+
+    def test_negative_window_rejected(self, proj_relation, proj_aggregates):
+        with pytest.raises(ValueError):
+            mwta(proj_relation, ["proj"], proj_aggregates, window_before=-1)
+
+    def test_window_smooths_values(self):
+        relation = TemporalRelation.from_records(
+            columns=("v",), records=[(0.0, (1, 4)), (10.0, (5, 8))]
+        )
+        plain = ita(relation, [], {"m": ("avg", "v")})
+        smoothed = mwta(relation, [], {"m": ("avg", "v")},
+                        window_before=1, window_after=1)
+        assert len(plain) == 2
+        assert len(smoothed) == 3  # a blended segment appears at the boundary

@@ -1,0 +1,293 @@
+"""Unit tests for the approximation baselines (Section 2.2 / Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NotSeriesError,
+    apca,
+    atc,
+    atc_error_sweep,
+    chebyshev_approximate,
+    dft_approximate,
+    dwt_approximate,
+    dwt_approximate_to_size,
+    exponential_bounds,
+    gaussian_breakpoints,
+    haar_decompose,
+    haar_reconstruct,
+    paa,
+    sax_transform,
+    segment_count,
+    segments_from_series,
+    series_from_segments,
+    series_sse,
+    step_function_segments,
+    v_optimal_histogram,
+    v_optimal_histogram_for_error,
+)
+from repro.core import max_error, reduce_to_size, sse_between
+from conftest import make_segment
+
+
+@pytest.fixture
+def smooth_series():
+    rng = np.random.default_rng(1)
+    steps = np.repeat(rng.uniform(0, 100, size=16), 8)
+    return steps + rng.normal(0, 0.5, size=steps.size)
+
+
+class TestSeriesHelpers:
+    def test_series_from_segments_expands_lengths(self):
+        segments = [make_segment(1, 3, 5.0), make_segment(4, 4, 2.0)]
+        assert series_from_segments(segments).tolist() == [5.0, 5.0, 5.0, 2.0]
+
+    def test_series_from_segments_rejects_gaps(self):
+        with pytest.raises(NotSeriesError):
+            series_from_segments([make_segment(1, 2, 1.0), make_segment(4, 5, 1.0)])
+
+    def test_series_from_segments_rejects_groups(self):
+        with pytest.raises(NotSeriesError):
+            series_from_segments(
+                [make_segment(1, 2, 1.0, ("A",)), make_segment(3, 4, 1.0, ("B",))]
+            )
+
+    def test_series_from_segments_rejects_multidimensional(self):
+        from repro.core import AggregateSegment
+        from repro import Interval
+
+        with pytest.raises(NotSeriesError):
+            series_from_segments(
+                [AggregateSegment((), (1.0, 2.0), Interval(1, 1))]
+            )
+
+    def test_segments_from_series_round_trip(self):
+        values = [1.0, 2.0, 2.0, 3.0]
+        segments = segments_from_series(values)
+        assert series_from_segments(segments).tolist() == values
+
+    def test_step_function_segments_coalesces_runs(self):
+        segments = step_function_segments(np.array([1.0, 1.0, 2.0, 2.0, 2.0]))
+        assert len(segments) == 2
+        assert segments[0].length == 2
+
+    def test_series_sse_and_segment_count(self):
+        assert series_sse(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == 4.0
+        assert segment_count(np.array([1.0, 1.0, 3.0])) == 2
+        with pytest.raises(ValueError):
+            series_sse(np.zeros(3), np.zeros(4))
+
+
+class TestPAA:
+    def test_exact_when_segments_equal_length(self, smooth_series):
+        result = paa(smooth_series, smooth_series.size)
+        assert result.error == pytest.approx(0.0)
+
+    def test_segment_count(self, smooth_series):
+        result = paa(smooth_series, 10)
+        assert result.size == 10
+        assert segment_count(result.approximation) <= 10
+
+    def test_means_are_preserved(self):
+        series = np.array([2.0, 4.0, 6.0, 8.0])
+        result = paa(series, 2)
+        assert result.approximation.tolist() == [3.0, 3.0, 7.0, 7.0]
+
+    def test_error_decreases_with_more_segments(self, smooth_series):
+        errors = [paa(smooth_series, c).error for c in (2, 8, 32)]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_invalid_parameters(self, smooth_series):
+        with pytest.raises(ValueError):
+            paa(smooth_series, 0)
+        with pytest.raises(ValueError):
+            paa(np.zeros((2, 2)), 2)
+
+
+class TestDWT:
+    def test_haar_round_trip(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(size=64)
+        assert np.allclose(haar_reconstruct(haar_decompose(series)), series)
+
+    def test_haar_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_decompose(np.zeros(10))
+        with pytest.raises(ValueError):
+            haar_reconstruct(np.zeros(12))
+
+    def test_full_spectrum_is_lossless(self, smooth_series):
+        result = dwt_approximate(smooth_series, smooth_series.size * 2)
+        assert result.error == pytest.approx(0.0, abs=1e-6)
+
+    def test_error_decreases_with_more_coefficients(self, smooth_series):
+        errors = [dwt_approximate(smooth_series, k).error for k in (1, 8, 64)]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_handles_non_power_of_two_length(self):
+        series = np.linspace(0, 10, 37)
+        result = dwt_approximate(series, 5)
+        assert result.approximation.size == 37
+
+    def test_to_size_respects_segment_bound(self, smooth_series):
+        result = dwt_approximate_to_size(smooth_series, 12)
+        assert result.size <= 12
+
+    def test_invalid_parameters(self, smooth_series):
+        with pytest.raises(ValueError):
+            dwt_approximate(smooth_series, 0)
+
+
+class TestDFTAndChebyshev:
+    def test_dft_full_spectrum_lossless(self, smooth_series):
+        result = dft_approximate(smooth_series, smooth_series.size)
+        assert result.error == pytest.approx(0.0, abs=1e-6)
+
+    def test_dft_error_decreases(self, smooth_series):
+        assert (
+            dft_approximate(smooth_series, 2).error
+            >= dft_approximate(smooth_series, 20).error
+        )
+
+    def test_chebyshev_constant_series_is_exact(self):
+        result = chebyshev_approximate(np.full(50, 3.0), 1)
+        assert result.error == pytest.approx(0.0, abs=1e-9)
+
+    def test_chebyshev_error_decreases(self, smooth_series):
+        assert (
+            chebyshev_approximate(smooth_series, 2).error
+            >= chebyshev_approximate(smooth_series, 20).error
+        )
+
+    def test_invalid_parameters(self, smooth_series):
+        with pytest.raises(ValueError):
+            dft_approximate(smooth_series, 0)
+        with pytest.raises(ValueError):
+            chebyshev_approximate(smooth_series, 0)
+
+
+class TestAPCA:
+    def test_segment_count_is_exact(self, smooth_series):
+        result = apca(smooth_series, 10)
+        assert result.size == 10
+
+    def test_improves_over_dwt_at_same_size(self, smooth_series):
+        wavelet = dwt_approximate_to_size(smooth_series, 10)
+        adaptive = apca(smooth_series, 10)
+        assert adaptive.error <= wavelet.error + 1e-9
+
+    def test_error_decreases_with_size(self, smooth_series):
+        assert apca(smooth_series, 4).error >= apca(smooth_series, 16).error
+
+    def test_invalid_parameters(self, smooth_series):
+        with pytest.raises(ValueError):
+            apca(smooth_series, 0)
+
+
+class TestATC:
+    def test_zero_bound_keeps_everything(self, proj_segments):
+        result = atc(proj_segments, 0.0)
+        assert result.size == len(proj_segments)
+
+    def test_huge_bound_reaches_cmin(self, proj_segments):
+        result = atc(proj_segments, 1e12)
+        assert result.size == 3
+
+    def test_respects_groups_and_gaps(self, proj_segments):
+        result = atc(proj_segments, 1e12)
+        assert [segment.group for segment in result.segments] == [
+            ("A",), ("B",), ("B",)
+        ]
+
+    def test_total_error_matches_sse_between(self, proj_segments):
+        result = atc(proj_segments, 30000.0)
+        assert result.error == pytest.approx(
+            sse_between(proj_segments, result.segments)
+        )
+
+    def test_negative_bound_rejected(self, proj_segments):
+        with pytest.raises(ValueError):
+            atc(proj_segments, -1.0)
+
+    def test_never_better_than_optimal_at_same_size(self, proj_segments):
+        result = atc(proj_segments, 30000.0)
+        optimal = reduce_to_size(proj_segments, result.size)
+        assert result.error >= optimal.error - 1e-9
+
+    def test_error_sweep_indexes_by_size(self, proj_segments):
+        sweep = atc_error_sweep(
+            proj_segments, exponential_bounds(max_error(proj_segments))
+        )
+        assert set(sweep) <= set(range(3, len(proj_segments) + 1))
+        for size, result in sweep.items():
+            assert result.size == size
+
+    def test_exponential_bounds_shapes(self):
+        bounds = exponential_bounds(100.0, count=5, decay=0.5)
+        assert bounds[0] == 100.0
+        assert bounds[-1] == 0.0
+        assert exponential_bounds(0.0) == [0.0]
+
+    def test_empty_input(self):
+        assert atc([], 1.0).segments == []
+
+
+class TestSAX:
+    def test_word_length_equals_segments(self, smooth_series):
+        result = sax_transform(smooth_series, 12, alphabet_size=6)
+        assert len(result.word) == 12
+
+    def test_symbols_within_alphabet(self, smooth_series):
+        result = sax_transform(smooth_series, 10, alphabet_size=4)
+        assert all(0 <= symbol < 4 for symbol in result.symbols)
+
+    def test_breakpoints_are_monotone_and_symmetric(self):
+        breakpoints = gaussian_breakpoints(8)
+        assert list(breakpoints) == sorted(breakpoints)
+        assert breakpoints[0] == pytest.approx(-breakpoints[-1], abs=1e-6)
+
+    def test_constant_series(self):
+        result = sax_transform(np.full(32, 5.0), 4, alphabet_size=4)
+        assert len(set(result.word)) == 1
+
+    def test_invalid_parameters(self, smooth_series):
+        with pytest.raises(ValueError):
+            gaussian_breakpoints(1)
+        with pytest.raises(ValueError):
+            sax_transform(smooth_series, 4, alphabet_size=100)
+
+
+class TestVOptimalHistogram:
+    def test_matches_dp_on_unit_segments(self):
+        values = [1.0, 1.0, 5.0, 5.0, 9.0, 9.0]
+        histogram = v_optimal_histogram(values, 3)
+        assert histogram.size == 3
+        assert histogram.error == pytest.approx(0.0)
+
+    def test_bucket_boundaries_cover_input(self):
+        values = list(range(20))
+        histogram = v_optimal_histogram([float(v) for v in values], 4)
+        assert histogram.buckets[0][0] == 0
+        assert histogram.buckets[-1][1] == 19
+
+    def test_error_bounded_variant(self):
+        values = [float(v) for v in range(32)]
+        histogram = v_optimal_histogram_for_error(values, 0.05)
+        full_error = v_optimal_histogram(values, 1).error
+        assert histogram.error <= 0.05 * full_error + 1e-9
+
+    def test_empty_and_invalid(self):
+        assert v_optimal_histogram([], 3).buckets == []
+        with pytest.raises(ValueError):
+            v_optimal_histogram([1.0], 0)
+
+
+class TestRelativeQuality:
+    def test_pta_beats_non_adaptive_baselines(self, smooth_series):
+        """The headline quality claim: PTA error below PAA/DWT at equal size."""
+        segments = segments_from_series(smooth_series.tolist())
+        size = 16
+        optimal = reduce_to_size(segments, size)
+        assert optimal.error <= paa(smooth_series, size).error + 1e-9
+        assert optimal.error <= dwt_approximate_to_size(smooth_series, size).error + 1e-9
+        assert optimal.error <= apca(smooth_series, size).error + 1e-9

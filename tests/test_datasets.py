@@ -1,0 +1,157 @@
+"""Unit tests for the dataset generators and the Table 1 query catalogue."""
+
+import pytest
+
+from repro.core import cmin
+from repro.datasets import (
+    chaotic_series,
+    etds_cases,
+    generate_etds,
+    generate_incumbents,
+    incumbents_cases,
+    series_to_relation,
+    series_to_segments,
+    synthetic_grouped_segments,
+    synthetic_relation,
+    synthetic_sequential_segments,
+    table1_catalogue,
+    tide_series,
+    timeseries_cases,
+    wind_series,
+)
+
+
+class TestSyntheticGenerators:
+    def test_sequential_segments_have_no_gaps(self):
+        segments = synthetic_sequential_segments(100, dimensions=3, seed=1)
+        assert len(segments) == 100
+        assert cmin(segments) == 1
+        assert segments[0].dimensions == 3
+
+    def test_grouped_segments_have_one_run_per_group(self):
+        segments = synthetic_grouped_segments(10, 20, dimensions=2, seed=1)
+        assert len(segments) == 200
+        assert cmin(segments) == 10
+
+    def test_seed_reproducibility(self):
+        assert synthetic_sequential_segments(50, seed=3) == synthetic_sequential_segments(50, seed=3)
+        assert synthetic_sequential_segments(50, seed=3) != synthetic_sequential_segments(50, seed=4)
+
+    def test_synthetic_relation_shape(self):
+        relation = synthetic_relation(200, dimensions=2, groups=5, seed=2)
+        assert len(relation) == 200
+        assert relation.schema.columns == ("grp", "v0", "v1")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_sequential_segments(-1)
+        with pytest.raises(ValueError):
+            synthetic_relation(-5)
+
+
+class TestEmployeeGenerators:
+    def test_etds_schema_and_reproducibility(self):
+        relation = generate_etds(employees=50, months=60, seed=9)
+        assert relation.schema.columns == (
+            "emp_no", "sex", "dept", "title", "salary"
+        )
+        assert relation == generate_etds(employees=50, months=60, seed=9)
+
+    def test_etds_has_overlapping_intervals(self):
+        relation = generate_etds(employees=100, months=80, seed=1)
+        assert not relation.is_sequential([])  # heavy overlap without grouping
+
+    def test_etds_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_etds(employees=0)
+        with pytest.raises(ValueError):
+            generate_etds(months=5)
+
+    def test_incumbents_schema_and_gaps(self):
+        relation = generate_incumbents(
+            departments=3, projects_per_department=2,
+            incumbents_per_project=4, months=120, seed=5,
+        )
+        assert relation.schema.columns == ("dept", "proj", "salary")
+        assert len(relation) > 0
+
+    def test_incumbents_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_incumbents(months=10)
+
+
+class TestTimeSeriesGenerators:
+    def test_lengths(self):
+        assert len(chaotic_series(500, seed=1)) == 500
+        assert len(tide_series(300, seed=1)) == 300
+        assert len(wind_series(100, dimensions=5, seed=1)) == 100
+
+    def test_wind_dimensionality(self):
+        rows = wind_series(50, dimensions=12, seed=2)
+        assert all(len(row) == 12 for row in rows)
+
+    def test_chaotic_series_is_not_constant_or_divergent(self):
+        values = chaotic_series(1000, seed=3)
+        assert max(values) != min(values)
+        assert all(abs(value) < 1e4 for value in values)
+
+    def test_tide_series_is_periodicish(self):
+        values = tide_series(1000, seed=4)
+        mean = sum(values) / len(values)
+        assert 150 < mean < 350  # oscillates around the configured base level
+
+    def test_series_to_segments_unit_intervals(self):
+        segments = series_to_segments([1.0, 2.0, 3.0])
+        assert all(segment.length == 1 for segment in segments)
+        assert cmin(segments) == 1
+
+    def test_series_to_relation_multichannel(self):
+        relation = series_to_relation(wind_series(20, dimensions=3, seed=5))
+        assert relation.schema.columns == ("v0", "v1", "v2")
+        assert len(relation) == 20
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            chaotic_series(0)
+        with pytest.raises(ValueError):
+            tide_series(0)
+        with pytest.raises(ValueError):
+            wind_series(0)
+
+
+class TestQueryCatalogue:
+    def test_tiny_catalogue_contains_all_queries(self):
+        catalogue = table1_catalogue("tiny")
+        assert set(catalogue) == {
+            "E1", "E2", "E3", "E4", "I1", "I2", "I3", "T1", "T2", "T3"
+        }
+
+    def test_case_metadata_is_consistent(self):
+        for case in table1_catalogue("tiny").values():
+            assert case.ita_size == len(case.segments)
+            assert 1 <= case.cmin <= max(case.ita_size, 1)
+            assert case.dimensions == len(case.value_columns)
+
+    def test_grouped_queries_have_many_runs(self):
+        catalogue = table1_catalogue("tiny", families=("incumbents",))
+        for case in catalogue.values():
+            assert case.cmin > 1
+
+    def test_ungrouped_etds_queries_have_single_run(self):
+        cases = {case.name: case for case in etds_cases("tiny")}
+        for name in ("E1", "E2", "E3"):
+            assert cases[name].cmin == 1
+        assert cases["E4"].cmin > 1
+
+    def test_timeseries_cases_dimensions(self):
+        cases = {case.name: case for case in timeseries_cases("tiny")}
+        assert cases["T1"].dimensions == 1
+        assert cases["T3"].dimensions == 12
+
+    def test_unknown_scale_and_family_rejected(self):
+        with pytest.raises(ValueError):
+            etds_cases("enormous")
+        with pytest.raises(ValueError):
+            incumbents_cases("enormous")
+        with pytest.raises(ValueError):
+            table1_catalogue("tiny", families=("nonexistent",))

@@ -1,0 +1,221 @@
+"""Unit tests for the exact DP algorithms PTAc and PTAε (Section 5)."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro import Interval
+from repro.core import (
+    AggregateSegment,
+    adjacent,
+    cmin,
+    max_error,
+    merge,
+    optimal_error_curve,
+    reduce_random,
+    sse_between,
+)
+from repro.core.dp import reduce_to_error, reduce_to_size
+from conftest import make_segment
+
+
+def brute_force_optimum(segments, size):
+    """Smallest reachable error over every way of partitioning into runs."""
+    n = len(segments)
+    best = math.inf
+    positions = range(1, n)
+    for cut_points in itertools.combinations(positions, size - 1):
+        cuts = [0, *cut_points, n]
+        runs = [segments[cuts[i]:cuts[i + 1]] for i in range(len(cuts) - 1)]
+        if any(
+            not all(adjacent(a, b) for a, b in zip(run, run[1:]))
+            for run in runs
+        ):
+            continue
+        reduced = []
+        for run in runs:
+            collapsed = run[0]
+            for segment in run[1:]:
+                collapsed = merge(collapsed, segment)
+            reduced.append(collapsed)
+        best = min(best, sse_between(segments, reduced))
+    return best
+
+
+class TestSizeBounded:
+    def test_running_example_result(self, proj_segments):
+        result = reduce_to_size(proj_segments, 4)
+        assert result.size == 4
+        assert result.error == pytest.approx(49166.67, abs=1)
+        rows = [
+            (seg.group[0], round(seg.values[0], 2), seg.interval)
+            for seg in result.segments
+        ]
+        assert rows == [
+            ("A", 733.33, Interval(1, 3)),
+            ("A", 375.0, Interval(4, 7)),
+            ("B", 500.0, Interval(4, 5)),
+            ("B", 500.0, Interval(7, 8)),
+        ]
+
+    def test_error_matches_sse_between(self, proj_segments):
+        result = reduce_to_size(proj_segments, 4)
+        assert result.error == pytest.approx(
+            sse_between(proj_segments, result.segments)
+        )
+
+    def test_reduction_to_cmin_reaches_max_error(self, proj_segments):
+        result = reduce_to_size(proj_segments, cmin(proj_segments))
+        assert result.error == pytest.approx(max_error(proj_segments))
+
+    def test_size_below_cmin_rejected(self, proj_segments):
+        with pytest.raises(ValueError):
+            reduce_to_size(proj_segments, 2)
+
+    def test_size_of_zero_rejected(self, proj_segments):
+        with pytest.raises(ValueError):
+            reduce_to_size(proj_segments, 0)
+
+    def test_size_at_least_input_returns_input(self, proj_segments):
+        result = reduce_to_size(proj_segments, len(proj_segments))
+        assert result.segments == proj_segments
+        assert result.error == 0.0
+
+    def test_empty_input(self):
+        result = reduce_to_size([], 3)
+        assert result.segments == []
+        assert result.error == 0.0
+
+    def test_matches_brute_force_on_random_inputs(self):
+        rng = random.Random(5)
+        for trial in range(8):
+            segments = [
+                make_segment(i, i, rng.uniform(0, 100)) for i in range(1, 9)
+            ]
+            for size in (2, 3, 4):
+                result = reduce_to_size(segments, size)
+                assert result.error == pytest.approx(
+                    brute_force_optimum(segments, size), abs=1e-6
+                ), f"trial {trial}, size {size}"
+
+    def test_matches_brute_force_with_gaps_and_groups(self):
+        rng = random.Random(11)
+        segments = [
+            make_segment(1, 2, rng.uniform(0, 10), group=("A",)),
+            make_segment(3, 3, rng.uniform(0, 10), group=("A",)),
+            make_segment(5, 6, rng.uniform(0, 10), group=("A",)),
+            make_segment(7, 7, rng.uniform(0, 10), group=("A",)),
+            make_segment(1, 4, rng.uniform(0, 10), group=("B",)),
+            make_segment(5, 5, rng.uniform(0, 10), group=("B",)),
+        ]
+        for size in (3, 4, 5):
+            result = reduce_to_size(segments, size)
+            assert result.error == pytest.approx(
+                brute_force_optimum(segments, size), abs=1e-9
+            )
+
+    def test_never_worse_than_random_reductions(self, proj_segments):
+        optimal = reduce_to_size(proj_segments, 4)
+        for seed in range(10):
+            candidate = reduce_random(proj_segments, 4, random.Random(seed))
+            assert optimal.error <= sse_between(proj_segments, candidate) + 1e-9
+
+    def test_unoptimized_matches_optimized(self, proj_segments):
+        plain = reduce_to_size(proj_segments, 4, optimized=False)
+        pruned = reduce_to_size(proj_segments, 4, optimized=True)
+        assert plain.error == pytest.approx(pruned.error)
+        assert plain.segments == pruned.segments
+
+    def test_pruning_reduces_work_on_gapped_data(self):
+        rng = random.Random(1)
+        segments = []
+        for group_index in range(20):
+            for position in range(10):
+                segments.append(
+                    make_segment(
+                        position + 1, position + 1, rng.uniform(0, 100),
+                        group=(f"g{group_index}",),
+                    )
+                )
+        plain = reduce_to_size(segments, 30, optimized=False)
+        pruned = reduce_to_size(segments, 30, optimized=True)
+        assert pruned.error == pytest.approx(plain.error)
+        assert pruned.stats.split_candidates < plain.stats.split_candidates
+
+    def test_weighted_dimensions_change_the_optimum(self):
+        segments = [
+            AggregateSegment((), (0.0, 0.0), Interval(1, 1)),
+            AggregateSegment((), (10.0, 0.1), Interval(2, 2)),
+            AggregateSegment((), (10.0, 10.0), Interval(3, 3)),
+        ]
+        favour_first = reduce_to_size(segments, 2, weights=(10.0, 0.1))
+        favour_second = reduce_to_size(segments, 2, weights=(0.1, 10.0))
+        assert favour_first.segments != favour_second.segments
+
+    def test_monotone_error_in_size(self, proj_segments):
+        curve = optimal_error_curve(proj_segments)
+        errors = [curve[k] for k in sorted(curve) if not math.isinf(curve[k])]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_multidimensional_input(self):
+        rng = random.Random(3)
+        segments = [
+            AggregateSegment(
+                (), (rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)),
+                Interval(i, i),
+            )
+            for i in range(1, 30)
+        ]
+        result = reduce_to_size(segments, 7)
+        assert result.size == 7
+        assert result.error == pytest.approx(
+            sse_between(segments, result.segments)
+        )
+
+
+class TestErrorBounded:
+    def test_epsilon_one_gives_maximal_reduction(self, proj_segments):
+        result = reduce_to_error(proj_segments, 1.0)
+        assert result.size == cmin(proj_segments)
+
+    def test_epsilon_zero_gives_lossless_result(self, proj_segments):
+        result = reduce_to_error(proj_segments, 0.0)
+        assert result.error == pytest.approx(0.0)
+        assert result.size <= len(proj_segments)
+
+    def test_threshold_is_respected(self, proj_segments):
+        for epsilon in (0.01, 0.05, 0.2, 0.5):
+            result = reduce_to_error(proj_segments, epsilon)
+            assert result.error <= epsilon * max_error(proj_segments) + 1e-6
+
+    def test_result_is_minimal_in_size(self, proj_segments):
+        epsilon = 0.05
+        result = reduce_to_error(proj_segments, epsilon)
+        threshold = epsilon * max_error(proj_segments)
+        if result.size > cmin(proj_segments):
+            smaller = reduce_to_size(proj_segments, result.size - 1)
+            assert smaller.error > threshold
+
+    def test_error_bound_outside_range_rejected(self, proj_segments):
+        with pytest.raises(ValueError):
+            reduce_to_error(proj_segments, -0.1)
+        with pytest.raises(ValueError):
+            reduce_to_error(proj_segments, 1.5)
+
+    def test_empty_input(self):
+        result = reduce_to_error([], 0.5)
+        assert result.segments == []
+
+    def test_agrees_with_size_bounded_at_same_size(self, proj_segments):
+        result = reduce_to_error(proj_segments, 0.25)
+        by_size = reduce_to_size(proj_segments, result.size)
+        assert result.error == pytest.approx(by_size.error)
+
+    def test_lossless_input_collapses_to_cmin(self):
+        segments = [make_segment(i, i, 4.0) for i in range(1, 10)]
+        result = reduce_to_error(segments, 0.0)
+        # Merging identical values introduces no error at all, so even an
+        # error bound of zero allows the maximal reduction.
+        assert result.size == 1

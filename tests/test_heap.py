@@ -1,0 +1,127 @@
+"""Unit tests for the merge heap (Section 6.2.2)."""
+
+import math
+
+import pytest
+
+from repro.core import MergeHeap
+from conftest import make_segment
+
+
+def fill(heap, segments):
+    for segment in segments:
+        heap.insert(segment)
+    return heap
+
+
+class TestInsert:
+    def test_first_node_has_infinite_key(self):
+        heap = MergeHeap()
+        node = heap.insert(make_segment(1, 2, 5.0))
+        assert math.isinf(node.key)
+
+    def test_adjacent_node_gets_pairwise_error_key(self):
+        heap = fill(MergeHeap(), [make_segment(1, 2, 800.0, ("A",))])
+        node = heap.insert(make_segment(3, 3, 600.0, ("A",)))
+        assert node.key == pytest.approx(26666.67, abs=1)
+
+    def test_gap_node_has_infinite_key(self):
+        heap = fill(MergeHeap(), [make_segment(1, 2, 5.0)])
+        node = heap.insert(make_segment(5, 6, 5.0))
+        assert math.isinf(node.key)
+
+    def test_group_change_has_infinite_key(self):
+        heap = fill(MergeHeap(), [make_segment(1, 2, 5.0, ("A",))])
+        node = heap.insert(make_segment(3, 4, 5.0, ("B",)))
+        assert math.isinf(node.key)
+
+    def test_ids_are_sequential(self):
+        heap = fill(MergeHeap(), [make_segment(i, i, float(i)) for i in range(1, 5)])
+        assert [node.id for node in heap] == [1, 2, 3, 4]
+
+    def test_max_size_tracking(self):
+        heap = fill(MergeHeap(), [make_segment(i, i, float(i)) for i in range(1, 6)])
+        heap.merge_top()
+        assert heap.max_size == 5
+        assert len(heap) == 4
+
+
+class TestPeekAndMerge:
+    def test_peek_returns_most_similar_pair(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        top = heap.peek()
+        # Fig. 10(a): the most similar pair is (s4, s5), key 1 667.
+        assert top.segment.values[0] == 300.0
+        assert top.key == pytest.approx(1666.67, abs=1)
+
+    def test_peek_on_empty_heap(self):
+        assert MergeHeap().peek() is None
+
+    def test_peek_does_not_remove(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        assert heap.peek() is heap.peek()
+        assert len(heap) == len(proj_segments)
+
+    def test_merge_top_relinks_and_reduces_size(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        survivor = heap.merge_top()
+        assert len(heap) == len(proj_segments) - 1
+        assert survivor.segment.values[0] == pytest.approx(1000.0 / 3.0)
+        # The survivor keeps its id (the id of s4).
+        assert survivor.id == 4
+
+    def test_merge_top_updates_neighbour_keys(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        survivor = heap.merge_top()  # merges s4, s5
+        # New key of the survivor: error of merging s3 with (s4 ⊕ s5).
+        assert survivor.key == pytest.approx(20833.33, abs=1)
+
+    def test_merge_until_cmin_then_raises(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        for _ in range(4):  # four adjacent pairs exist
+            heap.merge_top()
+        assert len(heap) == 3
+        with pytest.raises(ValueError):
+            heap.merge_top()
+
+    def test_merge_sequence_matches_dendrogram(self, proj_segments):
+        """Fig. 9: merges happen in the order (s4,s5), (s2,s3), then both."""
+        heap = fill(MergeHeap(), proj_segments)
+        first = heap.merge_top()
+        assert first.segment.interval.start == 5
+        second = heap.merge_top()
+        assert second.segment.interval == make_segment(3, 4, 0).interval
+        third = heap.merge_top()
+        assert third.segment.values[0] == pytest.approx(420.0)
+
+    def test_weights_influence_keys(self):
+        heap = MergeHeap(weights=(3.0,))
+        heap.insert(make_segment(1, 1, 0.0))
+        node = heap.insert(make_segment(2, 2, 2.0))
+        unweighted = MergeHeap()
+        unweighted.insert(make_segment(1, 1, 0.0))
+        plain = unweighted.insert(make_segment(2, 2, 2.0))
+        assert node.key == pytest.approx(9.0 * plain.key)
+
+
+class TestTraversal:
+    def test_segments_in_chronological_order(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        heap.merge_top()
+        values = [segment.values[0] for segment in heap.segments()]
+        assert values == [800.0, 600.0, 500.0, pytest.approx(1000.0 / 3.0), 500.0, 500.0]
+
+    def test_adjacent_successor_count(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        nodes = list(heap)
+        # s1 has four adjacent successors (s2..s5) before the boundary.
+        assert heap.adjacent_successor_count(nodes[0], 10) == 4
+        assert heap.adjacent_successor_count(nodes[0], 2) == 2
+        # s5 is followed by a group change, s7 by nothing.
+        assert heap.adjacent_successor_count(nodes[4], 3) == 0
+        assert heap.adjacent_successor_count(nodes[6], 3) == 0
+
+    def test_head_and_tail(self, proj_segments):
+        heap = fill(MergeHeap(), proj_segments)
+        assert heap.head.segment == proj_segments[0]
+        assert heap.tail.segment == proj_segments[-1]

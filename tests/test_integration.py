@@ -1,0 +1,146 @@
+"""Integration tests: full pipelines across substrate, core and baselines."""
+
+import numpy as np
+import pytest
+
+from repro import ita, iter_ita, pta, reduce_ita
+from repro.baselines import atc, paa, series_from_segments
+from repro.core import (
+    AggregateSegment,
+    cmin,
+    gms_reduce_to_size,
+    greedy_reduce_to_size,
+    max_error,
+    reduce_to_size,
+    segments_from_relation,
+    sse_between,
+)
+from repro.datasets import (
+    generate_etds,
+    generate_incumbents,
+    synthetic_relation,
+    table1_catalogue,
+    value_columns,
+)
+from repro.evaluation import reduction_ratio, relative_error
+from repro.storage import Table, read_relation, write_relation
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return table1_catalogue("tiny")
+
+
+class TestEndToEndPipelines:
+    def test_etds_pipeline_dp_vs_greedy(self):
+        relation = generate_etds(employees=80, months=72, seed=21)
+        aggregates = {"avg_salary": ("avg", "salary")}
+        ita_result = ita(relation, [], aggregates)
+        segments = segments_from_relation(ita_result, [], ["avg_salary"])
+        size = max(len(segments) // 10, cmin(segments))
+        optimal = reduce_to_size(segments, size)
+        greedy = gms_reduce_to_size(segments, size)
+        assert optimal.size == size
+        assert optimal.error <= greedy.error + 1e-9
+        assert reduction_ratio(len(segments), size) > 80.0
+
+    def test_incumbents_pipeline_with_groups(self):
+        relation = generate_incumbents(
+            departments=4, projects_per_department=3,
+            incumbents_per_project=5, months=150, seed=3,
+        )
+        aggregates = {"avg_salary": ("avg", "salary")}
+        result = pta(relation, ["dept", "proj"], aggregates, size=None,
+                     error=0.1)
+        ita_result = ita(relation, ["dept", "proj"], aggregates)
+        assert len(result) <= len(ita_result)
+        original = segments_from_relation(
+            ita_result, ["dept", "proj"], ["avg_salary"]
+        )
+        reduced = segments_from_relation(
+            result, ["dept", "proj"], ["avg_salary"]
+        )
+        assert sse_between(original, reduced) <= 0.1 * max_error(original) + 1e-6
+
+    def test_streaming_greedy_matches_batch_greedy_on_etds(self):
+        relation = generate_etds(employees=60, months=60, seed=5)
+        aggregates = {"avg_salary": ("avg", "salary")}
+        ita_result = ita(relation, ["dept"], aggregates)
+        segments = segments_from_relation(ita_result, ["dept"], ["avg_salary"])
+        size = max(cmin(segments), len(segments) // 4)
+
+        stream = (
+            AggregateSegment(group, values, interval)
+            for group, values, interval in iter_ita(relation, ["dept"], aggregates)
+        )
+        online = greedy_reduce_to_size(stream, size, delta=1)
+        batch = gms_reduce_to_size(segments, size)
+        # With a small read-ahead the online result stays close to batch GMS.
+        if batch.error > 0:
+            assert online.error <= batch.error * 1.5
+        assert online.input_size == len(segments)
+
+    def test_catalogue_queries_reduce_cleanly(self, catalogue):
+        for case in catalogue.values():
+            size = max(case.cmin, case.ita_size // 5)
+            result = reduce_to_size(case.segments, size)
+            assert result.size == size
+            assert 0.0 <= relative_error(case.segments, result.segments) <= 100.0
+
+    def test_baselines_against_pta_on_t1(self, catalogue):
+        case = catalogue["T1"]
+        series = series_from_segments(case.segments)
+        size = 15
+        optimal = reduce_to_size(case.segments, size)
+        assert optimal.error <= paa(np.asarray(series), size).error + 1e-9
+
+    def test_atc_runs_on_grouped_query(self, catalogue):
+        case = catalogue["I1"]
+        bound = max_error(case.segments) / len(case.segments)
+        result = atc(case.segments, bound)
+        assert case.cmin <= result.size <= case.ita_size
+
+    def test_persistence_round_trip_through_storage(self, tmp_path):
+        relation = synthetic_relation(120, dimensions=1, groups=3, seed=8)
+        aggregates = {"m": ("avg", "v0")}
+        summary = pta(relation, ["grp"], aggregates, size=None, error=0.2)
+
+        path = tmp_path / "summary.csv"
+        write_relation(summary, path)
+        loaded = read_relation(path, numeric_columns=["m"])
+        assert len(loaded) == len(summary)
+
+        table = Table.from_temporal_relation("summary", summary)
+        assert len(table) == len(summary)
+
+    def test_reduce_ita_on_multichannel_series(self, catalogue):
+        case = catalogue["T3"]
+        from repro.core import segments_to_relation
+
+        relation = segments_to_relation(
+            case.segments, case.group_columns, case.value_columns
+        )
+        reduced = reduce_ita(
+            relation, case.group_columns, case.value_columns,
+            size=max(case.cmin, 10),
+        )
+        assert len(reduced) == max(case.cmin, 10)
+
+    def test_pta_greedy_and_dp_agree_on_reduction_quality(self):
+        relation = synthetic_relation(300, dimensions=2, groups=4, seed=13)
+        aggregates = {name: ("avg", name) for name in value_columns(2)}
+        ita_result = ita(relation, ["grp"], aggregates)
+        original = segments_from_relation(
+            ita_result, ["grp"], list(aggregates)
+        )
+        size = cmin(original) + 10
+        dp_result = pta(relation, ["grp"], aggregates, size=size)
+        greedy_result = pta(relation, ["grp"], aggregates, size=size,
+                            method="greedy")
+        dp_segments = segments_from_relation(dp_result, ["grp"], list(aggregates))
+        greedy_segments = segments_from_relation(
+            greedy_result, ["grp"], list(aggregates)
+        )
+        assert sse_between(original, dp_segments) <= sse_between(
+            original, greedy_segments
+        ) + 1e-9

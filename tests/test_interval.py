@@ -1,0 +1,120 @@
+"""Unit tests for the Interval value type."""
+
+import pytest
+
+from repro import Interval
+from repro.temporal import span
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = Interval(3, 7)
+        assert interval.start == 3
+        assert interval.end == 7
+
+    def test_single_chronon(self):
+        assert Interval(5, 5).length == 1
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(4, 2)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            Interval(1.5, 2)
+
+    def test_instant_constructor(self):
+        assert Interval.instant(9) == Interval(9, 9)
+
+    def test_negative_chronons_allowed(self):
+        assert Interval(-5, -1).length == 5
+
+
+class TestGeometry:
+    def test_length_inclusive(self):
+        assert Interval(1, 4).length == 4
+
+    def test_len_dunder(self):
+        assert len(Interval(2, 6)) == 5
+
+    def test_contains_chronon(self):
+        interval = Interval(2, 4)
+        assert 2 in interval
+        assert 4 in interval
+        assert 5 not in interval
+
+    def test_iteration_yields_all_chronons(self):
+        assert list(Interval(3, 6)) == [3, 4, 5, 6]
+
+
+class TestRelationships:
+    def test_overlap_partial(self):
+        assert Interval(1, 4).overlaps(Interval(3, 6))
+
+    def test_overlap_touching_endpoint(self):
+        assert Interval(1, 4).overlaps(Interval(4, 8))
+
+    def test_disjoint(self):
+        assert not Interval(1, 3).overlaps(Interval(5, 8))
+
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_disjoint_returns_none(self):
+        assert Interval(1, 2).intersect(Interval(4, 5)) is None
+
+    def test_meets(self):
+        assert Interval(1, 4).meets(Interval(5, 8))
+        assert not Interval(1, 4).meets(Interval(6, 8))
+        assert not Interval(1, 4).meets(Interval(4, 8))
+
+    def test_precedes(self):
+        assert Interval(1, 3).precedes(Interval(4, 6))
+        assert not Interval(1, 4).precedes(Interval(4, 6))
+
+    def test_contains_interval(self):
+        assert Interval(1, 10).contains_interval(Interval(3, 7))
+        assert not Interval(3, 7).contains_interval(Interval(1, 10))
+
+    def test_adjacent_or_overlapping(self):
+        assert Interval(1, 2).adjacent_or_overlapping(Interval(3, 4))
+        assert Interval(3, 4).adjacent_or_overlapping(Interval(1, 2))
+        assert not Interval(1, 2).adjacent_or_overlapping(Interval(4, 5))
+
+
+class TestUnionAndSplit:
+    def test_union_of_meeting_intervals(self):
+        assert Interval(1, 2).union(Interval(3, 5)) == Interval(1, 5)
+
+    def test_union_of_overlapping_intervals(self):
+        assert Interval(1, 4).union(Interval(2, 9)) == Interval(1, 9)
+
+    def test_union_with_gap_raises(self):
+        with pytest.raises(ValueError):
+            Interval(1, 2).union(Interval(5, 6))
+
+    def test_split(self):
+        left, right = Interval(1, 6).split_at(3)
+        assert left == Interval(1, 3)
+        assert right == Interval(4, 6)
+
+    def test_split_at_end_raises(self):
+        with pytest.raises(ValueError):
+            Interval(1, 6).split_at(6)
+
+    def test_span(self):
+        assert span([Interval(3, 4), Interval(1, 2), Interval(8, 9)]) == Interval(1, 9)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            span([])
+
+
+class TestOrdering:
+    def test_sorts_by_start_then_end(self):
+        intervals = [Interval(3, 9), Interval(1, 5), Interval(1, 2)]
+        assert sorted(intervals) == [Interval(1, 2), Interval(1, 5), Interval(3, 9)]
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2

@@ -1,0 +1,152 @@
+"""The paper's worked examples, asserted exactly.
+
+Every number in this module comes from the text of the paper: Fig. 1
+(running example), Fig. 4/5 (DP matrices), Example 5 (merge error),
+Example 12 (prefix sums), Example 6/16 (optimal reduction), Example 17 /
+Fig. 9 (greedy dendrogram), Examples 13–15 (gap vector and DP bounds) and
+Example 20/21 (gPTAc bookkeeping).
+"""
+
+import math
+
+import pytest
+
+from repro import Interval, ita, sta
+from repro.core import (
+    cmin,
+    gap_positions,
+    gms_reduce_to_size,
+    greedy_reduce_to_size,
+    max_error,
+    reduce_to_error,
+    reduce_to_size,
+    sse_of_run,
+)
+from repro.core.dp import _ErrorMatrix
+
+
+class TestFigure1:
+    def test_ita_result(self, proj_ita):
+        assert [
+            (r["proj"], r["avg_sal"], r.interval.start, r.interval.end)
+            for r in proj_ita
+        ] == [
+            ("A", 800.0, 1, 2),
+            ("A", 600.0, 3, 3),
+            ("A", 500.0, 4, 4),
+            ("A", 350.0, 5, 6),
+            ("A", 300.0, 7, 7),
+            ("B", 500.0, 4, 5),
+            ("B", 500.0, 7, 8),
+        ]
+
+    def test_sta_result(self, proj_relation, proj_aggregates):
+        result = sta(proj_relation, ["proj"], proj_aggregates, span_length=4)
+        assert [(r["proj"], r["avg_sal"]) for r in result] == [
+            ("A", 500.0), ("A", 350.0), ("B", 500.0), ("B", 500.0),
+        ]
+
+    def test_pta_result_of_size_4(self, proj_segments):
+        result = reduce_to_size(proj_segments, 4)
+        assert [
+            (s.group[0], round(s.values[0], 2), s.interval.start, s.interval.end)
+            for s in result.segments
+        ] == [
+            ("A", 733.33, 1, 3),
+            ("A", 375.0, 4, 7),
+            ("B", 500.0, 4, 5),
+            ("B", 500.0, 7, 8),
+        ]
+
+
+class TestSection4Examples:
+    def test_example_5_merge_error(self, proj_segments):
+        assert sse_of_run(proj_segments[0:2]) == pytest.approx(26666.67, abs=1)
+
+    def test_cmin_is_three(self, proj_segments):
+        assert cmin(proj_segments) == 3
+
+    def test_example_6_optimal_error(self, proj_segments):
+        assert reduce_to_size(proj_segments, 4).error == pytest.approx(49166.67, abs=1)
+
+    def test_example_7_maximal_reduction(self, proj_segments):
+        result = reduce_to_error(proj_segments, 1.0)
+        assert result.size == 3
+
+
+class TestSection5Examples:
+    def test_example_12_prefix_sums_and_error(self, proj_segments):
+        from repro.core import PrefixSums
+
+        prefix = PrefixSums(proj_segments)
+        assert prefix.sse(1, 2) == pytest.approx(5000.0)
+
+    def test_example_13_gap_vector(self, proj_segments):
+        assert gap_positions(proj_segments) == [5, 6]
+
+    def test_figure_4_error_matrix(self, proj_segments):
+        """Row-by-row comparison with the error matrix of Fig. 4."""
+        expected = {
+            (1, 1): 0, (1, 2): 26666, (1, 3): 67500, (1, 4): 208333,
+            (1, 5): 269285, (1, 6): math.inf, (1, 7): math.inf,
+            (2, 2): 0, (2, 3): 5000, (2, 4): 41666, (2, 5): 49166,
+            (2, 6): 269285, (2, 7): math.inf,
+            (3, 3): 0, (3, 4): 5000, (3, 5): 6666, (3, 6): 49166,
+            (3, 7): 269285,
+            (4, 4): 0, (4, 5): 1666, (4, 6): 6666, (4, 7): 49166,
+        }
+        matrix = _ErrorMatrix(proj_segments, None, optimized=True)
+        rows = {}
+        for k in range(1, 5):
+            rows[k] = list(matrix.fill_next_row())
+        for (k, i), value in expected.items():
+            got = rows[k][i]
+            if math.isinf(value):
+                assert math.isinf(got), f"E[{k}][{i}] should be infinite"
+            else:
+                assert got == pytest.approx(value, abs=1.0), f"E[{k}][{i}]"
+
+    def test_figure_5_split_points(self, proj_segments):
+        """The split points of the optimal reduction (framed cells of Fig. 5)."""
+        matrix = _ErrorMatrix(proj_segments, None, optimized=True)
+        for _ in range(4):
+            matrix.fill_next_row()
+        splits = matrix.split_rows
+        assert splits[4][7] == 6
+        assert splits[3][6] == 5
+        assert splits[2][5] == 2
+        assert splits[1][2] == 0
+
+    def test_example_14_upper_bounds(self, proj_segments):
+        matrix = _ErrorMatrix(proj_segments, None, optimized=True)
+        assert matrix._upper_bound(1) == 5
+        assert matrix._upper_bound(2) == 6
+        assert matrix._upper_bound(3) == 7
+        assert matrix._upper_bound(4) == 7
+
+    def test_example_15_lower_bound(self, proj_segments):
+        matrix = _ErrorMatrix(proj_segments, None, optimized=True)
+        assert matrix._lower_bound(3, 6) == 5
+
+
+class TestSection6Examples:
+    def test_example_17_greedy_error_and_ratio(self, proj_segments):
+        greedy = gms_reduce_to_size(proj_segments, 4)
+        optimal = reduce_to_size(proj_segments, 4)
+        assert greedy.error == pytest.approx(63000.0, abs=1)
+        assert greedy.error / optimal.error == pytest.approx(1.28, abs=0.01)
+
+    def test_figure_9_dendrogram_result(self, proj_segments):
+        result = gms_reduce_to_size(proj_segments, 4)
+        assert [
+            (s.group[0], round(s.values[0], 2)) for s in result.segments
+        ] == [("A", 800.0), ("A", 420.0), ("B", 500.0), ("B", 500.0)]
+
+    def test_example_21_heap_bound(self, proj_segments):
+        """gPTAc with c = 3 and δ = 1 keeps at most five tuples in the heap."""
+        result = greedy_reduce_to_size(iter(proj_segments), 3, delta=1)
+        assert result.max_heap_size == 5
+        assert result.size == 3
+
+    def test_sse_max_of_running_example(self, proj_segments):
+        assert max_error(proj_segments) == pytest.approx(269285.714, abs=1)

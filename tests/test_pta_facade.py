@@ -1,0 +1,152 @@
+"""Unit tests for the PTA operator facade and helpers."""
+
+import pytest
+
+from repro import (
+    Interval,
+    TemporalRelation,
+    estimate_max_error,
+    gpta_error_bounded,
+    gpta_size_bounded,
+    ita,
+    pta,
+    pta_error_bounded,
+    pta_size_bounded,
+    reduce_ita,
+)
+from repro.core import max_error, segments_from_relation
+from repro.datasets import synthetic_relation, value_columns
+
+
+class TestPTAOperator:
+    def test_size_bounded_matches_paper(self, proj_relation, proj_aggregates):
+        result = pta(proj_relation, ["proj"], proj_aggregates, size=4)
+        rows = [
+            (r["proj"], round(r["avg_sal"], 2), r.interval) for r in result
+        ]
+        assert rows == [
+            ("A", 733.33, Interval(1, 3)),
+            ("A", 375.0, Interval(4, 7)),
+            ("B", 500.0, Interval(4, 5)),
+            ("B", 500.0, Interval(7, 8)),
+        ]
+
+    def test_requires_exactly_one_bound(self, proj_relation, proj_aggregates):
+        with pytest.raises(ValueError):
+            pta(proj_relation, ["proj"], proj_aggregates)
+        with pytest.raises(ValueError):
+            pta(proj_relation, ["proj"], proj_aggregates, size=4, error=0.1)
+
+    def test_unknown_method_rejected(self, proj_relation, proj_aggregates):
+        with pytest.raises(ValueError):
+            pta(proj_relation, ["proj"], proj_aggregates, size=4, method="magic")
+
+    def test_error_bounded_respects_threshold(self, proj_relation, proj_aggregates):
+        result = pta(proj_relation, ["proj"], proj_aggregates, error=0.25)
+        ita_result = ita(proj_relation, ["proj"], proj_aggregates)
+        original = segments_from_relation(ita_result, ["proj"], ["avg_sal"])
+        reduced = segments_from_relation(result, ["proj"], ["avg_sal"])
+        from repro.core import sse_between
+
+        assert sse_between(original, reduced) <= 0.25 * max_error(original) + 1e-6
+
+    def test_greedy_method_dispatch(self, proj_relation, proj_aggregates):
+        greedy = pta(proj_relation, ["proj"], proj_aggregates, size=4,
+                     method="greedy")
+        assert len(greedy) == 4
+
+    def test_explicit_variants_match_dispatch(self, proj_relation, proj_aggregates):
+        assert pta_size_bounded(proj_relation, ["proj"], proj_aggregates, 4) == pta(
+            proj_relation, ["proj"], proj_aggregates, size=4
+        )
+        assert pta_error_bounded(proj_relation, ["proj"], proj_aggregates, 0.3) == pta(
+            proj_relation, ["proj"], proj_aggregates, error=0.3
+        )
+        assert gpta_size_bounded(proj_relation, ["proj"], proj_aggregates, 4) == pta(
+            proj_relation, ["proj"], proj_aggregates, size=4, method="greedy"
+        )
+
+    def test_greedy_error_bounded_runs(self, proj_relation, proj_aggregates):
+        result = gpta_error_bounded(
+            proj_relation, ["proj"], proj_aggregates, 0.5, sample_fraction=1.0
+        )
+        assert 3 <= len(result) <= 7
+
+    def test_output_schema(self, proj_relation, proj_aggregates):
+        result = pta(proj_relation, ["proj"], proj_aggregates, size=4)
+        assert result.schema.columns == ("proj", "avg_sal")
+
+    def test_result_is_sequential(self, proj_relation, proj_aggregates):
+        result = pta(proj_relation, ["proj"], proj_aggregates, size=4)
+        assert result.is_sequential(["proj"])
+
+    def test_multiple_aggregates_and_no_grouping(self, proj_relation):
+        result = pta(
+            proj_relation, [],
+            {"avg_sal": ("avg", "sal"), "n": ("count", None)},
+            size=3,
+        )
+        assert result.schema.columns == ("avg_sal", "n")
+        assert len(result) == 3
+
+
+class TestReduceIta:
+    def test_reduces_precomputed_ita(self, proj_ita):
+        reduced = reduce_ita(proj_ita, ["proj"], ["avg_sal"], size=4)
+        assert len(reduced) == 4
+
+    def test_greedy_and_error_variants(self, proj_ita):
+        by_error = reduce_ita(proj_ita, ["proj"], ["avg_sal"], error=1.0)
+        assert len(by_error) == 3
+        greedy = reduce_ita(proj_ita, ["proj"], ["avg_sal"], size=4,
+                            method="greedy")
+        assert len(greedy) == 4
+        greedy_error = reduce_ita(proj_ita, ["proj"], ["avg_sal"], error=1.0,
+                                  method="greedy")
+        assert len(greedy_error) == 3
+
+    def test_parameter_validation(self, proj_ita):
+        with pytest.raises(ValueError):
+            reduce_ita(proj_ita, ["proj"], ["avg_sal"])
+        with pytest.raises(ValueError):
+            reduce_ita(proj_ita, ["proj"], ["avg_sal"], size=4, method="nope")
+
+
+class TestEstimate:
+    def test_full_sample_matches_exact_value(self, proj_relation, proj_aggregates):
+        estimate = estimate_max_error(
+            proj_relation, ["proj"], proj_aggregates, sample_fraction=1.0
+        )
+        ita_result = ita(proj_relation, ["proj"], proj_aggregates)
+        segments = segments_from_relation(ita_result, ["proj"], ["avg_sal"])
+        assert estimate == pytest.approx(max_error(segments))
+
+    def test_invalid_fraction_rejected(self, proj_relation, proj_aggregates):
+        with pytest.raises(ValueError):
+            estimate_max_error(proj_relation, ["proj"], proj_aggregates,
+                               sample_fraction=0.0)
+
+    def test_sampled_estimate_is_finite_and_nonnegative(self):
+        relation = synthetic_relation(300, dimensions=2, groups=4, seed=1)
+        estimate = estimate_max_error(
+            relation, ["grp"],
+            {name: ("avg", name) for name in value_columns(2)},
+            sample_fraction=0.2,
+        )
+        assert estimate >= 0.0
+
+
+class TestEndToEndConsistency:
+    def test_dp_never_worse_than_greedy(self):
+        relation = synthetic_relation(400, dimensions=1, groups=3, seed=9)
+        aggregates = {"m": ("avg", "v0")}
+        ita_result = ita(relation, ["grp"], aggregates)
+        segments = segments_from_relation(ita_result, ["grp"], ["m"])
+        from repro.core import gms_reduce_to_size, reduce_to_size
+
+        size = max(len(segments) // 5, segments and 1 or 1)
+        from repro.core import cmin as cmin_of
+        size = max(size, cmin_of(segments))
+        optimal = reduce_to_size(segments, size)
+        greedy = gms_reduce_to_size(segments, size)
+        assert optimal.error <= greedy.error + 1e-9

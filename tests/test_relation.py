@@ -1,0 +1,165 @@
+"""Unit tests for schemas, temporal relations and coalescing."""
+
+import pytest
+
+from repro import Interval, TemporalRelation, TemporalSchema, coalesce
+from repro.temporal import SchemaError, split_into_maximal_segments
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = TemporalSchema(("a", "b"))
+        assert len(schema) == 2
+        assert "a" in schema
+        assert schema.index_of("b") == 1
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TemporalSchema(("a", "a"))
+
+    def test_timestamp_clash_rejected(self):
+        with pytest.raises(SchemaError):
+            TemporalSchema(("a", "T"))
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            TemporalSchema(("a",)).index_of("zzz")
+
+    def test_project_and_extend(self):
+        schema = TemporalSchema(("a", "b", "c"))
+        assert schema.project(["c", "a"]).columns == ("c", "a")
+        assert schema.extend(["d"]).columns == ("a", "b", "c", "d")
+
+
+class TestRelationConstruction:
+    def test_from_records_with_interval_objects(self, proj_relation):
+        assert len(proj_relation) == 5
+        assert proj_relation[0]["empl"] == "John"
+        assert proj_relation[0].interval == Interval(1, 4)
+
+    def test_from_records_with_tuple_intervals(self):
+        relation = TemporalRelation.from_records(
+            columns=("x",), records=[(1, (2, 5)), (2, (6, 8))]
+        )
+        assert relation.intervals() == [Interval(2, 5), Interval(6, 8)]
+
+    def test_arity_mismatch_rejected(self):
+        relation = TemporalRelation(TemporalSchema(("a", "b")))
+        with pytest.raises(SchemaError):
+            relation.append((1,), Interval(1, 2))
+
+    def test_bad_interval_type_rejected(self):
+        relation = TemporalRelation(TemporalSchema(("a",)))
+        with pytest.raises(TypeError):
+            relation.append((1,), (1, 2))
+
+    def test_copy_is_independent(self, proj_relation):
+        clone = proj_relation.copy()
+        clone.append(("X", "C", 1), Interval(1, 1))
+        assert len(proj_relation) == 5
+        assert len(clone) == 6
+
+
+class TestRelationInspection:
+    def test_column_access(self, proj_relation):
+        assert proj_relation.column("sal") == [800, 400, 300, 500, 500]
+
+    def test_timespan(self, proj_relation):
+        assert proj_relation.timespan() == Interval(1, 8)
+
+    def test_timespan_empty_raises(self):
+        with pytest.raises(ValueError):
+            TemporalRelation(TemporalSchema(("a",))).timespan()
+
+    def test_total_duration(self, proj_relation):
+        assert proj_relation.total_duration() == 4 + 4 + 4 + 2 + 2
+
+    def test_groups(self, proj_relation):
+        groups = proj_relation.groups(["proj"])
+        assert set(groups) == {("A",), ("B",)}
+        assert len(groups[("A",)]) == 3
+
+    def test_tuple_projection_and_dict(self, proj_relation):
+        row = proj_relation[0]
+        assert row.project(["sal", "proj"]) == (800, "A")
+        assert row.value_dict() == {"empl": "John", "proj": "A", "sal": 800}
+
+
+class TestRelationOperations:
+    def test_filter(self, proj_relation):
+        only_b = proj_relation.filter(lambda row: row["proj"] == "B")
+        assert len(only_b) == 2
+
+    def test_project(self, proj_relation):
+        projected = proj_relation.project(["proj", "sal"])
+        assert projected.schema.columns == ("proj", "sal")
+        assert projected[0].values == ("A", 800)
+
+    def test_sorted_sequential_orders_by_group_then_time(self):
+        relation = TemporalRelation.from_records(
+            columns=("g", "v"),
+            records=[
+                ("b", 1, (5, 6)),
+                ("a", 2, (3, 4)),
+                ("a", 3, (1, 2)),
+            ],
+        )
+        ordered = relation.sorted_sequential(["g"])
+        assert [row["v"] for row in ordered] == [3, 2, 1]
+
+    def test_is_sequential_true_for_ita_result(self, proj_ita):
+        assert proj_ita.is_sequential(["proj"])
+
+    def test_is_sequential_false_for_overlaps(self, proj_relation):
+        assert not proj_relation.is_sequential(["proj"])
+
+    def test_equality(self, proj_relation):
+        assert proj_relation == proj_relation.copy()
+        assert proj_relation != proj_relation.project(["proj"])
+
+
+class TestCoalesce:
+    def test_merges_value_equivalent_adjacent_tuples(self):
+        relation = TemporalRelation.from_records(
+            columns=("k", "v"),
+            records=[
+                ("a", 1.0, (1, 3)),
+                ("a", 1.0, (4, 6)),
+                ("a", 2.0, (7, 9)),
+            ],
+        )
+        result = coalesce(relation)
+        assert len(result) == 2
+        assert result[0].interval == Interval(1, 6)
+
+    def test_keeps_tuples_across_gaps(self):
+        relation = TemporalRelation.from_records(
+            columns=("v",), records=[(1.0, (1, 2)), (1.0, (5, 6))]
+        )
+        assert len(coalesce(relation)) == 2
+
+    def test_merges_overlapping_value_equivalent_tuples(self):
+        relation = TemporalRelation.from_records(
+            columns=("v",), records=[(1.0, (1, 5)), (1.0, (3, 9))]
+        )
+        result = coalesce(relation)
+        assert len(result) == 1
+        assert result[0].interval == Interval(1, 9)
+
+    def test_idempotent(self, proj_ita):
+        once = coalesce(proj_ita)
+        twice = coalesce(once)
+        assert once == twice
+
+    def test_respects_value_columns_argument(self):
+        relation = TemporalRelation.from_records(
+            columns=("k", "v"),
+            records=[("a", 1.0, (1, 2)), ("b", 1.0, (3, 4))],
+        )
+        by_value_only = coalesce(relation, value_columns=["v"])
+        assert len(by_value_only) == 1
+
+    def test_split_into_maximal_segments(self, proj_ita):
+        ordered = proj_ita.sorted_sequential(["proj"])
+        segments = split_into_maximal_segments(ordered, ["proj"])
+        assert [len(run) for run in segments] == [5, 1, 1]

@@ -1,0 +1,149 @@
+"""Unit tests for the storage substrate and the evaluation harness."""
+
+import math
+
+import pytest
+
+from repro import Interval, TemporalRelation
+from repro.evaluation import (
+    ExperimentLog,
+    error_curve_normalized,
+    feasible_sizes,
+    format_series,
+    format_table,
+    reduction_ratio,
+    relative_error,
+    size_for_reduction_ratio,
+    summarize_error_ratios,
+    timed,
+)
+from repro.core import merge
+from repro.storage import Table, read_relation, write_relation
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        table = Table("t", ["a", "b"])
+        table.insert_many([(1, "x"), (2, "y")])
+        assert len(table) == 2
+        assert list(table.scan(lambda row: row["a"] == 2)) == [{"a": 2, "b": "y"}]
+
+    def test_select_projection(self):
+        table = Table("t", ["a", "b", "c"])
+        table.insert((1, 2, 3))
+        assert table.select(["c", "a"]) == [(3, 1)]
+
+    def test_arity_and_schema_validation(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+        with pytest.raises(ValueError):
+            Table("t", ["a", "a"])
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError):
+            table.insert((1, 2))
+
+    def test_temporal_round_trip(self, proj_relation):
+        table = Table.from_temporal_relation("proj", proj_relation)
+        assert len(table) == len(proj_relation)
+        back = table.to_temporal_relation(
+            proj_relation.schema.columns, "t_start", "t_end"
+        )
+        assert back == proj_relation
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, proj_relation):
+        path = tmp_path / "proj.csv"
+        write_relation(proj_relation, path)
+        loaded = read_relation(path, numeric_columns=["sal"])
+        assert len(loaded) == len(proj_relation)
+        assert loaded[0]["sal"] == 800.0
+        assert loaded[0].interval == Interval(1, 4)
+
+    def test_rejects_non_temporal_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_relation(path)
+
+    def test_empty_relation_round_trip(self, tmp_path):
+        relation = TemporalRelation.from_records(columns=("x",), records=[])
+        path = tmp_path / "empty.csv"
+        write_relation(relation, path)
+        assert len(read_relation(path)) == 0
+
+
+class TestMetrics:
+    def test_reduction_ratio(self):
+        assert reduction_ratio(100, 10) == 90.0
+        assert reduction_ratio(100, 100) == 0.0
+        with pytest.raises(ValueError):
+            reduction_ratio(0, 0)
+
+    def test_size_for_reduction_ratio(self):
+        assert size_for_reduction_ratio(100, 90.0) == 10
+        assert size_for_reduction_ratio(100, 0.0) == 100
+        assert size_for_reduction_ratio(10, 99.9) == 1
+        with pytest.raises(ValueError):
+            size_for_reduction_ratio(100, 120.0)
+
+    def test_relative_error_bounds(self, proj_segments):
+        reduced = [
+            merge(proj_segments[0], proj_segments[1]),
+            proj_segments[2],
+            merge(proj_segments[3], proj_segments[4]),
+            proj_segments[5],
+            proj_segments[6],
+        ]
+        value = relative_error(proj_segments, reduced)
+        assert 0.0 < value < 100.0
+        assert relative_error(proj_segments, proj_segments) == 0.0
+
+    def test_summarize_error_ratios(self):
+        summary = summarize_error_ratios([1.0, 1.2, 1.4])
+        assert summary.mean_ratio == pytest.approx(1.2)
+        assert summary.count == 3
+        assert summarize_error_ratios([2.0]).standard_error == 0.0
+        assert math.isnan(summarize_error_ratios([]).mean_ratio)
+
+    def test_feasible_sizes(self, proj_segments):
+        sizes = feasible_sizes(proj_segments, count=4)
+        assert all(3 <= size <= 7 for size in sizes)
+        assert sizes == sorted(sizes)
+
+    def test_error_curve_normalized(self):
+        points = error_curve_normalized({5: 10.0, 2: 50.0, 1: float("inf")},
+                                        input_size=10, maximum_error=100.0)
+        assert points == [(50.0, 10.0), (80.0, 50.0)]
+
+
+class TestRunnerAndReporting:
+    def test_timed(self):
+        result = timed(sum, [1, 2, 3])
+        assert result.value == 6
+        assert result.seconds >= 0.0
+
+    def test_experiment_log_table_and_series(self):
+        log = ExperimentLog("demo")
+        log.record(n=10, algorithm="dp", seconds=0.5)
+        log.record(n=20, algorithm="dp", seconds=1.0)
+        log.record(n=10, algorithm="greedy", seconds=0.1)
+        headers, rows = log.as_table()
+        assert headers == ["n", "algorithm", "seconds"]
+        assert len(rows) == 3
+        series = log.series("n", "seconds", split_by="algorithm")
+        assert set(series) == {"dp", "greedy"}
+        assert series["dp"] == [(10, 0.5), (20, 1.0)]
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 123456.0]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series({"s": [(1, 2.0)]}, "x", "y", title="t")
+        assert "## series: s" in text
+        assert "1\t2.000" in text
