@@ -1,0 +1,11 @@
+"""Benchmark harness reproducing the paper's evaluation section.
+
+This package marker namespaces the benchmark modules (``benchmarks.bench_*``)
+so their collection never clashes with the ``tests/`` suite — both
+directories carry a ``conftest.py``, and without packages pytest would import
+whichever it sees first under the bare module name ``conftest``.
+
+Run the benchmarks explicitly with ``python -m pytest benchmarks/`` (add
+``--benchmark-disable`` for a quick smoke pass); plain ``pytest`` collects
+only ``tests/`` (see ``[tool.pytest.ini_options]`` in ``pyproject.toml``).
+"""

@@ -6,7 +6,9 @@ aggregation groups (query S2).
 
 Expected shape (paper): without gaps the two curves coincide and grow
 quadratically; with groups PTAc is far faster and scales almost linearly
-because every group boundary prunes the split-point search.
+because every group boundary prunes the split-point search.  The PTAc-np
+series runs the same optimized algorithm on the vectorized NumPy kernels
+(``backend="numpy"``), which flattens the quadratic no-gap curve.
 """
 
 from repro.core.dp import reduce_to_size
@@ -31,8 +33,8 @@ def bench_fig18_runtime_input_size(benchmark):
     output_size = max(int(sizes[0] * OUTPUT_FRACTION[scale]), 10)
     groups = max(sizes[0] // 20, 10)
 
-    no_gaps = {"DP": [], "PTAc": []}
-    with_gaps = {"DP": [], "PTAc": []}
+    no_gaps = {"DP": [], "PTAc": [], "PTAc-np": []}
+    with_gaps = {"DP": [], "PTAc": [], "PTAc-np": []}
     for size in sizes:
         flat = synthetic_sequential_segments(size, dimensions, seed=31)
         grouped = synthetic_grouped_segments(
@@ -46,6 +48,10 @@ def bench_fig18_runtime_input_size(benchmark):
             (size, round(timed(reduce_to_size, flat, output_size,
                                optimized=True).seconds, 4))
         )
+        no_gaps["PTAc-np"].append(
+            (size, round(timed(reduce_to_size, flat, output_size,
+                               optimized=True, backend="numpy").seconds, 4))
+        )
         with_gaps["DP"].append(
             (size, round(timed(reduce_to_size, grouped, max(output_size, groups),
                                optimized=False).seconds, 4))
@@ -53,6 +59,10 @@ def bench_fig18_runtime_input_size(benchmark):
         with_gaps["PTAc"].append(
             (size, round(timed(reduce_to_size, grouped, max(output_size, groups),
                                optimized=True).seconds, 4))
+        )
+        with_gaps["PTAc-np"].append(
+            (size, round(timed(reduce_to_size, grouped, max(output_size, groups),
+                               optimized=True, backend="numpy").seconds, 4))
         )
 
     publish(

@@ -32,7 +32,7 @@ def bench_fig19_runtime_output_size(benchmark):
         for fraction in (0.1, 0.25, 0.5, 0.75, 1.0)
     })
 
-    series = {"DP": [], "PTAc": []}
+    series = {"DP": [], "PTAc": [], "PTAc-np": []}
     for output_size in output_sizes:
         series["DP"].append(
             (output_size, round(timed(reduce_to_size, segments, output_size,
@@ -41,6 +41,11 @@ def bench_fig19_runtime_output_size(benchmark):
         series["PTAc"].append(
             (output_size, round(timed(reduce_to_size, segments, output_size,
                                       optimized=True).seconds, 4))
+        )
+        series["PTAc-np"].append(
+            (output_size, round(timed(reduce_to_size, segments, output_size,
+                                      optimized=True,
+                                      backend="numpy").seconds, 4))
         )
 
     publish(

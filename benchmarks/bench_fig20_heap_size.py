@@ -10,14 +10,10 @@ converge to the output size while δ = ∞ stays at the input size; gPTAε's
 heap is larger for every δ.
 """
 
-from repro.core import (
-    DELTA_INFINITY,
-    greedy_reduce_to_error,
-    greedy_reduce_to_size,
-    max_error,
-)
+from repro.core import DELTA_INFINITY, greedy_reduce_to_size, max_error
 from repro.datasets import synthetic_sequential_segments
 from repro.evaluation import format_series
+from repro.pipeline import compress
 
 from paperbench import workload_scale, publish
 
@@ -38,15 +34,14 @@ def bench_fig20_heap_size(benchmark):
     size_series = {_label(delta): [] for delta in DELTAS}
     for delta in DELTAS:
         for output_size in output_sizes:
-            result = greedy_reduce_to_size(iter(segments), output_size,
-                                           delta=delta)
+            result = compress(iter(segments), size=output_size, delta=delta)
             size_series[_label(delta)].append((output_size, result.max_heap_size))
 
     error_series = {_label(delta): [] for delta in DELTAS}
     for delta in DELTAS:
         for epsilon in (0.05, 0.2, 0.5, 0.8):
-            result = greedy_reduce_to_error(
-                iter(segments), epsilon, delta=delta,
+            result = compress(
+                iter(segments), max_error=epsilon, delta=delta,
                 input_size_estimate=n, max_error_estimate=emax,
             )
             error_series[_label(delta)].append((result.size, result.max_heap_size))

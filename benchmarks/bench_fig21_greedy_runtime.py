@@ -12,13 +12,10 @@ linear-time approximation techniques.
 import numpy as np
 
 from repro.baselines import apca, atc, dwt_approximate, paa, series_from_segments
-from repro.core import (
-    greedy_reduce_to_error,
-    greedy_reduce_to_size,
-    max_error,
-)
+from repro.core import greedy_reduce_to_size, max_error
 from repro.datasets import synthetic_sequential_segments
 from repro.evaluation import format_series, timed
+from repro.pipeline import compress
 
 from paperbench import workload_scale, publish
 
@@ -42,13 +39,14 @@ def bench_fig21_greedy_runtime(benchmark):
         local_bound = 0.01 * emax / n
 
         series["gPTAc"].append(
-            (n, round(timed(greedy_reduce_to_size, iter(segments),
-                            output_size, 1).seconds, 4))
+            (n, round(timed(
+                compress, iter(segments), size=output_size, delta=1,
+            ).seconds, 4))
         )
         series["gPTAeps"].append(
             (n, round(timed(
-                greedy_reduce_to_error, iter(segments), 0.65, 1, None,
-                n, emax,
+                compress, iter(segments), max_error=0.65, delta=1,
+                input_size_estimate=n, max_error_estimate=emax,
             ).seconds, 4))
         )
         series["ATC"].append(

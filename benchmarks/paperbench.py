@@ -6,7 +6,8 @@ evaluation section: it computes the rows/series, prints them, writes them to
 pytest-benchmark.  The experiment scale is controlled by the environment
 variable ``REPRO_BENCH_SCALE`` (``tiny`` by default so the whole harness
 finishes in minutes; ``small`` and ``paper`` trade runtime for fidelity, see
-``repro.datasets.queries``).
+``repro.datasets.queries``; ``smoke`` is an extra-reduced scale used by the
+CI smoke job and currently honoured by ``bench_kernels.py``).
 """
 
 from __future__ import annotations

@@ -17,14 +17,10 @@ Run with::
 """
 
 from repro import ita
-from repro.core import (
-    greedy_reduce_to_error,
-    max_error,
-    reduce_to_error,
-    segments_from_relation,
-)
+from repro.core import max_error, reduce_to_error, segments_from_relation
 from repro.datasets import generate_etds
 from repro.evaluation import reduction_ratio
+from repro.pipeline import compress
 
 ERROR_BUDGETS = (0.001, 0.01, 0.05, 0.2)
 
@@ -48,9 +44,9 @@ def main():
     print(header)
     print("-" * len(header))
     for epsilon in ERROR_BUDGETS:
-        exact = reduce_to_error(segments, epsilon)
-        online = greedy_reduce_to_error(
-            iter(segments), epsilon, delta=1,
+        exact = reduce_to_error(segments, epsilon, backend="numpy")
+        online = compress(
+            iter(segments), max_error=epsilon, delta=1,
             input_size_estimate=len(segments), max_error_estimate=emax,
         )
         print(

@@ -9,7 +9,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Interval, TemporalRelation, ita, pta, sta
+from repro import Interval, TemporalRelation, compress, ita, pta, sta
 from repro.core import (
     gms_reduce_to_size,
     max_error,
@@ -68,6 +68,13 @@ def main():
     print(f"  optimal (PTAc)  error          : {optimal.error:12.2f}")
     print(f"  greedy  (gPTAc) error          : {greedy.error:12.2f}")
     print(f"  greedy / optimal error ratio   : {greedy.error / optimal.error:12.2f}")
+
+    # The one-call streaming facade does ITA + online reduction in one go
+    # (backend="numpy" vectorizes the DP method and batch GMS reductions).
+    summary = compress(proj, group_by=["proj"], aggregates=aggregates, size=4)
+    print("\nPipeline: compress(proj, size=4) "
+          f"-> {summary.size} segments, error {summary.error:.2f}, "
+          f"max heap {summary.max_heap_size}")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,13 @@
 """Sensor stream compression with the online greedy algorithms.
 
 A monitoring system keeps a long history of sensor readings but only needs a
-bounded summary per sensor for trend analysis.  This example converts a
-multi-channel wind-speed style series into a sequential temporal relation,
-compresses it with the *online* greedy algorithm gPTAc (which never holds the
-full history in memory — the merge heap stays at ``c + β`` entries), and
-compares the result against the exact DP reduction and against classic time
-series approximations (PAA and the Haar wavelet transform).
+bounded summary per sensor for trend analysis.  This example feeds a
+multi-channel wind-speed style series through the streaming pipeline
+(:func:`repro.pipeline.compress`), which drives the *online* greedy
+algorithm gPTAc chunk by chunk — the full history is never materialised and
+the merge heap stays at ``c + β`` entries — and compares the result against
+the exact DP reduction and against classic time series approximations (PAA
+and the Haar wavelet transform).
 
 Run with::
 
@@ -16,25 +17,21 @@ Run with::
 import numpy as np
 
 from repro.baselines import dwt_approximate_to_size, paa, series_from_segments
-from repro.core import (
-    DELTA_INFINITY,
-    greedy_reduce_to_size,
-    reduce_to_size,
-    sse_between,
-)
+from repro.core import DELTA_INFINITY, reduce_to_size, sse_between
 from repro.datasets import chaotic_series, series_to_segments, wind_series
+from repro.pipeline import compress
 
 SUMMARY_SIZE = 40
 
 
-def compress(name, segments):
+def summarize(name, segments):
     print(f"\n{name}: {len(segments)} readings -> {SUMMARY_SIZE} segments")
     print("-" * 60)
 
-    optimal = reduce_to_size(segments, SUMMARY_SIZE)
+    optimal = reduce_to_size(segments, SUMMARY_SIZE, backend="numpy")
     for delta in (0, 1, DELTA_INFINITY):
         label = "inf" if delta == DELTA_INFINITY else delta
-        online = greedy_reduce_to_size(iter(segments), SUMMARY_SIZE, delta=delta)
+        online = compress(iter(segments), size=SUMMARY_SIZE, delta=delta)
         ratio = online.error / optimal.error if optimal.error else 1.0
         print(f"  gPTAc delta={label!s:>3}: error ratio {ratio:6.3f}, "
               f"max heap {online.max_heap_size:5d} "
@@ -54,14 +51,14 @@ def compress(name, segments):
 def main():
     # A single chaotic sensor channel.
     chaotic = series_to_segments(chaotic_series(1200, seed=5))
-    compress("chaotic sensor", chaotic)
+    summarize("chaotic sensor", chaotic)
 
     # Twelve correlated wind stations summarised under one global size bound.
     wind = series_to_segments(wind_series(800, dimensions=12, seed=6))
-    compress("12-channel wind array", wind)
+    summarize("12-channel wind array", wind)
 
-    # Sanity: the reported greedy error is exactly the SSE to the original.
-    online = greedy_reduce_to_size(iter(chaotic), SUMMARY_SIZE, delta=1)
+    # Sanity: the reported pipeline error is exactly the SSE to the original.
+    online = compress(iter(chaotic), size=SUMMARY_SIZE, delta=1)
     recomputed = sse_between(chaotic, online.segments)
     assert abs(online.error - recomputed) < 1e-6
     print("\nError accounting verified: streamed error equals recomputed SSE.")

@@ -1,4 +1,4 @@
-"""Setup shim so legacy editable installs work in offline environments."""
+"""Legacy shim — all metadata lives in ``pyproject.toml`` (PEP 621)."""
 
 from setuptools import setup
 

@@ -27,6 +27,7 @@ from .aggregation import (
     AggregateSpec,
     ita,
     iter_ita,
+    iter_ita_segments,
     mwta,
     register_aggregate,
     regular_spans,
@@ -45,6 +46,7 @@ from .core import (
     pta_size_bounded,
     reduce_ita,
 )
+from .pipeline import CompressionResult, compress
 from .temporal import (
     Interval,
     TemporalRelation,
@@ -66,11 +68,14 @@ __all__ = [
     "TemporalSchema",
     "TemporalTuple",
     "coalesce",
+    "compress",
+    "CompressionResult",
     "estimate_max_error",
     "gpta_error_bounded",
     "gpta_size_bounded",
     "ita",
     "iter_ita",
+    "iter_ita_segments",
     "mwta",
     "pta",
     "pta_error_bounded",

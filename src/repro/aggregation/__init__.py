@@ -7,7 +7,7 @@ from .functions import (
     register_aggregate,
     resolve_aggregate,
 )
-from .ita import ita, ita_schema, iter_ita
+from .ita import ita, ita_schema, iter_ita, iter_ita_segments
 from .mwta import mwta
 from .sta import regular_spans, sta
 
@@ -20,6 +20,7 @@ __all__ = [
     "ita",
     "ita_schema",
     "iter_ita",
+    "iter_ita_segments",
     "mwta",
     "sta",
     "regular_spans",

@@ -112,6 +112,28 @@ def iter_ita(
         yield pending
 
 
+def iter_ita_segments(
+    relation: TemporalRelation,
+    group_by: Sequence[str] = (),
+    aggregates: AggregatesLike = (),
+) -> Iterator["AggregateSegment"]:
+    """Yield the ITA result as :class:`~repro.core.merge.AggregateSegment`\\ s.
+
+    This is the producer side of the streaming pipeline
+    (:func:`repro.pipeline.compress`): tuples are handed to the consumer one
+    at a time in group-then-time order, so the online greedy algorithms can
+    merge while aggregation is still running and the full ITA result is never
+    materialised.
+    """
+    # Imported lazily: repro.core imports repro.aggregation at package load.
+    from ..core.merge import AggregateSegment
+
+    for group_values, aggregate_values, interval in iter_ita(
+        relation, group_by, aggregates
+    ):
+        yield AggregateSegment(group_values, aggregate_values, interval)
+
+
 def ita_schema(
     relation: TemporalRelation,
     group_by: Sequence[str],

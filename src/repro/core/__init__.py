@@ -18,7 +18,7 @@ from .greedy import (
     greedy_reduce_to_error,
     greedy_reduce_to_size,
 )
-from .heap import HeapNode, MergeHeap
+from .heap import HeapNode, MergeHeap, make_merge_heap
 from .merge import (
     AggregateSegment,
     adjacency_flags,
@@ -42,6 +42,21 @@ from .pta import (
     reduce_ita,
 )
 
+# The NumPy kernels are re-exported lazily (PEP 562) so that a plain
+# `import repro` with backend="python" never pays the numpy import; the
+# in-function `from .kernels import ...` blocks in dp.py and heap.py defer
+# it for the same reason.
+_LAZY_KERNEL_EXPORTS = ("NumpyMergeHeap", "NumpyPrefixSums")
+
+
+def __getattr__(name):
+    if name in _LAZY_KERNEL_EXPORTS:
+        from . import kernels
+
+        return getattr(kernels, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AggregateSegment",
     "DELTA_INFINITY",
@@ -50,6 +65,8 @@ __all__ = [
     "GreedyResult",
     "HeapNode",
     "MergeHeap",
+    "NumpyMergeHeap",
+    "NumpyPrefixSums",
     "PrefixSums",
     "adjacency_flags",
     "adjacent",
@@ -59,6 +76,7 @@ __all__ = [
     "gap_positions",
     "gms_reduce_to_error",
     "gms_reduce_to_size",
+    "make_merge_heap",
     "gpta_error_bounded",
     "gpta_size_bounded",
     "greedy_reduce_to_error",

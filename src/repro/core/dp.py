@@ -18,6 +18,13 @@ refinements from the paper are implemented:
 ``reduce_to_error`` implements ``PTAε`` (Fig. 8).  Setting
 ``optimized=False`` disables the gap pruning and the early break, which is
 the plain "DP" baseline used in the runtime experiments (Figs. 18 and 19).
+
+Every entry point accepts ``backend="python"`` (the reference, loop-based
+evaluation) or ``backend="numpy"``, which replaces the inner split-point loop
+of each cell with one vectorized ``np.argmin`` over the ``j``-range
+(:mod:`repro.core.kernels`).  Both backends evaluate the same recurrence with
+the same floating-point formulae and tie-breaking, so they produce identical
+reductions.
 """
 
 from __future__ import annotations
@@ -80,10 +87,21 @@ class _ErrorMatrix:
         segments: Sequence[AggregateSegment],
         weights: Weights | None,
         optimized: bool,
+        backend: str = "python",
     ) -> None:
+        if backend not in ("python", "numpy"):
+            raise ValueError(
+                f"backend must be 'python' or 'numpy', got {backend!r}"
+            )
         self.segments = list(segments)
         self.count = len(self.segments)
-        self.prefix = PrefixSums(self.segments, weights)
+        self.backend = backend
+        if backend == "numpy":
+            from .kernels import NumpyPrefixSums
+
+            self.prefix = NumpyPrefixSums(self.segments, weights)
+        else:
+            self.prefix = PrefixSums(self.segments, weights)
         self.gaps = gap_positions(self.segments)
         self.optimized = optimized
         self.stats = DPStats()
@@ -109,6 +127,8 @@ class _ErrorMatrix:
     # ------------------------------------------------------------------
     def fill_next_row(self) -> List[float]:
         """Fill row ``k = rows_computed + 1`` and return it."""
+        if self.backend == "numpy":
+            return self._fill_next_row_numpy()
         k = self.rows_computed + 1
         n = self.count
         row = [math.inf] * (n + 1)
@@ -150,6 +170,50 @@ class _ErrorMatrix:
                         break
                 row[i] = best
                 splits[i] = best_split
+        self._previous_row = self._current_row
+        self._current_row = row
+        self.split_rows.append(splits)
+        self.rows_computed = k
+        self.stats.rows_filled = k
+        return row
+
+    def _fill_next_row_numpy(self):
+        """Fill row ``k`` with the split-point search vectorized per cell.
+
+        The loop over cells ``i`` stays in Python, but the inner loop over
+        candidate split points ``j`` — the quadratic part of the recurrence —
+        is a single batched run-error evaluation plus one ``argmin``
+        (:func:`repro.core.kernels.dp_best_split`).
+        """
+        from .kernels import dp_best_split, dp_first_row, np
+
+        k = self.rows_computed + 1
+        n = self.count
+        i_max = self._upper_bound(k)
+        splits = [0] * (n + 1)
+        if k == 1:
+            self.stats.cells_evaluated += i_max
+            first_gap = None
+            if not self.optimized and self.gaps:
+                first_gap = self.gaps[0]
+            row = dp_first_row(self.prefix, i_max, first_gap)
+        else:
+            row = np.full(n + 1, math.inf)
+            previous = self._current_row
+            for i in range(k, i_max + 1):
+                self.stats.cells_evaluated += 1
+                j_min = self._lower_bound(k, i)
+                infeasible = 0
+                if not self.optimized:
+                    position = bisect.bisect_left(self.gaps, i)
+                    if position:
+                        infeasible = self.gaps[position - 1]
+                self.stats.split_candidates += i - j_min
+                best, split = dp_best_split(
+                    self.prefix, previous, j_min, i, infeasible
+                )
+                row[i] = best
+                splits[i] = split
         self._previous_row = self._current_row
         self._current_row = row
         self.split_rows.append(splits)
@@ -203,6 +267,7 @@ def reduce_to_size(
     size: int,
     weights: Weights | None = None,
     optimized: bool = True,
+    backend: str = "python",
 ) -> DPResult:
     """Optimal size-bounded reduction (algorithm ``PTAc``, Fig. 7).
 
@@ -219,6 +284,10 @@ def reduce_to_size(
     optimized:
         When ``False`` the gap pruning and the early break are disabled
         (the plain DP baseline of the runtime experiments).
+    backend:
+        ``"python"`` for the loop-based reference evaluation, ``"numpy"``
+        for the vectorized split-point search of :mod:`repro.core.kernels`.
+        Both produce identical reductions.
     """
     segments = list(segments)
     if size < 1:
@@ -233,10 +302,10 @@ def reduce_to_size(
         )
     _check_dimensions(segments)
 
-    matrix = _ErrorMatrix(segments, weights, optimized)
+    matrix = _ErrorMatrix(segments, weights, optimized, backend)
     for _ in range(size):
         row = matrix.fill_next_row()
-    error = row[len(segments)]
+    error = float(row[len(segments)])
     output = matrix.build_output(size)
     return DPResult(output, error, len(output), matrix.stats)
 
@@ -246,6 +315,7 @@ def reduce_to_error(
     epsilon: float,
     weights: Weights | None = None,
     optimized: bool = True,
+    backend: str = "python",
 ) -> DPResult:
     """Optimal error-bounded reduction (algorithm ``PTAε``, Fig. 8).
 
@@ -257,6 +327,8 @@ def reduce_to_error(
     epsilon:
         Relative error threshold in ``[0, 1]``; 1 permits the maximal
         reduction to ``cmin`` tuples, 0 forbids any lossy merge.
+    backend:
+        ``"python"`` or ``"numpy"`` (see :func:`reduce_to_size`).
     """
     if not 0.0 <= epsilon <= 1.0:
         raise ValueError(f"epsilon must be within [0, 1], got {epsilon}")
@@ -266,13 +338,13 @@ def reduce_to_error(
     _check_dimensions(segments)
 
     threshold = epsilon * max_error(segments, weights)
-    matrix = _ErrorMatrix(segments, weights, optimized)
+    matrix = _ErrorMatrix(segments, weights, optimized, backend)
     n = len(segments)
     for k in range(1, n + 1):
         row = matrix.fill_next_row()
         if row[n] <= threshold + 1e-9:
             output = matrix.build_output(k)
-            return DPResult(output, row[n], len(output), matrix.stats)
+            return DPResult(output, float(row[n]), len(output), matrix.stats)
     # epsilon == 0 with unavoidable error never happens: k == n gives error 0.
     output = matrix.build_output(n)
     return DPResult(output, 0.0, n, matrix.stats)
@@ -282,6 +354,7 @@ def optimal_error_curve(
     segments: Sequence[AggregateSegment],
     sizes: Sequence[int] | None = None,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> dict:
     """Optimal error for every requested output size in a single DP sweep.
 
@@ -302,13 +375,13 @@ def optimal_error_curve(
     sizes = sorted({int(size) for size in sizes if 1 <= int(size) <= n})
     if not sizes:
         return {}
-    matrix = _ErrorMatrix(segments, weights, optimized=True)
+    matrix = _ErrorMatrix(segments, weights, optimized=True, backend=backend)
     curve = {}
     wanted = set(sizes)
     for k in range(1, max(sizes) + 1):
         row = matrix.fill_next_row()
         if k in wanted:
-            curve[k] = row[n]
+            curve[k] = float(row[n])
     return curve
 
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence
 
 from .errors import Weights, max_error, resolve_weights
-from .heap import MergeHeap
+from .heap import make_merge_heap
 from .merge import AggregateSegment, adjacent
 
 Delta = float  # non-negative int or math.inf
@@ -79,11 +79,12 @@ def gms_reduce_to_size(
     segments: Sequence[AggregateSegment],
     size: int,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> GreedyResult:
     """Reduce to at most ``size`` tuples with the greedy merging strategy."""
     if size < 1:
         raise ValueError(f"size bound must be at least 1, got {size}")
-    heap = _build_heap(segments, weights)
+    heap = _build_heap(segments, weights, backend)
     total_error = 0.0
     merges = 0
     while len(heap) > size:
@@ -100,12 +101,13 @@ def gms_reduce_to_error(
     segments: Sequence[AggregateSegment],
     epsilon: float,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> GreedyResult:
     """Merge greedily while the accumulated error stays within ``ε·SSE_max``."""
     if not 0.0 <= epsilon <= 1.0:
         raise ValueError(f"epsilon must be within [0, 1], got {epsilon}")
     threshold = epsilon * max_error(segments, weights)
-    heap = _build_heap(segments, weights)
+    heap = _build_heap(segments, weights, backend)
     total_error = 0.0
     merges = 0
     while True:
@@ -128,6 +130,7 @@ def greedy_reduce_to_size(
     size: int,
     delta: Delta = 1,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> GreedyResult:
     """Online size-bounded greedy reduction (algorithm ``gPTAc``, Fig. 11).
 
@@ -142,12 +145,15 @@ def greedy_reduce_to_size(
         Read-ahead ``δ``: minimum number of adjacent successors a merge
         candidate must have before it may be merged ahead of a confirmed
         gap.  Use :data:`DELTA_INFINITY` to reproduce plain GMS exactly.
+    backend:
+        ``"python"`` for the linked-node reference heap, ``"numpy"`` for the
+        array-backed heap of :mod:`repro.core.kernels`.
     """
     if size < 1:
         raise ValueError(f"size bound must be at least 1, got {size}")
     _check_delta(delta)
 
-    heap = MergeHeap(weights)
+    heap = make_merge_heap(weights, backend)
     last_gap_id = 0
     before_gap = 0
     after_gap = 0
@@ -197,6 +203,7 @@ def greedy_reduce_to_error(
     weights: Weights | None = None,
     input_size_estimate: int | None = None,
     max_error_estimate: float | None = None,
+    backend: str = "python",
 ) -> GreedyResult:
     """Online error-bounded greedy reduction (algorithm ``gPTAε``, Fig. 13).
 
@@ -226,7 +233,7 @@ def greedy_reduce_to_error(
     else:
         step_threshold = 0.0  # disables early merging
 
-    heap = MergeHeap(weights)
+    heap = make_merge_heap(weights, backend)
     tracker = _MaxErrorTracker(weights)
     last_gap_id = 0
     before_gap = 0
@@ -278,16 +285,21 @@ def greedy_reduce_to_error(
 # Helpers
 # ----------------------------------------------------------------------
 def _build_heap(
-    segments: Sequence[AggregateSegment], weights: Weights | None
-) -> MergeHeap:
-    heap = MergeHeap(weights)
-    for segment in segments:
-        heap.insert(segment)
+    segments: Sequence[AggregateSegment],
+    weights: Weights | None,
+    backend: str = "python",
+):
+    heap = make_merge_heap(weights, backend)
+    if hasattr(heap, "insert_batch"):
+        heap.insert_batch(list(segments))
+    else:
+        for segment in segments:
+            heap.insert(segment)
     return heap
 
 
 def _result(
-    heap: MergeHeap, error: float, merges: int, input_size: int
+    heap, error: float, merges: int, input_size: int
 ) -> GreedyResult:
     segments = heap.segments()
     return GreedyResult(
@@ -308,7 +320,7 @@ def _check_delta(delta: Delta) -> None:
         )
 
 
-def _has_read_ahead(heap: MergeHeap, node, delta: Delta) -> bool:
+def _has_read_ahead(heap, node, delta: Delta) -> bool:
     """Check the δ read-ahead heuristic for a merge candidate."""
     if delta == DELTA_INFINITY:
         return False

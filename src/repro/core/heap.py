@@ -12,6 +12,11 @@ The priority queue is a binary heap (:mod:`heapq`) with lazy invalidation:
 when a node's key changes a fresh entry is pushed and stale entries are
 skipped during ``peek``.  This keeps all operations ``O(log h)`` for heap
 size ``h`` without implementing decrease-key.
+
+:func:`make_merge_heap` selects between this reference implementation and
+the array-backed :class:`~repro.core.kernels.NumpyMergeHeap`, which stores
+the intermediate relation in parallel NumPy arrays and merges in place; the
+greedy algorithms expose the choice as their ``backend`` parameter.
 """
 
 from __future__ import annotations
@@ -21,8 +26,7 @@ import itertools
 import math
 from typing import Iterator, List, Optional
 
-from ..temporal import Interval
-from .errors import Weights, pairwise_merge_error, resolve_weights
+from .errors import Weights, pairwise_merge_error
 from .merge import AggregateSegment, adjacent, merge
 
 
@@ -181,3 +185,20 @@ class MergeHeap:
     def segments(self) -> List[AggregateSegment]:
         """Return the current intermediate relation in list order."""
         return [node.segment for node in self]
+
+
+def make_merge_heap(weights: Weights | None = None, backend: str = "python"):
+    """Construct a merge heap for the requested ``backend``.
+
+    ``"python"`` returns the linked-node reference :class:`MergeHeap`;
+    ``"numpy"`` returns the array-backed
+    :class:`~repro.core.kernels.NumpyMergeHeap`.  Both expose the same
+    ``insert`` / ``peek`` / ``merge_top`` / ``segments`` surface.
+    """
+    if backend == "python":
+        return MergeHeap(weights)
+    if backend == "numpy":
+        from .kernels import NumpyMergeHeap
+
+        return NumpyMergeHeap(weights)
+    raise ValueError(f"backend must be 'python' or 'numpy', got {backend!r}")

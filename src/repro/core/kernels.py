@@ -1,0 +1,619 @@
+"""Vectorized NumPy kernels for the PTA hot paths.
+
+The reference implementations in :mod:`repro.core.dp`, :mod:`repro.core.heap`
+and :mod:`repro.core.greedy` evaluate the paper's algorithms with pure-Python
+loops over :class:`~repro.core.merge.AggregateSegment` objects.  This module
+provides drop-in array-backed counterparts selected with the
+``backend="numpy"`` flag:
+
+* :class:`NumpyPrefixSums` — the prefix sums of Proposition 1 stored as
+  ``float64`` arrays, with :meth:`NumpyPrefixSums.sse_run_batch` evaluating
+  the SSE of *every* candidate run ``s_{j+1} .. s_i`` for a fixed ``i`` in one
+  vector expression;
+* :func:`dp_first_row` / :func:`dp_best_split` — the DP error-matrix
+  recurrence of Section 5.1 with the inner split-point loop replaced by a
+  single ``np.argmin`` over the ``j``-range;
+* :class:`NumpyMergeHeap` — the merge heap of Section 6.2.2 as parallel NumPy
+  arrays (interval endpoints, aggregate values, linked-list indices, merge
+  keys) under a :mod:`heapq` priority queue with lazy-deletion version
+  stamps.  Merging updates array slices in place instead of allocating new
+  segment objects, dead slots are compacted away so memory tracks the live
+  heap size, and :meth:`NumpyMergeHeap.insert_batch` computes the merge keys
+  of a whole batch of tuples vectorized (used by the batch GMS helpers).
+
+Both backends implement the same recurrences with the same floating-point
+formulae, so the pure-Python path remains the reference oracle the NumPy path
+is validated against (see ``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..temporal import Interval
+from .errors import Weights, resolve_weights
+from .merge import AggregateSegment
+
+
+# ----------------------------------------------------------------------
+# Prefix sums and the vectorized DP inner loop (Sections 5.1 / 5.2)
+# ----------------------------------------------------------------------
+class NumpyPrefixSums:
+    """Array-backed prefix sums for constant-time run SSE (Proposition 1).
+
+    Mirrors :class:`repro.core.errors.PrefixSums` but stores the cumulative
+    length / value / squared-value sums as ``float64`` arrays, enabling the
+    batched run-error evaluation used by the vectorized DP recurrence.
+    """
+
+    __slots__ = ("segments", "weights", "_w2", "_L", "_S", "_SS")
+
+    def __init__(
+        self,
+        segments: Sequence[AggregateSegment],
+        weights: Weights | None = None,
+    ) -> None:
+        self.segments = list(segments)
+        dimensions = self.segments[0].dimensions if self.segments else 0
+        self.weights = resolve_weights(weights, dimensions)
+        self._w2 = np.asarray(self.weights, dtype=np.float64) ** 2
+
+        count = len(self.segments)
+        lengths = np.zeros(count + 1, dtype=np.float64)
+        values = np.zeros((dimensions, count + 1), dtype=np.float64)
+        for index, segment in enumerate(self.segments, start=1):
+            lengths[index] = segment.length
+            values[:, index] = segment.values
+        weighted = values * lengths
+        self._L = np.cumsum(lengths)
+        self._S = np.cumsum(weighted, axis=1)
+        self._SS = np.cumsum(weighted * values, axis=1)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def dimensions(self) -> int:
+        """Number of aggregate dimensions ``p``."""
+        return self._S.shape[0]
+
+    def total_length(self, first: int, last: int) -> float:
+        """Total interval length of segments ``first .. last`` (inclusive)."""
+        return float(self._L[last + 1] - self._L[first])
+
+    def merged_values(self, first: int, last: int) -> Tuple[float, ...]:
+        """Length-weighted mean values of segments ``first .. last``."""
+        length = self._L[last + 1] - self._L[first]
+        return tuple(
+            float(v) for v in (self._S[:, last + 1] - self._S[:, first]) / length
+        )
+
+    def sse(self, first: int, last: int) -> float:
+        """SSE of merging segments ``first .. last`` into a single tuple."""
+        length = self._L[last + 1] - self._L[first]
+        run_sum = self._S[:, last + 1] - self._S[:, first]
+        run_square = self._SS[:, last + 1] - self._SS[:, first]
+        deviation = np.maximum(run_square - run_sum * run_sum / length, 0.0)
+        return float(self._w2 @ deviation)
+
+    def sse_run_batch(self, j_lo: int, i: int) -> np.ndarray:
+        """Run errors ``SSE(s_{j+1} .. s_i)`` for every ``j`` in ``[j_lo, i)``.
+
+        Uses the paper's 1-based split-point convention: entry ``m`` of the
+        returned array is the error of the run starting right after split
+        point ``j = j_lo + m`` and ending at segment ``s_i``.
+        """
+        length = self._L[i] - self._L[j_lo:i]
+        run_sum = self._S[:, [i]] - self._S[:, j_lo:i]
+        run_square = self._SS[:, [i]] - self._SS[:, j_lo:i]
+        deviation = np.maximum(run_square - run_sum * run_sum / length, 0.0)
+        return self._w2 @ deviation
+
+
+def dp_first_row(
+    prefix: NumpyPrefixSums, i_max: int, first_gap: int | None
+) -> np.ndarray:
+    """Row ``k = 1`` of the error matrix: ``E[1][i] = SSE(s_1 .. s_i)``.
+
+    ``first_gap`` is the position of the first non-adjacent pair (1-based) or
+    ``None``; prefixes extending past it cannot be merged into one tuple and
+    receive an infinite error.
+    """
+    n = len(prefix)
+    row = np.full(n + 1, math.inf)
+    length = prefix._L[1 : i_max + 1]
+    run_sum = prefix._S[:, 1 : i_max + 1]
+    run_square = prefix._SS[:, 1 : i_max + 1]
+    deviation = np.maximum(run_square - run_sum * run_sum / length, 0.0)
+    row[1 : i_max + 1] = prefix._w2 @ deviation
+    if first_gap is not None and first_gap < i_max:
+        row[first_gap + 1 : i_max + 1] = math.inf
+    return row
+
+
+def dp_best_split(
+    prefix: NumpyPrefixSums,
+    previous_row: np.ndarray,
+    j_lo: int,
+    i: int,
+    infeasible_below: int = 0,
+) -> Tuple[float, int]:
+    """Best split point for cell ``E[k][i]`` via one vectorized ``argmin``.
+
+    Evaluates ``E[k-1][j] + SSE(s_{j+1} .. s_i)`` for every candidate split
+    ``j`` in ``[j_lo, i)`` and returns ``(error, split)``.  Candidates below
+    ``infeasible_below`` correspond to runs crossing a gap and are forced to
+    an infinite total (only relevant for the plain-DP baseline; the optimized
+    evaluation passes a ``j_lo`` at or right of the last gap).  Ties are
+    broken towards the *largest* ``j``, matching the pure-Python reference
+    which scans the candidates from ``i - 1`` downwards and only accepts
+    strict improvements.
+    """
+    totals = previous_row[j_lo:i] + prefix.sse_run_batch(j_lo, i)
+    if infeasible_below > j_lo:
+        totals[: infeasible_below - j_lo] = math.inf
+    reversed_totals = totals[::-1]
+    position = int(np.argmin(reversed_totals))
+    best = float(reversed_totals[position])
+    if math.isinf(best):
+        return math.inf, 0
+    return best, i - 1 - position
+
+
+# ----------------------------------------------------------------------
+# Array-backed merge heap (Section 6.2.2)
+# ----------------------------------------------------------------------
+class NumpyHeapNode:
+    """Lightweight view of one live slot of a :class:`NumpyMergeHeap`.
+
+    Exposes the same ``id`` / ``key`` / ``segment`` surface as
+    :class:`repro.core.heap.HeapNode` so the greedy algorithms can treat both
+    heap backends uniformly.  ``id`` is the stable insertion-order number
+    (monotone exactly as in the linked-node implementation, and preserved
+    across array compaction); ``index`` is the current array slot.
+
+    Unlike a linked :class:`~repro.core.heap.HeapNode` — which stays valid
+    forever — a view's slot can be reassigned when a later insertion
+    compacts the storage.  Accessing ``key`` / ``segment`` through a stale
+    view raises :class:`RuntimeError` instead of silently reading another
+    tuple's data.
+    """
+
+    __slots__ = ("_heap", "index", "_id")
+
+    def __init__(self, heap: "NumpyMergeHeap", index: int) -> None:
+        self._heap = heap
+        self.index = index
+        self._id = int(heap._node_id[index])
+
+    def _checked_index(self) -> int:
+        if self._heap._node_id[self.index] != self._id:
+            raise RuntimeError(
+                "heap node view invalidated: the storage was compacted by a "
+                "later insertion; re-obtain the node via peek()/iteration"
+            )
+        return self.index
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    @property
+    def key(self) -> float:
+        return float(self._heap._key[self._checked_index()])
+
+    @property
+    def segment(self) -> AggregateSegment:
+        return self._heap._segment_at(self._checked_index())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NumpyHeapNode(id={self._id})"
+
+
+class NumpyMergeHeap:
+    """Merge heap over parallel NumPy arrays with lazy-deletion stamps.
+
+    Column layout (one row per inserted tuple, rows never move):
+
+    ``_start`` / ``_end``
+        interval endpoints (``int64``);
+    ``_values``
+        length-weighted mean aggregate values, shape ``(capacity, p)``;
+    ``_group``
+        dense integer group ids (arbitrary group tuples are interned);
+    ``_prev`` / ``_next``
+        doubly linked chronological list as row indices (``-1`` = none);
+    ``_key`` / ``_version`` / ``_alive``
+        merge-with-predecessor error, lazy-deletion stamp and liveness.
+
+    The priority queue is a :mod:`heapq` binary heap of
+    ``(key, counter, index, version)`` entries; stale entries are skipped
+    during ``peek`` exactly like the pure-Python heap.  Merging a tuple into
+    its predecessor is a handful of in-place array updates — no intermediate
+    :class:`AggregateSegment` objects are allocated until :meth:`segments`
+    materialises the final relation.
+
+    Merged rows leave dead slots behind; when an insertion would outgrow the
+    arrays while at least half the slots are dead, the storage is compacted
+    in place instead of doubled, so memory stays proportional to the *live*
+    heap size (``c + β`` for the online algorithms) rather than to the total
+    number of tuples ever streamed.  Node ids survive compaction; the
+    priority queue is rebuilt from the surviving keys.
+    """
+
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self, weights: Weights | None = None) -> None:
+        self._weights = weights
+        self._w2: np.ndarray | None = None
+        self._dimensions: int | None = None
+        self._capacity = 0
+        self._count = 0
+        self._size = 0
+        self.max_size = 0
+        self._head = -1
+        self._tail = -1
+        self._entries: List[tuple] = []
+        self._entry_counter = 0
+        self._next_node_id = 1
+        self._group_ids: Dict[tuple, int] = {}
+        self._group_keys: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # Storage management
+    # ------------------------------------------------------------------
+    def _allocate(self, dimensions: int) -> None:
+        self._dimensions = dimensions
+        self._w2 = (
+            np.asarray(resolve_weights(self._weights, dimensions)) ** 2
+        )
+        capacity = self._INITIAL_CAPACITY
+        self._capacity = capacity
+        self._start = np.zeros(capacity, dtype=np.int64)
+        self._end = np.zeros(capacity, dtype=np.int64)
+        self._values = np.zeros((capacity, dimensions), dtype=np.float64)
+        self._group = np.zeros(capacity, dtype=np.int64)
+        self._prev = np.full(capacity, -1, dtype=np.int64)
+        self._next = np.full(capacity, -1, dtype=np.int64)
+        self._key = np.full(capacity, math.inf, dtype=np.float64)
+        self._version = np.zeros(capacity, dtype=np.int64)
+        self._alive = np.zeros(capacity, dtype=bool)
+        self._node_id = np.zeros(capacity, dtype=np.int64)
+
+    def _ensure_capacity(self, extra: int) -> None:
+        """Make room for ``extra`` more rows, compacting before growing.
+
+        Compaction is preferred whenever at least half the allocated slots
+        are dead (merged away): it keeps memory bounded by the live heap
+        size on long streams.  Growing preserves row indices; compaction
+        does not, so it must only happen between insertions — any
+        outstanding :class:`NumpyHeapNode` indices become invalid.
+        """
+        if self._count + extra <= self._capacity:
+            return
+        if self._size <= self._capacity // 2:
+            self._compact()
+        if self._count + extra > self._capacity:
+            self._grow(self._count + extra)
+
+    def _compact(self) -> None:
+        """Drop dead rows, renumbering slots in chronological order."""
+        order = []
+        index = self._head
+        while index >= 0:
+            order.append(index)
+            index = int(self._next[index])
+        live = np.asarray(order, dtype=np.int64)
+        count = len(live)
+        if count:
+            for name in ("_start", "_end", "_group", "_key", "_version",
+                         "_node_id"):
+                array = getattr(self, name)
+                array[:count] = array[live]
+            self._values[:count] = self._values[live]
+            self._prev[:count] = np.arange(-1, count - 1)
+            self._next[: count - 1] = np.arange(1, count)
+            self._next[count - 1] = -1
+            self._alive[:count] = True
+            # Prune the group intern table to the groups still alive, so
+            # memory does not grow with the number of groups ever streamed.
+            live_groups = np.unique(self._group[:count])
+            self._group[:count] = np.searchsorted(
+                live_groups, self._group[:count]
+            )
+            self._group_keys = [
+                self._group_keys[int(g)] for g in live_groups
+            ]
+            self._group_ids = {
+                key: position
+                for position, key in enumerate(self._group_keys)
+            }
+        else:
+            self._group_keys = []
+            self._group_ids = {}
+        self._alive[count : self._count] = False
+        self._head = 0 if count else -1
+        self._tail = count - 1 if count else -1
+        self._count = count
+        # All queue entries reference pre-compaction slots: rebuild from the
+        # surviving keys.  Re-pushing in chronological order can reorder
+        # *exactly equal* keys relative to the reference heap's push order —
+        # for such ties either merge is a valid greedy step of equal error.
+        self._entries = []
+        for index in range(count):
+            if not math.isinf(self._key[index]):
+                self._push_entry(index)
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        extra = capacity - self._capacity
+        self._start = np.concatenate([self._start, np.zeros(extra, np.int64)])
+        self._end = np.concatenate([self._end, np.zeros(extra, np.int64)])
+        self._values = np.concatenate(
+            [self._values, np.zeros((extra, self._dimensions), np.float64)]
+        )
+        self._group = np.concatenate([self._group, np.zeros(extra, np.int64)])
+        self._prev = np.concatenate([self._prev, np.full(extra, -1, np.int64)])
+        self._next = np.concatenate([self._next, np.full(extra, -1, np.int64)])
+        self._key = np.concatenate(
+            [self._key, np.full(extra, math.inf, np.float64)]
+        )
+        self._version = np.concatenate(
+            [self._version, np.zeros(extra, np.int64)]
+        )
+        self._alive = np.concatenate([self._alive, np.zeros(extra, bool)])
+        self._node_id = np.concatenate(
+            [self._node_id, np.zeros(extra, np.int64)]
+        )
+        self._capacity = capacity
+
+    def _intern_group(self, group: tuple) -> int:
+        group_id = self._group_ids.get(group)
+        if group_id is None:
+            group_id = len(self._group_keys)
+            self._group_ids[group] = group_id
+            self._group_keys.append(group)
+        return group_id
+
+    # ------------------------------------------------------------------
+    # Basic state
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def tail(self) -> Optional[NumpyHeapNode]:
+        """The most recently inserted (chronologically last) node."""
+        return NumpyHeapNode(self, self._tail) if self._tail >= 0 else None
+
+    @property
+    def head(self) -> Optional[NumpyHeapNode]:
+        """The chronologically first node."""
+        return NumpyHeapNode(self, self._head) if self._head >= 0 else None
+
+    # ------------------------------------------------------------------
+    # Operations of the paper: INSERT, PEEK, MERGE
+    # ------------------------------------------------------------------
+    def insert(self, segment: AggregateSegment) -> NumpyHeapNode:
+        """Append one tuple at the end of the list and index it in the heap."""
+        if self._dimensions is not None:
+            self._ensure_capacity(1)
+        index = self._append_slot(segment)
+        self._refresh_key(index)
+        return NumpyHeapNode(self, index)
+
+    def insert_batch(
+        self, segments: Sequence[AggregateSegment]
+    ) -> List[NumpyHeapNode]:
+        """Append a chunk of tuples, computing all merge keys vectorized.
+
+        Equivalent to calling :meth:`insert` once per segment but the
+        pairwise merge errors (Proposition 2) of the whole batch are
+        evaluated with array expressions.  Used by the batch GMS helpers
+        (:func:`repro.core.greedy.gms_reduce_to_size` /
+        ``gms_reduce_to_error``) to build the initial heap vectorized; the
+        *online* algorithms insert tuple by tuple because their merge policy
+        is interleaved with insertion.
+        """
+        if not segments:
+            return []
+        if self._dimensions is None:
+            self._allocate(segments[0].dimensions)
+        self._ensure_capacity(len(segments))
+        first = self._count
+        for segment in segments:
+            self._append_slot(segment)
+        last = self._count  # exclusive
+
+        starts = self._start[first:last]
+        ends = self._end[first:last]
+        groups = self._group[first:last]
+        values = self._values[first:last]
+        prev_rows = self._prev[first:last]
+        has_prev = prev_rows >= 0
+        prev_idx = np.where(has_prev, prev_rows, 0)
+        adjacent = (
+            has_prev
+            & (self._group[prev_idx] == groups)
+            & (self._end[prev_idx] + 1 == starts)
+        )
+
+        keys = np.full(last - first, math.inf)
+        if adjacent.any():
+            rows = np.nonzero(adjacent)[0]
+            pred = prev_rows[rows]
+            left_len = (self._end[pred] - self._start[pred] + 1).astype(
+                np.float64
+            )
+            right_len = (ends[rows] - starts[rows] + 1).astype(np.float64)
+            factor = left_len * right_len / (left_len + right_len)
+            diff = self._values[pred] - values[rows]
+            keys[rows] = (self._w2 * factor[:, None] * diff * diff).sum(axis=1)
+        self._key[first:last] = keys
+        self._version[first:last] += 1
+        for offset in np.nonzero(np.isfinite(keys))[0]:
+            index = first + int(offset)
+            self._push_entry(index)
+        return [NumpyHeapNode(self, index) for index in range(first, last)]
+
+    def peek(self) -> Optional[NumpyHeapNode]:
+        """Return the node with the smallest key without removing it."""
+        index = self._peek_index()
+        return NumpyHeapNode(self, index) if index is not None else None
+
+    def merge_top(self) -> NumpyHeapNode:
+        """Merge the minimum-key node into its predecessor (in place)."""
+        index = self._peek_index()
+        if index is None or math.isinf(self._key[index]):
+            raise ValueError("no adjacent pair available for merging")
+        predecessor = int(self._prev[index])
+        left_length = float(self._end[predecessor] - self._start[predecessor] + 1)
+        right_length = float(self._end[index] - self._start[index] + 1)
+        total = left_length + right_length
+        self._values[predecessor] = (
+            left_length * self._values[predecessor]
+            + right_length * self._values[index]
+        ) / total
+        self._end[predecessor] = self._end[index]
+
+        successor = int(self._next[index])
+        self._next[predecessor] = successor
+        if successor >= 0:
+            self._prev[successor] = predecessor
+        else:
+            self._tail = predecessor
+        self._alive[index] = False
+        self._size -= 1
+
+        self._refresh_key(predecessor)
+        if successor >= 0:
+            self._refresh_key(successor)
+        return NumpyHeapNode(self, predecessor)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _append_slot(self, segment: AggregateSegment) -> int:
+        if self._dimensions is None:
+            self._allocate(segment.dimensions)
+        elif self._count >= self._capacity:
+            # Callers reserve space up front; this only fires if they did
+            # not, and growing (unlike compacting) preserves row indices.
+            self._grow(self._count + 1)
+        index = self._count
+        self._count += 1
+        self._node_id[index] = self._next_node_id
+        self._next_node_id += 1
+        interval = segment.interval
+        self._start[index] = interval.start
+        self._end[index] = interval.end
+        self._values[index] = segment.values
+        self._group[index] = self._intern_group(segment.group)
+        previous = self._tail
+        self._prev[index] = previous
+        # Slots can be reused after compaction: clear the stale successor.
+        self._next[index] = -1
+        if previous >= 0:
+            self._next[previous] = index
+        else:
+            self._head = index
+        self._tail = index
+        self._alive[index] = True
+        self._size += 1
+        self.max_size = max(self.max_size, self._size)
+        return index
+
+    def _is_adjacent(self, left: int, right: int) -> bool:
+        return (
+            self._group[left] == self._group[right]
+            and self._end[left] + 1 == self._start[right]
+        )
+
+    def _refresh_key(self, index: int) -> None:
+        predecessor = int(self._prev[index])
+        if predecessor < 0 or not self._is_adjacent(predecessor, index):
+            self._key[index] = math.inf
+            self._version[index] += 1
+            return
+        left_length = float(self._end[predecessor] - self._start[predecessor] + 1)
+        right_length = float(self._end[index] - self._start[index] + 1)
+        factor = left_length * right_length / (left_length + right_length)
+        diff = self._values[predecessor] - self._values[index]
+        self._key[index] = float((self._w2 * factor * diff * diff).sum())
+        self._version[index] += 1
+        self._push_entry(index)
+
+    def _push_entry(self, index: int) -> None:
+        self._entry_counter += 1
+        heapq.heappush(
+            self._entries,
+            (
+                float(self._key[index]),
+                self._entry_counter,
+                index,
+                int(self._version[index]),
+            ),
+        )
+
+    def _peek_index(self) -> Optional[int]:
+        while self._entries:
+            key, _, index, version = self._entries[0]
+            if (
+                self._alive[index]
+                and self._version[index] == version
+                and self._key[index] == key
+            ):
+                return index
+            heapq.heappop(self._entries)
+        return None
+
+    def _segment_at(self, index: int) -> AggregateSegment:
+        return AggregateSegment(
+            self._group_keys[int(self._group[index])],
+            tuple(float(v) for v in self._values[index]),
+            Interval(int(self._start[index]), int(self._end[index])),
+        )
+
+    def adjacent_successor_count(self, node, limit: int) -> int:
+        """Number of successors chained to ``node`` by adjacency, up to ``limit``."""
+        count = 0
+        if isinstance(node, NumpyHeapNode):
+            current = node._checked_index()
+        else:
+            current = int(node)
+        while count < limit:
+            successor = int(self._next[current])
+            if successor < 0 or not self._is_adjacent(current, successor):
+                break
+            count += 1
+            current = successor
+        return count
+
+    def __iter__(self) -> Iterator[NumpyHeapNode]:
+        """Iterate over live nodes in chronological (list) order."""
+        index = self._head
+        while index >= 0:
+            yield NumpyHeapNode(self, index)
+            index = int(self._next[index])
+
+    def segments(self) -> List[AggregateSegment]:
+        """Materialise the current intermediate relation in list order."""
+        return [self._segment_at(node.index) for node in self]
+
+
+__all__ = [
+    "NumpyHeapNode",
+    "NumpyMergeHeap",
+    "NumpyPrefixSums",
+    "dp_best_split",
+    "dp_first_row",
+]

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, Sequence
 
-from ..aggregation import ita, iter_ita, normalize_aggregates
+from ..aggregation import ita, iter_ita_segments, normalize_aggregates
 from ..aggregation.functions import AggregatesLike
 from ..temporal import TemporalRelation
 from . import dp, greedy
@@ -42,6 +42,7 @@ def pta(
     method: str = "dp",
     delta: greedy.Delta = 1,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> TemporalRelation:
     """Evaluate a PTA query over ``relation``.
 
@@ -49,7 +50,9 @@ def pta(
     in ``[0, 1]``) must be given.  ``method`` selects the evaluation
     strategy: ``"dp"`` for the exact dynamic-programming algorithms and
     ``"greedy"`` for the online greedy algorithms; ``delta`` is the greedy
-    read-ahead parameter ``δ``.
+    read-ahead parameter ``δ``.  ``backend`` selects the pure-Python
+    reference kernels or the vectorized NumPy kernels
+    (:mod:`repro.core.kernels`); both yield identical results.
 
     Returns a temporal relation with schema ``(A..., B..., T)``.
     """
@@ -61,15 +64,18 @@ def pta(
     if method == "dp":
         if size is not None:
             return pta_size_bounded(
-                relation, group_by, aggregates, size, weights
+                relation, group_by, aggregates, size, weights, backend
             )
-        return pta_error_bounded(relation, group_by, aggregates, error, weights)
+        return pta_error_bounded(
+            relation, group_by, aggregates, error, weights, backend
+        )
     if size is not None:
         return gpta_size_bounded(
-            relation, group_by, aggregates, size, delta, weights
+            relation, group_by, aggregates, size, delta, weights, backend
         )
     return gpta_error_bounded(
-        relation, group_by, aggregates, error, delta, weights
+        relation, group_by, aggregates, error, delta, weights,
+        backend=backend,
     )
 
 
@@ -79,12 +85,13 @@ def pta_size_bounded(
     aggregates: AggregatesLike,
     size: int,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> TemporalRelation:
     """Exact size-bounded PTA (Definition 6, algorithm ``PTAc``)."""
     segments, group_columns, value_columns = _ita_segments(
         relation, group_by, aggregates
     )
-    result = dp.reduce_to_size(segments, size, weights)
+    result = dp.reduce_to_size(segments, size, weights, backend=backend)
     return segments_to_relation(
         result.segments, group_columns, value_columns,
         relation.schema.timestamp_name,
@@ -97,12 +104,13 @@ def pta_error_bounded(
     aggregates: AggregatesLike,
     error: float,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> TemporalRelation:
     """Exact error-bounded PTA (Definition 7, algorithm ``PTAε``)."""
     segments, group_columns, value_columns = _ita_segments(
         relation, group_by, aggregates
     )
-    result = dp.reduce_to_error(segments, error, weights)
+    result = dp.reduce_to_error(segments, error, weights, backend=backend)
     return segments_to_relation(
         result.segments, group_columns, value_columns,
         relation.schema.timestamp_name,
@@ -116,6 +124,7 @@ def gpta_size_bounded(
     size: int,
     delta: greedy.Delta = 1,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> TemporalRelation:
     """Greedy online size-bounded PTA (algorithm ``gPTAc``).
 
@@ -124,7 +133,9 @@ def gpta_size_bounded(
     """
     group_columns, value_columns = _result_columns(group_by, aggregates)
     stream = _segment_stream(relation, group_by, aggregates)
-    result = greedy.greedy_reduce_to_size(stream, size, delta, weights)
+    result = greedy.greedy_reduce_to_size(
+        stream, size, delta, weights, backend=backend
+    )
     return segments_to_relation(
         result.segments, group_columns, value_columns,
         relation.schema.timestamp_name,
@@ -140,6 +151,7 @@ def gpta_error_bounded(
     weights: Weights | None = None,
     sample_fraction: float = 0.05,
     seed: int = 0,
+    backend: str = "python",
 ) -> TemporalRelation:
     """Greedy online error-bounded PTA (algorithm ``gPTAε``).
 
@@ -161,6 +173,7 @@ def gpta_error_bounded(
         weights,
         input_size_estimate=size_estimate,
         max_error_estimate=error_estimate,
+        backend=backend,
     )
     return segments_to_relation(
         result.segments, group_columns, value_columns,
@@ -177,6 +190,7 @@ def reduce_ita(
     method: str = "dp",
     delta: greedy.Delta = 1,
     weights: Weights | None = None,
+    backend: str = "python",
 ) -> TemporalRelation:
     """Reduce an already computed ITA result (or any sequential relation).
 
@@ -188,14 +202,16 @@ def reduce_ita(
     segments = segments_from_relation(ita_result, group_by, value_columns)
     if method == "dp":
         if size is not None:
-            result = dp.reduce_to_size(segments, size, weights)
+            result = dp.reduce_to_size(segments, size, weights, backend=backend)
         else:
-            result = dp.reduce_to_error(segments, error, weights)
+            result = dp.reduce_to_error(
+                segments, error, weights, backend=backend
+            )
         reduced = result.segments
     elif method == "greedy":
         if size is not None:
             reduced = greedy.greedy_reduce_to_size(
-                iter(segments), size, delta, weights
+                iter(segments), size, delta, weights, backend=backend
             ).segments
         else:
             reduced = greedy.greedy_reduce_to_error(
@@ -205,6 +221,7 @@ def reduce_ita(
                 weights,
                 input_size_estimate=len(segments),
                 max_error_estimate=max_error(segments, weights),
+                backend=backend,
             ).segments
     else:
         raise ValueError(f"method must be 'dp' or 'greedy', got {method!r}")
@@ -270,7 +287,4 @@ def _segment_stream(
     group_by: Sequence[str],
     aggregates: AggregatesLike,
 ) -> Iterator[AggregateSegment]:
-    for group_values, aggregate_values, interval in iter_ita(
-        relation, group_by, aggregates
-    ):
-        yield AggregateSegment(group_values, aggregate_values, interval)
+    return iter_ita_segments(relation, group_by, aggregates)

@@ -10,12 +10,14 @@ from .metrics import (
     summarize_error_ratios,
 )
 from .reporting import format_series, format_table
-from .runner import ExperimentLog, TimedResult, timed
+from .runner import ExperimentLog, TimedResult, best_of, speedup, timed
 
 __all__ = [
     "ErrorRatioSummary",
     "ExperimentLog",
     "TimedResult",
+    "best_of",
+    "speedup",
     "error_curve_normalized",
     "feasible_sizes",
     "format_series",

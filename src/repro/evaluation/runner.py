@@ -28,6 +28,39 @@ def timed(function: Callable[..., Any], *args: Any, **kwargs: Any) -> TimedResul
     return TimedResult(value, time.perf_counter() - start)
 
 
+def best_of(
+    function: Callable[..., Any],
+    *args: Any,
+    repeats: int = 3,
+    **kwargs: Any,
+) -> TimedResult:
+    """Call ``function`` ``repeats`` times and keep the fastest run.
+
+    Wall-clock minima are far less noisy than single measurements, which
+    matters for the backend speedup tables (``benchmarks/bench_kernels.py``)
+    where two implementations of the same kernel are compared directly.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be at least 1, got {repeats}")
+    best: TimedResult | None = None
+    for _ in range(repeats):
+        run = timed(function, *args, **kwargs)
+        if best is None or run.seconds < best.seconds:
+            best = run
+    return best
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """Speedup factor of a candidate over a baseline (>1 means faster).
+
+    Defined as ``baseline / candidate``; returns ``inf`` when the candidate
+    round to zero time, 0.0 when the baseline did.
+    """
+    if candidate_seconds <= 0.0:
+        return float("inf")
+    return baseline_seconds / candidate_seconds
+
+
 @dataclass
 class ExperimentLog:
     """A uniform container for experiment measurements.

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .interval import Interval
 from .relation import TemporalRelation
 
 

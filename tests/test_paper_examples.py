@@ -11,7 +11,7 @@ import math
 
 import pytest
 
-from repro import Interval, ita, sta
+from repro import sta
 from repro.core import (
     cmin,
     gap_positions,

@@ -1,0 +1,217 @@
+"""Tests for the streaming compression pipeline (:mod:`repro.pipeline`).
+
+The facade must (a) produce results identical to calling the underlying
+algorithms directly, (b) be invariant to how the input is delivered —
+materialised list, one-shot generator, any ``chunk_size`` — and (c) keep the
+greedy path genuinely streaming (bounded heap, no materialisation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import greedy_reduce_to_size, max_error, reduce_ita, sse_between
+from repro.core.dp import reduce_to_size
+from repro.datasets import (
+    synthetic_grouped_segments,
+    synthetic_sequential_segments,
+)
+from repro.pipeline import CompressionResult, compress, iter_chunks
+
+
+def assert_same_segments(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.group == b.group
+        assert a.interval == b.interval
+        assert a.values == pytest.approx(b.values)
+
+
+# ----------------------------------------------------------------------
+# Chunking building block
+# ----------------------------------------------------------------------
+class TestIterChunks:
+    def test_exact_division(self):
+        assert list(iter_chunks(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_remainder(self):
+        assert list(iter_chunks(range(5), 3)) == [[0, 1, 2], [3, 4]]
+
+    def test_empty(self):
+        assert list(iter_chunks([], 4)) == []
+
+    def test_chunk_size_one(self):
+        assert list(iter_chunks("abc", 1)) == [["a"], ["b"], ["c"]]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_chunks(range(3), 0))
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_requires_exactly_one_bound(self):
+        segments = synthetic_sequential_segments(10, 1, seed=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            compress(segments)
+        with pytest.raises(ValueError, match="exactly one"):
+            compress(segments, size=3, max_error=0.5)
+
+    def test_rejects_unknown_method(self):
+        segments = synthetic_sequential_segments(10, 1, seed=1)
+        with pytest.raises(ValueError, match="method"):
+            compress(segments, size=3, method="quantum")
+
+    def test_rejects_invalid_chunk_size(self):
+        segments = synthetic_sequential_segments(10, 1, seed=1)
+        with pytest.raises(ValueError, match="chunk_size"):
+            compress(segments, size=3, chunk_size=0)
+
+    def test_rejects_group_by_on_segment_stream(self):
+        segments = synthetic_sequential_segments(10, 1, seed=1)
+        with pytest.raises(ValueError, match="group_by"):
+            compress(segments, size=3, group_by=["proj"])
+
+
+# ----------------------------------------------------------------------
+# Streaming vs. batch equivalence
+# ----------------------------------------------------------------------
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 100_000])
+    def test_size_bounded_chunk_invariance(self, chunk_size, backend):
+        segments = synthetic_grouped_segments(6, 20, dimensions=2, seed=5)
+        batch = compress(list(segments), size=25, backend=backend)
+        streamed = compress(
+            iter(segments), size=25, chunk_size=chunk_size, backend=backend
+        )
+        assert_same_segments(batch.segments, streamed.segments)
+        assert streamed.error == pytest.approx(batch.error)
+        assert streamed.max_heap_size == batch.max_heap_size
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_matches_direct_greedy_call(self, backend):
+        segments = synthetic_sequential_segments(150, dimensions=2, seed=6)
+        direct = greedy_reduce_to_size(
+            iter(segments), 30, 1, backend=backend
+        )
+        piped = compress(iter(segments), size=30, backend=backend)
+        assert_same_segments(direct.segments, piped.segments)
+        assert piped.error == pytest.approx(direct.error)
+        assert piped.merges == direct.merges
+        assert piped.input_size == len(segments)
+
+    def test_error_bounded_stream_vs_batch(self):
+        segments = synthetic_sequential_segments(120, dimensions=2, seed=7)
+        batch = compress(list(segments), max_error=0.4)
+        streamed = compress(
+            iter(segments),
+            max_error=0.4,
+            chunk_size=11,
+            input_size_estimate=len(segments),
+            max_error_estimate=max_error(segments),
+        )
+        assert_same_segments(batch.segments, streamed.segments)
+        assert streamed.error == pytest.approx(batch.error)
+
+    def test_generator_without_estimates_is_still_correct(self):
+        segments = synthetic_sequential_segments(80, dimensions=1, seed=8)
+        result = compress(iter(segments), max_error=0.3)
+        # No estimates: early merging is disabled, but the bound still holds.
+        assert result.error <= 0.3 * max_error(segments) + 1e-9
+        assert result.size < len(segments)
+
+    def test_error_matches_recomputed_sse(self):
+        segments = synthetic_sequential_segments(100, dimensions=2, seed=9)
+        result = compress(iter(segments), size=20, backend="numpy")
+        recomputed = sse_between(segments, result.segments)
+        assert result.error == pytest.approx(recomputed)
+
+    def test_streaming_keeps_heap_bounded(self):
+        segments = synthetic_sequential_segments(400, dimensions=1, seed=10)
+        result = compress(iter(segments), size=10, delta=0, chunk_size=32)
+        # δ = 0 pins the heap to the output size plus the incoming tuple.
+        assert result.max_heap_size <= 11
+        assert result.input_size == 400
+
+
+# ----------------------------------------------------------------------
+# DP method and relation input
+# ----------------------------------------------------------------------
+class TestDPAndRelationInput:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_dp_method_matches_reduce_to_size(self, backend):
+        segments = synthetic_grouped_segments(4, 12, dimensions=2, seed=11)
+        direct = reduce_to_size(list(segments), 15, backend=backend)
+        piped = compress(iter(segments), size=15, method="dp", backend=backend)
+        assert_same_segments(direct.segments, piped.segments)
+        assert piped.error == pytest.approx(direct.error)
+        assert piped.method == "dp"
+
+    def test_relation_input_matches_reduce_ita(self, proj_relation):
+        aggregates = {"avg_sal": ("avg", "sal")}
+        piped = compress(
+            proj_relation,
+            group_by=["proj"],
+            aggregates=aggregates,
+            size=4,
+            method="dp",
+        )
+        assert piped.size == 4
+        assert piped.input_size == 7  # the s1..s7 of Fig. 1(c)
+
+        from repro import ita
+        from repro.core import segments_to_relation
+
+        ita_result = ita(proj_relation, ["proj"], aggregates)
+        expected = reduce_ita(ita_result, ["proj"], ["avg_sal"], size=4)
+        piped_relation = segments_to_relation(
+            piped.segments, ["proj"], ["avg_sal"]
+        )
+        assert piped_relation.rows() == expected.rows()
+
+    def test_relation_greedy_error_bound(self, proj_relation):
+        result = compress(
+            proj_relation,
+            group_by=["proj"],
+            aggregates={"avg_sal": ("avg", "sal")},
+            max_error=0.5,
+        )
+        assert 0 < result.size <= 7
+        assert result.method == "greedy"
+
+    def test_result_is_iterable_and_sized(self):
+        segments = synthetic_sequential_segments(50, dimensions=1, seed=12)
+        result = compress(iter(segments), size=10)
+        assert isinstance(result, CompressionResult)
+        assert len(result) == len(list(result)) == result.size
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    def test_empty_stream(self):
+        result = compress(iter([]), size=5)
+        assert result.size == 0
+        assert result.segments == []
+        assert result.input_size == 0
+
+    def test_single_segment(self):
+        segment = synthetic_sequential_segments(1, dimensions=1, seed=13)
+        result = compress(iter(segment), size=5)
+        assert result.size == 1
+        assert result.error == 0.0
+
+    def test_size_larger_than_input(self):
+        segments = synthetic_sequential_segments(8, dimensions=1, seed=14)
+        result = compress(iter(segments), size=100)
+        assert result.size == 8
+        assert result.error == 0.0
+
+    def test_non_list_sequence_input(self):
+        segments = tuple(synthetic_sequential_segments(30, 1, seed=15))
+        result = compress(segments, max_error=0.5)
+        assert result.size < 30

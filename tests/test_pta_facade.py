@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     Interval,
-    TemporalRelation,
     estimate_max_error,
     gpta_error_bounded,
     gpta_size_bounded,
