@@ -8,16 +8,21 @@ gPTAε behaves similarly but needs a noticeably larger heap.
 Expected shape (paper, Fig. 20): for gPTAc the curves for δ = 0, 1, 2
 converge to the output size while δ = ∞ stays at the input size; gPTAε's
 heap is larger for every δ.
+
+A companion series compares the online runtime of the two heap backends:
+since the batched online merge policy (staged chunk insertion in the array
+heap) the numpy backend is no slower than the python heap on
+tuple-at-a-time streams, closing the gap reported after PR 1.
 """
 
 from repro.core import DELTA_INFINITY, greedy_reduce_to_size, max_error
 from repro.datasets import synthetic_sequential_segments
-from repro.evaluation import format_series
+from repro.evaluation import best_of, format_series
 from repro.pipeline import compress
 
 from paperbench import workload_scale, publish
 
-INPUT_SIZE = {"tiny": 2000, "small": 20000, "paper": 200000}
+INPUT_SIZE = {"smoke": 1000, "tiny": 2000, "small": 20000, "paper": 200000}
 DELTAS = (0, 1, 2, DELTA_INFINITY)
 
 
@@ -55,6 +60,24 @@ def bench_fig20_heap_size(benchmark):
         "fig20b_heap_gptaeps",
         format_series(error_series, "PTA result size", "max heap size",
                       title=f"Fig. 20(b) — gPTAeps heap size (n={n})"),
+    )
+
+    # Online runtime per heap backend: the staged-chunk insert path must
+    # keep the array heap competitive with the python heap on streams.
+    backend_series = {"python": [], "numpy": []}
+    for backend in backend_series:
+        for output_size in output_sizes:
+            # A materialised list: best_of re-runs the callable, so a lazy
+            # iterator would be exhausted after the first repeat.
+            run = best_of(
+                compress, segments, size=output_size,
+                backend=backend, repeats=3,
+            )
+            backend_series[backend].append((output_size, run.seconds))
+    publish(
+        "fig20c_online_backend_runtime",
+        format_series(backend_series, "PTA result size c", "seconds",
+                      title=f"gPTAc online runtime per backend (n={n})"),
     )
 
     benchmark(greedy_reduce_to_size, list(segments), output_sizes[1], 1)

@@ -46,6 +46,7 @@ from .core import (
     pta_size_bounded,
     reduce_ita,
 )
+from .parallel import reduce_segments_parallel
 from .pipeline import CompressionResult, compress
 from .temporal import (
     Interval,
@@ -81,6 +82,7 @@ __all__ = [
     "pta_error_bounded",
     "pta_size_bounded",
     "reduce_ita",
+    "reduce_segments_parallel",
     "register_aggregate",
     "regular_spans",
     "sta",

@@ -7,14 +7,20 @@ consecutive instants are then coalesced into maximal intervals
 (Definition 1).  The result size is at most ``2n - 1`` for ``n`` argument
 tuples.
 
-The implementation is the classic endpoint sweep: within each aggregation
-group the active tuple set only changes at interval start points and at
-points immediately after interval ends, so aggregates are evaluated once per
-*constant segment* instead of once per chronon.
+The implementation is a *watermark* sweep: within each aggregation group the
+active tuple set only changes at interval start points and at points
+immediately after interval ends, so aggregates are evaluated once per
+*constant segment* instead of once per chronon.  The sweep keeps its tuples
+ordered by start point and retires them through a min-heap of expiry points;
+each constant segment is emitted as soon as the watermark (the next change
+point) passes it, so the producer side of the streaming pipeline holds only
+the currently active tuples plus the group's pending start-ordered list —
+never a materialised event table.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
 from ..temporal import Interval, TemporalRelation, TemporalSchema
@@ -65,6 +71,11 @@ def iter_ita(
     Each yielded element is ``(group_values, aggregate_values, interval)``.
     The greedy PTA algorithms consume this iterator directly so that merging
     can start before the full ITA result has been produced (Section 6).
+    Result tuples are emitted incrementally by the watermark sweep of
+    :func:`_constant_segments`: once the sweep's watermark passes a constant
+    segment it is evaluated and handed downstream immediately, so the
+    producer-side state per group is bounded by the start-ordered pending
+    list plus the set of currently valid tuples.
     """
     specs = normalize_aggregates(aggregates)
     group_by = tuple(group_by)
@@ -164,24 +175,43 @@ def _constant_segments(
     """Yield ``(interval, active_row_indices)`` for each constant segment.
 
     Within one aggregation group the set of valid tuples changes only at
-    interval starts and at the chronon following an interval end.  Segments
-    where no tuple is valid are skipped (they become temporal gaps in the ITA
-    result).
+    interval starts and at the chronon following an interval end.  The sweep
+    is watermark-driven: tuples are admitted from a start-ordered pending
+    list and retired through a min-heap of expiry points, and every constant
+    segment is emitted as soon as the watermark (the next change point)
+    passes its end.  Working state is the pending list plus the currently
+    active tuples — no per-group event table is ever materialised.  Segments
+    where no tuple is valid are skipped (they become temporal gaps in the
+    ITA result).
     """
-    events: Dict[int, Tuple[List[int], List[int]]] = {}
-    for row_index in row_indices:
-        interval = rows[row_index][1]
-        events.setdefault(interval.start, ([], []))[0].append(row_index)
-        events.setdefault(interval.end + 1, ([], []))[1].append(row_index)
-
-    change_points = sorted(events)
+    pending = sorted(row_indices, key=lambda index: rows[index][1].start)
+    total = len(pending)
+    position = 0
     active: set = set()
-    for position, point in enumerate(change_points):
-        starts, ends = events[point]
-        active.update(starts)
-        active.difference_update(ends)
-        if position + 1 >= len(change_points):
-            break
-        if active:
-            next_point = change_points[position + 1]
-            yield Interval(point, next_point - 1), sorted(active)
+    expiries: List[Tuple[int, int]] = []  # (end + 1, row_index) min-heap
+    watermark = 0
+    while position < total or active:
+        if not active:
+            # A temporal gap (or the very beginning): jump the watermark to
+            # the next interval start.
+            watermark = rows[pending[position]][1].start
+        while (
+            position < total
+            and rows[pending[position]][1].start == watermark
+        ):
+            row_index = pending[position]
+            active.add(row_index)
+            heapq.heappush(
+                expiries, (rows[row_index][1].end + 1, row_index)
+            )
+            position += 1
+        next_change = expiries[0][0]
+        if position < total:
+            next_start = rows[pending[position]][1].start
+            if next_start < next_change:
+                next_change = next_start
+        yield Interval(watermark, next_change - 1), sorted(active)
+        watermark = next_change
+        while expiries and expiries[0][0] == watermark:
+            _, row_index = heapq.heappop(expiries)
+            active.discard(row_index)

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from itertools import islice
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from .errors import Weights, max_error, resolve_weights
 from .heap import make_merge_heap
@@ -37,6 +38,12 @@ Delta = float  # non-negative int or math.inf
 
 #: Read-ahead value meaning "never merge ahead of a confirmed gap".
 DELTA_INFINITY: Delta = math.inf
+
+#: Tuples staged per batch by the online algorithms on heaps that support
+#: chunked insertion (the array-backed heap).  A buffering knob only: the
+#: merge policy still observes every insertion individually, so results are
+#: identical for every value.
+ONLINE_CHUNK_SIZE = 256
 
 
 @dataclass
@@ -88,10 +95,10 @@ def gms_reduce_to_size(
     total_error = 0.0
     merges = 0
     while len(heap) > size:
-        top = heap.peek()
-        if top is None or math.isinf(top.key):
+        top = heap.peek_entry()
+        if top is None or math.isinf(top[2]):
             break  # reached cmin: only non-adjacent pairs remain
-        total_error += top.key
+        total_error += top[2]
         heap.merge_top()
         merges += 1
     return _result(heap, total_error, merges, len(segments))
@@ -111,12 +118,12 @@ def gms_reduce_to_error(
     total_error = 0.0
     merges = 0
     while True:
-        top = heap.peek()
-        if top is None or math.isinf(top.key):
+        top = heap.peek_entry()
+        if top is None or math.isinf(top[2]):
             break
-        if total_error + top.key > threshold + 1e-9:
+        if total_error + top[2] > threshold + 1e-9:
             break
-        total_error += top.key
+        total_error += top[2]
         heap.merge_top()
         merges += 1
     return _result(heap, total_error, merges, len(segments))
@@ -161,36 +168,36 @@ def greedy_reduce_to_size(
     merges = 0
     consumed = 0
 
-    for segment in source:
+    for node_id, key, _segment in _iter_online_inserts(heap, source):
         consumed += 1
-        node = heap.insert(segment)
-        if math.isinf(node.key):
-            last_gap_id = node.id
+        if math.isinf(key):
+            last_gap_id = node_id
             before_gap += after_gap
             after_gap = 1
         else:
             after_gap += 1
 
         while len(heap) > size:
-            top = heap.peek()
+            top = heap.peek_entry()
             if top is None:
                 break
-            if top.id < last_gap_id and before_gap >= size:
+            handle, top_id, top_key = top
+            if top_id < last_gap_id and before_gap >= size:
                 before_gap -= 1
-            elif top.id > last_gap_id and _has_read_ahead(heap, top, delta):
+            elif top_id > last_gap_id and _has_read_ahead(heap, handle, delta):
                 after_gap -= 1
             else:
                 break
-            total_error += top.key
+            total_error += top_key
             heap.merge_top()
             merges += 1
 
     # The whole ITA result has been read: finish with plain greedy merging.
     while len(heap) > size:
-        top = heap.peek()
-        if top is None or math.isinf(top.key):
+        top = heap.peek_entry()
+        if top is None or math.isinf(top[2]):
             break
-        total_error += top.key
+        total_error += top[2]
         heap.merge_top()
         merges += 1
     return _result(heap, total_error, merges, consumed)
@@ -242,40 +249,40 @@ def greedy_reduce_to_error(
     merges = 0
     consumed = 0
 
-    for segment in source:
+    for node_id, key, segment in _iter_online_inserts(heap, source):
         consumed += 1
         tracker.push(segment)
-        node = heap.insert(segment)
-        if math.isinf(node.key):
-            last_gap_id = node.id
+        if math.isinf(key):
+            last_gap_id = node_id
             before_gap += after_gap
             after_gap = 1
         else:
             after_gap += 1
 
         while True:
-            top = heap.peek()
-            if top is None or top.key > step_threshold:
+            top = heap.peek_entry()
+            if top is None or top[2] > step_threshold:
                 break
-            if top.id < last_gap_id:
+            handle, top_id, top_key = top
+            if top_id < last_gap_id:
                 before_gap -= 1
-            elif top.id > last_gap_id and _has_read_ahead(heap, top, delta):
+            elif top_id > last_gap_id and _has_read_ahead(heap, handle, delta):
                 after_gap -= 1
             else:
                 break
-            total_error += top.key
+            total_error += top_key
             heap.merge_top()
             merges += 1
 
     # Finalisation: the true SSE_max is now known exactly.
     threshold = epsilon * tracker.total()
     while True:
-        top = heap.peek()
-        if top is None or math.isinf(top.key):
+        top = heap.peek_entry()
+        if top is None or math.isinf(top[2]):
             break
-        if total_error + top.key > threshold + 1e-9:
+        if total_error + top[2] > threshold + 1e-9:
             break
-        total_error += top.key
+        total_error += top[2]
         heap.merge_top()
         merges += 1
     return _result(heap, total_error, merges, consumed)
@@ -284,6 +291,36 @@ def greedy_reduce_to_error(
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
+def _iter_online_inserts(
+    heap, source: Iterable[AggregateSegment]
+) -> Iterator[Tuple[int, float, AggregateSegment]]:
+    """Insert the stream into ``heap``, yielding ``(node_id, key, segment)``.
+
+    On heaps exposing the staged-chunk protocol (the array-backed NumPy
+    heap) the stream is pulled :data:`ONLINE_CHUNK_SIZE` tuples at a time:
+    ``stage_chunk`` bulk-writes the chunk and precomputes its raw merge keys
+    vectorized, and each tuple is then activated individually with
+    ``insert_staged``.  Activations interleave with the caller's merge
+    draining exactly like plain ``insert`` calls, so the reduction is
+    bit-identical to the tuple-at-a-time path — only the per-insert
+    bookkeeping is amortised per chunk (the batched online merge policy).
+    """
+    if hasattr(heap, "stage_chunk"):
+        iterator = iter(source)
+        while True:
+            batch = list(islice(iterator, ONLINE_CHUNK_SIZE))
+            if not batch:
+                return
+            heap.stage_chunk(batch)
+            for segment in batch:
+                node_id, key = heap.insert_staged()
+                yield node_id, key, segment
+    else:
+        for segment in source:
+            node = heap.insert(segment)
+            yield node.id, node.key, segment
+
+
 def _build_heap(
     segments: Sequence[AggregateSegment],
     weights: Weights | None,
@@ -320,13 +357,18 @@ def _check_delta(delta: Delta) -> None:
         )
 
 
-def _has_read_ahead(heap, node, delta: Delta) -> bool:
-    """Check the δ read-ahead heuristic for a merge candidate."""
+def _has_read_ahead(heap, handle, delta: Delta) -> bool:
+    """Check the δ read-ahead heuristic for a merge candidate.
+
+    ``handle`` is whatever the heap's ``peek_entry`` returned as its first
+    element (a node for the linked-list heap, a row index for the array
+    heap); both are accepted by ``adjacent_successor_count``.
+    """
     if delta == DELTA_INFINITY:
         return False
     if delta == 0:
         return True
-    return heap.adjacent_successor_count(node, int(delta)) >= delta
+    return heap.adjacent_successor_count(handle, int(delta)) >= delta
 
 
 class _MaxErrorTracker:

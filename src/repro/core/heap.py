@@ -115,6 +115,19 @@ class MergeHeap:
             heapq.heappop(self._entries)
         return None
 
+    def peek_entry(self):
+        """Scalar view of the top: ``(handle, node_id, key)`` or ``None``.
+
+        Mirrors :meth:`NumpyMergeHeap.peek_entry
+        <repro.core.kernels.NumpyMergeHeap.peek_entry>` so the greedy inner
+        loops can treat both heap backends uniformly; ``handle`` is accepted
+        by :meth:`adjacent_successor_count`.
+        """
+        node = self.peek()
+        if node is None:
+            return None
+        return node, node.id, node.key
+
     def merge_top(self) -> HeapNode:
         """Merge the minimum-key node into its predecessor.
 

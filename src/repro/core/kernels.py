@@ -19,7 +19,17 @@ provides drop-in array-backed counterparts selected with the
   stamps.  Merging updates array slices in place instead of allocating new
   segment objects, dead slots are compacted away so memory tracks the live
   heap size, and :meth:`NumpyMergeHeap.insert_batch` computes the merge keys
-  of a whole batch of tuples vectorized (used by the batch GMS helpers).
+  of a whole batch of tuples vectorized (used by the batch GMS helpers);
+* :meth:`NumpyMergeHeap.stage_chunk` / :meth:`NumpyMergeHeap.insert_staged` —
+  the batched *online* insert path: a whole chunk of incoming tuples is
+  bulk-written into reserved slots with their raw pairwise merge keys
+  precomputed vectorized, then made visible to the merge policy one tuple at
+  a time, so the online algorithms keep their exact tuple-at-a-time
+  semantics while the per-insert key computation is amortised per chunk;
+* :func:`greedy_merge_trajectory` — the complete greedy merge schedule of an
+  array-encoded segment shard (the boundary-removal order and the merge
+  error of every step down to ``cmin``), the unit of work executed by the
+  sharded multiprocess engine of :mod:`repro.parallel`.
 
 Both backends implement the same recurrences with the same floating-point
 formulae, so the pure-Python path remains the reference oracle the NumPy path
@@ -165,6 +175,49 @@ def dp_best_split(
 
 
 # ----------------------------------------------------------------------
+# Shared vectorized primitives over array-encoded segments
+# ----------------------------------------------------------------------
+def adjacent_pair_mask(
+    starts: np.ndarray, ends: np.ndarray, groups: np.ndarray
+) -> np.ndarray:
+    """Adjacency of every consecutive pair (Definition 2, vectorized).
+
+    Element ``i`` is ``True`` iff positions ``i`` and ``i + 1`` belong to
+    the same group and meet without a temporal gap.  The ``False`` positions
+    are exactly the maximal-run boundaries; this single definition is shared
+    by the heap kernels, the trajectory kernel and the shard planner of
+    :mod:`repro.parallel`, so a change to the adjacency rule cannot diverge
+    between them.
+    """
+    return (groups[:-1] == groups[1:]) & (ends[:-1] + 1 == starts[1:])
+
+
+def pairwise_merge_keys(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    values: np.ndarray,
+    groups: np.ndarray,
+    w2: np.ndarray,
+) -> np.ndarray:
+    """Merge error of every consecutive pair, ``inf`` where not adjacent.
+
+    The vectorized pairwise form of Proposition 2 —
+    ``l·r/(l+r) · Σ_d w²_d (v_l − v_r)²`` — with exactly the floating-point
+    operation order of the scalar key refresh, so keys computed in batch are
+    bit-identical to keys computed one at a time.
+    """
+    if len(starts) < 2:
+        return np.zeros(0, dtype=np.float64)
+    adjacent = adjacent_pair_mask(starts, ends, groups)
+    left_len = (ends[:-1] - starts[:-1] + 1).astype(np.float64)
+    right_len = (ends[1:] - starts[1:] + 1).astype(np.float64)
+    factor = left_len * right_len / (left_len + right_len)
+    diff = values[:-1] - values[1:]
+    pair = (w2 * factor[:, None] * diff * diff).sum(axis=1)
+    return np.where(adjacent, pair, math.inf)
+
+
+# ----------------------------------------------------------------------
 # Array-backed merge heap (Section 6.2.2)
 # ----------------------------------------------------------------------
 class NumpyHeapNode:
@@ -188,10 +241,11 @@ class NumpyHeapNode:
     def __init__(self, heap: "NumpyMergeHeap", index: int) -> None:
         self._heap = heap
         self.index = index
-        self._id = int(heap._node_id[index])
+        self._id = heap._node_id[index]
 
     def _checked_index(self) -> int:
-        if self._heap._node_id[self.index] != self._id:
+        node_ids = self._heap._node_id
+        if self.index >= len(node_ids) or node_ids[self.index] != self._id:
             raise RuntimeError(
                 "heap node view invalidated: the storage was compacted by a "
                 "later insertion; re-obtain the node via peek()/iteration"
@@ -204,7 +258,7 @@ class NumpyHeapNode:
 
     @property
     def key(self) -> float:
-        return float(self._heap._key[self._checked_index()])
+        return self._heap._key[self._checked_index()]
 
     @property
     def segment(self) -> AggregateSegment:
@@ -215,14 +269,16 @@ class NumpyHeapNode:
 
 
 class NumpyMergeHeap:
-    """Merge heap over parallel NumPy arrays with lazy-deletion stamps.
+    """Merge heap over parallel columns with lazy-deletion stamps.
 
     Column layout (one row per inserted tuple, rows never move):
 
     ``_start`` / ``_end``
-        interval endpoints (``int64``);
+        interval endpoints;
     ``_values``
-        length-weighted mean aggregate values, shape ``(capacity, p)``;
+        length-weighted mean aggregate values, a ``float64`` array of shape
+        ``(capacity, p)`` — the only column that stays a NumPy array, so the
+        ``p``-dimensional merge arithmetic is vectorized per row;
     ``_group``
         dense integer group ids (arbitrary group tuples are interned);
     ``_prev`` / ``_next``
@@ -230,10 +286,16 @@ class NumpyMergeHeap:
     ``_key`` / ``_version`` / ``_alive``
         merge-with-predecessor error, lazy-deletion stamp and liveness.
 
+    The scalar columns are Python lists rather than arrays: the online merge
+    loop is dominated by single-element reads and writes, where list indexing
+    is several times faster than NumPy scalar indexing, while every bulk
+    operation (batch key computation, staged chunks, compaction) still runs
+    on arrays built from whole columns at once.
+
     The priority queue is a :mod:`heapq` binary heap of
     ``(key, counter, index, version)`` entries; stale entries are skipped
     during ``peek`` exactly like the pure-Python heap.  Merging a tuple into
-    its predecessor is a handful of in-place array updates — no intermediate
+    its predecessor is a handful of in-place updates — no intermediate
     :class:`AggregateSegment` objects are allocated until :meth:`segments`
     materialises the final relation.
 
@@ -262,6 +324,9 @@ class NumpyMergeHeap:
         self._next_node_id = 1
         self._group_ids: Dict[tuple, int] = {}
         self._group_keys: List[tuple] = []
+        self._staged_base = 0
+        self._staged_end = 0
+        self._staged_keys: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Storage management
@@ -273,16 +338,16 @@ class NumpyMergeHeap:
         )
         capacity = self._INITIAL_CAPACITY
         self._capacity = capacity
-        self._start = np.zeros(capacity, dtype=np.int64)
-        self._end = np.zeros(capacity, dtype=np.int64)
         self._values = np.zeros((capacity, dimensions), dtype=np.float64)
-        self._group = np.zeros(capacity, dtype=np.int64)
-        self._prev = np.full(capacity, -1, dtype=np.int64)
-        self._next = np.full(capacity, -1, dtype=np.int64)
-        self._key = np.full(capacity, math.inf, dtype=np.float64)
-        self._version = np.zeros(capacity, dtype=np.int64)
-        self._alive = np.zeros(capacity, dtype=bool)
-        self._node_id = np.zeros(capacity, dtype=np.int64)
+        self._start: List[int] = []
+        self._end: List[int] = []
+        self._group: List[int] = []
+        self._prev: List[int] = []
+        self._next: List[int] = []
+        self._key: List[float] = []
+        self._version: List[int] = []
+        self._alive: List[bool] = []
+        self._node_id: List[int] = []
 
     def _ensure_capacity(self, extra: int) -> None:
         """Make room for ``extra`` more rows, compacting before growing.
@@ -306,25 +371,26 @@ class NumpyMergeHeap:
         index = self._head
         while index >= 0:
             order.append(index)
-            index = int(self._next[index])
-        live = np.asarray(order, dtype=np.int64)
-        count = len(live)
+            index = self._next[index]
+        count = len(order)
         if count:
-            for name in ("_start", "_end", "_group", "_key", "_version",
-                         "_node_id"):
-                array = getattr(self, name)
-                array[:count] = array[live]
-            self._values[:count] = self._values[live]
-            self._prev[:count] = np.arange(-1, count - 1)
-            self._next[: count - 1] = np.arange(1, count)
-            self._next[count - 1] = -1
-            self._alive[:count] = True
+            self._start = [self._start[i] for i in order]
+            self._end = [self._end[i] for i in order]
+            self._key = [self._key[i] for i in order]
+            self._version = [self._version[i] for i in order]
+            self._node_id = [self._node_id[i] for i in order]
+            self._values[:count] = self._values[np.asarray(order, np.int64)]
+            self._prev = list(range(-1, count - 1))
+            self._next = list(range(1, count + 1))
+            self._next[-1] = -1
+            self._alive = [True] * count
             # Prune the group intern table to the groups still alive, so
             # memory does not grow with the number of groups ever streamed.
-            live_groups = np.unique(self._group[:count])
-            self._group[:count] = np.searchsorted(
-                live_groups, self._group[:count]
+            group_rows = np.asarray(
+                [self._group[i] for i in order], dtype=np.int64
             )
+            live_groups = np.unique(group_rows)
+            self._group = np.searchsorted(live_groups, group_rows).tolist()
             self._group_keys = [
                 self._group_keys[int(g)] for g in live_groups
             ]
@@ -333,12 +399,26 @@ class NumpyMergeHeap:
                 for position, key in enumerate(self._group_keys)
             }
         else:
+            self._start = []
+            self._end = []
+            self._group = []
+            self._prev = []
+            self._next = []
+            self._key = []
+            self._version = []
+            self._alive = []
+            self._node_id = []
             self._group_keys = []
             self._group_ids = {}
-        self._alive[count : self._count] = False
         self._head = 0 if count else -1
         self._tail = count - 1 if count else -1
         self._count = count
+        # Compaction only runs with no staged tuples pending, but the stale
+        # staging marker from an earlier fully-consumed chunk must follow
+        # the renumbered rows or the pending check would misfire forever.
+        self._staged_base = count
+        self._staged_end = count
+        self._staged_keys = None
         # All queue entries reference pre-compaction slots: rebuild from the
         # surviving keys.  Re-pushing in chronological order can reorder
         # *exactly equal* keys relative to the reference heap's push order —
@@ -353,23 +433,8 @@ class NumpyMergeHeap:
         while capacity < needed:
             capacity *= 2
         extra = capacity - self._capacity
-        self._start = np.concatenate([self._start, np.zeros(extra, np.int64)])
-        self._end = np.concatenate([self._end, np.zeros(extra, np.int64)])
         self._values = np.concatenate(
             [self._values, np.zeros((extra, self._dimensions), np.float64)]
-        )
-        self._group = np.concatenate([self._group, np.zeros(extra, np.int64)])
-        self._prev = np.concatenate([self._prev, np.full(extra, -1, np.int64)])
-        self._next = np.concatenate([self._next, np.full(extra, -1, np.int64)])
-        self._key = np.concatenate(
-            [self._key, np.full(extra, math.inf, np.float64)]
-        )
-        self._version = np.concatenate(
-            [self._version, np.zeros(extra, np.int64)]
-        )
-        self._alive = np.concatenate([self._alive, np.zeros(extra, bool)])
-        self._node_id = np.concatenate(
-            [self._node_id, np.zeros(extra, np.int64)]
         )
         self._capacity = capacity
 
@@ -405,6 +470,7 @@ class NumpyMergeHeap:
     # ------------------------------------------------------------------
     def insert(self, segment: AggregateSegment) -> NumpyHeapNode:
         """Append one tuple at the end of the list and index it in the heap."""
+        self._check_no_staged()
         if self._dimensions is not None:
             self._ensure_capacity(1)
         index = self._append_slot(segment)
@@ -424,6 +490,7 @@ class NumpyMergeHeap:
         *online* algorithms insert tuple by tuple because their merge policy
         is interleaved with insertion.
         """
+        self._check_no_staged()
         if not segments:
             return []
         if self._dimensions is None:
@@ -433,49 +500,180 @@ class NumpyMergeHeap:
         for segment in segments:
             self._append_slot(segment)
         last = self._count  # exclusive
+        count = last - first
 
-        starts = self._start[first:last]
-        ends = self._end[first:last]
-        groups = self._group[first:last]
+        starts = np.asarray(self._start[first:last], dtype=np.int64)
+        ends = np.asarray(self._end[first:last], dtype=np.int64)
+        groups = np.asarray(self._group[first:last], dtype=np.int64)
         values = self._values[first:last]
-        prev_rows = self._prev[first:last]
-        has_prev = prev_rows >= 0
-        prev_idx = np.where(has_prev, prev_rows, 0)
-        adjacent = (
-            has_prev
-            & (self._group[prev_idx] == groups)
-            & (self._end[prev_idx] + 1 == starts)
-        )
 
-        keys = np.full(last - first, math.inf)
-        if adjacent.any():
-            rows = np.nonzero(adjacent)[0]
-            pred = prev_rows[rows]
-            left_len = (self._end[pred] - self._start[pred] + 1).astype(
-                np.float64
+        # Rows after the first have their predecessor inside the batch; the
+        # first row's predecessor is whatever the tail was before the batch.
+        keys = np.full(count, math.inf)
+        keys[1:] = pairwise_merge_keys(starts, ends, values, groups, self._w2)
+        key_list = keys.tolist()
+        predecessor = self._prev[first]
+        if predecessor >= 0 and self._is_adjacent(predecessor, first):
+            left_length = float(
+                self._end[predecessor] - self._start[predecessor] + 1
             )
-            right_len = (ends[rows] - starts[rows] + 1).astype(np.float64)
-            factor = left_len * right_len / (left_len + right_len)
-            diff = self._values[pred] - values[rows]
-            keys[rows] = (self._w2 * factor[:, None] * diff * diff).sum(axis=1)
-        self._key[first:last] = keys
-        self._version[first:last] += 1
-        for offset in np.nonzero(np.isfinite(keys))[0]:
-            index = first + int(offset)
-            self._push_entry(index)
+            right_length = float(self._end[first] - self._start[first] + 1)
+            factor0 = left_length * right_length / (left_length + right_length)
+            diff0 = self._values[predecessor] - self._values[first]
+            key_list[0] = float((self._w2 * factor0 * diff0 * diff0).sum())
+        for offset, key in enumerate(key_list):
+            index = first + offset
+            self._key[index] = key
+            self._version[index] += 1
+            if not math.isinf(key):
+                self._push_entry(index)
         return [NumpyHeapNode(self, index) for index in range(first, last)]
+
+    # ------------------------------------------------------------------
+    # Batched online insertion (staged chunks)
+    # ------------------------------------------------------------------
+    def stage_chunk(self, segments: Sequence[AggregateSegment]) -> int:
+        """Bulk-write a chunk of incoming tuples without making them visible.
+
+        The whole chunk is written into reserved slots in one pass — interval
+        endpoints, aggregate values, interned groups, node ids — and the raw
+        pairwise merge keys *within* the chunk are precomputed vectorized.
+        Tuples then enter the heap one at a time via :meth:`insert_staged`,
+        which reuses the precomputed key whenever the tuple's chronological
+        predecessor is still the untouched raw tuple staged right before it
+        (the overwhelmingly common case) and falls back to a full key
+        recomputation otherwise.  The observable heap state after each
+        ``insert_staged`` is identical to calling :meth:`insert` tuple by
+        tuple; only the per-insert Python overhead is amortised.
+
+        Every staged tuple must be activated before the next ``stage_chunk``
+        / ``insert`` / ``insert_batch`` call.
+        """
+        if self._count < self._staged_end:
+            raise RuntimeError(
+                "cannot stage a new chunk while staged tuples are pending; "
+                "activate them with insert_staged() first"
+            )
+        count = len(segments)
+        if count == 0:
+            return 0
+        if self._dimensions is None:
+            self._allocate(segments[0].dimensions)
+        self._ensure_capacity(count)
+        base = self._count
+        starts = np.fromiter(
+            (s.interval.start for s in segments), np.int64, count
+        )
+        ends = np.fromiter((s.interval.end for s in segments), np.int64, count)
+        self._start.extend(starts.tolist())
+        self._end.extend(ends.tolist())
+        self._values[base : base + count] = [s.values for s in segments]
+        last_group: tuple | None = None
+        last_group_id = -1
+        for segment in segments:
+            if segment.group != last_group:
+                last_group = segment.group
+                last_group_id = self._intern_group(last_group)
+            self._group.append(last_group_id)
+        self._node_id.extend(
+            range(self._next_node_id, self._next_node_id + count)
+        )
+        self._next_node_id += count
+        self._prev.extend([-1] * count)
+        self._next.extend([-1] * count)
+        self._alive.extend([False] * count)
+        self._key.extend([math.inf] * count)
+        self._version.extend([0] * count)
+
+        # Raw pairwise keys: key of staged tuple t against staged tuple t-1.
+        # The first tuple's predecessor is whatever the live tail is at
+        # activation time, so its key is always recomputed (NaN sentinel).
+        keys = np.full(count, np.nan)
+        if count > 1:
+            groups = np.asarray(self._group[base : base + count], np.int64)
+            keys[1:] = pairwise_merge_keys(
+                starts, ends, self._values[base : base + count], groups,
+                self._w2,
+            )
+        self._staged_base = base
+        self._staged_end = base + count
+        self._staged_keys = keys
+        return count
+
+    def insert_staged(self) -> Tuple[int, float]:
+        """Make the next staged tuple visible; returns ``(node_id, key)``.
+
+        Links the tuple at the end of the chronological list and indexes it
+        in the priority queue, exactly like :meth:`insert`, but reuses the
+        merge key precomputed by :meth:`stage_chunk` when it is still valid.
+        """
+        index = self._count
+        if index >= self._staged_end:
+            raise RuntimeError(
+                "no staged tuples pending; call stage_chunk() first"
+            )
+        self._count = index + 1
+        previous = self._tail
+        self._prev[index] = previous
+        self._next[index] = -1
+        if previous >= 0:
+            self._next[previous] = index
+        else:
+            self._head = index
+        self._tail = index
+        self._alive[index] = True
+        self._size += 1
+        self.max_size = max(self.max_size, self._size)
+        node_id = self._node_id[index]
+        staged_key = float(self._staged_keys[index - self._staged_base])
+        # The precomputed key assumed the predecessor is the raw tuple staged
+        # right before this one.  A live tail with node id one less is
+        # necessarily that tuple, untouched: it cannot have absorbed a
+        # successor (none was live yet) and being merged away would have
+        # killed it.
+        if (
+            not math.isnan(staged_key)
+            and previous >= 0
+            and self._node_id[previous] == node_id - 1
+        ):
+            self._key[index] = staged_key
+            self._version[index] += 1
+            if not math.isinf(staged_key):
+                self._push_entry(index)
+            return node_id, staged_key
+        self._refresh_key(index)
+        return node_id, self._key[index]
+
+    def _check_no_staged(self) -> None:
+        if self._count < self._staged_end:
+            raise RuntimeError(
+                "staged tuples are pending; activate them with "
+                "insert_staged() before inserting directly"
+            )
 
     def peek(self) -> Optional[NumpyHeapNode]:
         """Return the node with the smallest key without removing it."""
         index = self._peek_index()
         return NumpyHeapNode(self, index) if index is not None else None
 
+    def peek_entry(self) -> Optional[Tuple[int, int, float]]:
+        """Scalar view of the top: ``(handle, node_id, key)`` or ``None``.
+
+        The allocation-free twin of :meth:`peek` used by the greedy inner
+        loops: ``handle`` is accepted by :meth:`adjacent_successor_count`
+        and the id/key are plain scalars instead of node-view properties.
+        """
+        index = self._peek_index()
+        if index is None:
+            return None
+        return index, self._node_id[index], self._key[index]
+
     def merge_top(self) -> NumpyHeapNode:
         """Merge the minimum-key node into its predecessor (in place)."""
         index = self._peek_index()
         if index is None or math.isinf(self._key[index]):
             raise ValueError("no adjacent pair available for merging")
-        predecessor = int(self._prev[index])
+        predecessor = self._prev[index]
         left_length = float(self._end[predecessor] - self._start[predecessor] + 1)
         right_length = float(self._end[index] - self._start[index] + 1)
         total = left_length + right_length
@@ -485,7 +683,7 @@ class NumpyMergeHeap:
         ) / total
         self._end[predecessor] = self._end[index]
 
-        successor = int(self._next[index])
+        successor = self._next[index]
         self._next[predecessor] = successor
         if successor >= 0:
             self._prev[successor] = predecessor
@@ -511,23 +709,24 @@ class NumpyMergeHeap:
             self._grow(self._count + 1)
         index = self._count
         self._count += 1
-        self._node_id[index] = self._next_node_id
+        self._node_id.append(self._next_node_id)
         self._next_node_id += 1
         interval = segment.interval
-        self._start[index] = interval.start
-        self._end[index] = interval.end
+        self._start.append(interval.start)
+        self._end.append(interval.end)
         self._values[index] = segment.values
-        self._group[index] = self._intern_group(segment.group)
+        self._group.append(self._intern_group(segment.group))
         previous = self._tail
-        self._prev[index] = previous
-        # Slots can be reused after compaction: clear the stale successor.
-        self._next[index] = -1
+        self._prev.append(previous)
+        self._next.append(-1)
         if previous >= 0:
             self._next[previous] = index
         else:
             self._head = index
         self._tail = index
-        self._alive[index] = True
+        self._alive.append(True)
+        self._key.append(math.inf)
+        self._version.append(0)
         self._size += 1
         self.max_size = max(self.max_size, self._size)
         return index
@@ -539,7 +738,7 @@ class NumpyMergeHeap:
         )
 
     def _refresh_key(self, index: int) -> None:
-        predecessor = int(self._prev[index])
+        predecessor = self._prev[index]
         if predecessor < 0 or not self._is_adjacent(predecessor, index):
             self._key[index] = math.inf
             self._version[index] += 1
@@ -557,10 +756,10 @@ class NumpyMergeHeap:
         heapq.heappush(
             self._entries,
             (
-                float(self._key[index]),
+                self._key[index],
                 self._entry_counter,
                 index,
-                int(self._version[index]),
+                self._version[index],
             ),
         )
 
@@ -578,9 +777,9 @@ class NumpyMergeHeap:
 
     def _segment_at(self, index: int) -> AggregateSegment:
         return AggregateSegment(
-            self._group_keys[int(self._group[index])],
+            self._group_keys[self._group[index]],
             tuple(float(v) for v in self._values[index]),
-            Interval(int(self._start[index]), int(self._end[index])),
+            Interval(self._start[index], self._end[index]),
         )
 
     def adjacent_successor_count(self, node, limit: int) -> int:
@@ -591,7 +790,7 @@ class NumpyMergeHeap:
         else:
             current = int(node)
         while count < limit:
-            successor = int(self._next[current])
+            successor = self._next[current]
             if successor < 0 or not self._is_adjacent(current, successor):
                 break
             count += 1
@@ -603,17 +802,225 @@ class NumpyMergeHeap:
         index = self._head
         while index >= 0:
             yield NumpyHeapNode(self, index)
-            index = int(self._next[index])
+            index = self._next[index]
 
     def segments(self) -> List[AggregateSegment]:
         """Materialise the current intermediate relation in list order."""
         return [self._segment_at(node.index) for node in self]
 
 
+# ----------------------------------------------------------------------
+# Array-encoded greedy merge trajectories (sharded engine work unit)
+# ----------------------------------------------------------------------
+def greedy_merge_trajectory(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    values: np.ndarray,
+    groups: np.ndarray,
+    w2: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Complete greedy merge schedule of an array-encoded segment shard.
+
+    Runs the greedy merging strategy over the shard all the way down to its
+    local ``cmin`` and records every step: element ``t`` of the returned
+    ``(boundaries, keys)`` pair says that the ``t``-th cheapest-first merge
+    removed the boundary between original positions ``boundaries[t] - 1``
+    and ``boundaries[t]`` at a cost of ``keys[t]``.
+
+    Because greedy merging never crosses a maximal-run boundary, the global
+    GMS reduction of a sharded input is exactly "each shard follows its own
+    local schedule"; the only cross-shard coordination is *how many* steps of
+    each schedule are taken, which :mod:`repro.parallel` decides with a
+    k-way merge over the shard frontiers.  The schedule matches the merges
+    the sequential heaps would perform inside this shard, with the same
+    lazy-deletion tie-breaking (initial keys in insertion order, refreshed
+    keys in merge order, predecessor before successor); only exact key ties
+    are sensitive to floating-point formulation differences.
+
+    Instead of maintaining merged aggregate values, the kernel exploits
+    Proposition 2: a node is a contiguous block of original positions and
+    its merge-with-predecessor key equals ``SSE(union) − SSE(left) −
+    SSE(right)``, evaluated in constant time from weighted prefix sums
+    (Proposition 1).  Each node carries its block's cached SSE, so a merge
+    is a couple of scalar updates and each key refresh is one prefix-row
+    difference plus a dot product (pure scalar arithmetic for ``p = 1``).
+
+    All inputs are plain arrays (``int64`` endpoints and group ids,
+    ``float64`` values of shape ``(n, p)`` and squared weights ``w2``), so a
+    shard travels to a worker process as a handful of array buffers instead
+    of ``n`` segment objects.
+    """
+    n = len(starts)
+    if n < 2:
+        return np.zeros(0, np.int64), np.zeros(0, np.float64)
+    lengths_arr = (ends - starts + 1).astype(np.float64)
+    adjacent = adjacent_pair_mask(starts, ends, groups)
+
+    # Prefix sums over original positions (1-based, position 0 = zero):
+    #   lengths[i] = Σ l,   weighted[i] = Σ l·w·v (per dim),
+    #   squares[i] = Σ l·Σ_d w²·v_d²  (collapsed to a scalar).
+    # SSE of block [lo, hi) = squares[hi]−squares[lo]
+    #                         − ‖weighted[hi]−weighted[lo]‖² / (L[hi]−L[lo]).
+    dimensions = values.shape[1]
+    scaled = values * np.sqrt(w2)
+    weighted_rows = np.zeros((n + 1, dimensions), dtype=np.float64)
+    np.cumsum(scaled * lengths_arr[:, None], axis=0, out=weighted_rows[1:])
+    length_prefix = [0.0]
+    length_prefix.extend(np.cumsum(lengths_arr).tolist())
+    square_prefix = [0.0]
+    square_prefix.extend(
+        np.cumsum((scaled * scaled).sum(axis=1) * lengths_arr).tolist()
+    )
+    # Per-refresh cross terms: pure scalar arithmetic for one dimension, a
+    # Python inner product over list rows for small p (beats two array
+    # temporaries plus a dot call), NumPy rows beyond that.
+    scalar_weighted = (
+        weighted_rows[:, 0].tolist() if dimensions == 1 else None
+    )
+    list_weighted = (
+        weighted_rows.tolist() if 1 < dimensions <= 16 else None
+    )
+
+    # Node i is the block starting at original position i; ``last`` is the
+    # exclusive end of the block and ``sse`` its cached internal error.
+    # ``can_merge[i]`` never changes: a node's left boundary is fixed.
+    can_merge = [False]
+    can_merge.extend(adjacent.tolist())
+    last = list(range(1, n + 1))
+    sse = [0.0] * n
+    key: List[float] = [math.inf] * n
+    prev_ = list(range(-1, n - 1))
+    next_ = list(range(1, n + 1))
+    next_[-1] = -1
+    alive = [True] * n
+    version = [0] * n
+
+    # Initial keys, vectorized: singleton blocks have zero internal SSE, so
+    # the key of position i is just SSE of the pair block [i-1, i+1).
+    pair_length = lengths_arr[:-1] + lengths_arr[1:]
+    pair_weighted = weighted_rows[2:] - weighted_rows[:-2]
+    pair_square = (
+        np.asarray(square_prefix[2:]) - np.asarray(square_prefix[:-2])
+    )
+    pair_sse = np.maximum(
+        pair_square - (pair_weighted * pair_weighted).sum(axis=1) / pair_length,
+        0.0,
+    )
+    initial = np.where(adjacent, pair_sse, math.inf)
+    key[1:] = initial.tolist()
+
+    counter = 0
+    entries: List[tuple] = []
+    for index in range(1, n):
+        if key[index] != math.inf:
+            counter += 1
+            entries.append((key[index], counter, index, 0))
+    heapq.heapify(entries)
+
+    boundaries: List[int] = []
+    merge_keys: List[float] = []
+
+    def refresh(index: int) -> None:
+        nonlocal counter
+        if not can_merge[index]:
+            key[index] = math.inf
+            version[index] += 1
+            return
+        predecessor = prev_[index]
+        lo = predecessor
+        hi = last[index]
+        union_length = length_prefix[hi] - length_prefix[lo]
+        if scalar_weighted is not None:
+            delta = scalar_weighted[hi] - scalar_weighted[lo]
+            cross = delta * delta
+        elif list_weighted is not None:
+            cross = 0.0
+            for high, low in zip(list_weighted[hi], list_weighted[lo]):
+                delta = high - low
+                cross += delta * delta
+        else:
+            delta = weighted_rows[hi] - weighted_rows[lo]
+            cross = float(delta @ delta)
+        union_sse = (
+            square_prefix[hi] - square_prefix[lo] - cross / union_length
+        )
+        refreshed = union_sse - sse[predecessor] - sse[index]
+        if refreshed < 0.0:
+            refreshed = 0.0
+        key[index] = refreshed
+        version[index] += 1
+        counter += 1
+        heapq.heappush(entries, (refreshed, counter, index, version[index]))
+
+    heappop = heapq.heappop
+    while entries:
+        top_key, _, index, top_version = heappop(entries)
+        if (
+            not alive[index]
+            or version[index] != top_version
+            or key[index] != top_key
+        ):
+            continue
+        predecessor = prev_[index]
+        # The union SSE was already evaluated when this key was computed.
+        sse[predecessor] = top_key + sse[predecessor] + sse[index]
+        last[predecessor] = last[index]
+        successor = next_[index]
+        next_[predecessor] = successor
+        if successor >= 0:
+            prev_[successor] = predecessor
+        alive[index] = False
+        boundaries.append(index)
+        merge_keys.append(top_key)
+        refresh(predecessor)
+        if successor >= 0:
+            refresh(successor)
+
+    return (
+        np.asarray(boundaries, dtype=np.int64),
+        np.asarray(merge_keys, dtype=np.float64),
+    )
+
+
+def shard_sse_max(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    values: np.ndarray,
+    groups: np.ndarray,
+    w2: np.ndarray,
+) -> float:
+    """``SSE_max`` of an array-encoded shard (error of collapsing each run).
+
+    Vectorized equivalent of :func:`repro.core.errors.max_error` for the
+    sharded engine: the shard is split at its maximal-run boundaries and the
+    per-run deviations are evaluated with one ``reduceat`` per statistic.
+    ``SSE_max`` is additive across runs, so summing the per-shard results
+    yields the global error budget of the error-bounded reduction.
+    """
+    n = len(starts)
+    if n == 0:
+        return 0.0
+    lengths = (ends - starts + 1).astype(np.float64)
+    adjacent = adjacent_pair_mask(starts, ends, groups)
+    run_starts = np.flatnonzero(np.concatenate(([True], ~adjacent)))
+    weighted = values * lengths[:, None]
+    run_length = np.add.reduceat(lengths, run_starts)
+    run_sum = np.add.reduceat(weighted, run_starts, axis=0)
+    run_square = np.add.reduceat(weighted * values, run_starts, axis=0)
+    deviation = np.maximum(
+        run_square - run_sum * run_sum / run_length[:, None], 0.0
+    )
+    return float((deviation @ w2).sum())
+
+
 __all__ = [
     "NumpyHeapNode",
     "NumpyMergeHeap",
     "NumpyPrefixSums",
+    "adjacent_pair_mask",
     "dp_best_split",
     "dp_first_row",
+    "greedy_merge_trajectory",
+    "pairwise_merge_keys",
+    "shard_sse_max",
 ]

@@ -43,6 +43,7 @@ def pta(
     delta: greedy.Delta = 1,
     weights: Weights | None = None,
     backend: str = "python",
+    workers: int | None = None,
 ) -> TemporalRelation:
     """Evaluate a PTA query over ``relation``.
 
@@ -52,7 +53,10 @@ def pta(
     ``"greedy"`` for the online greedy algorithms; ``delta`` is the greedy
     read-ahead parameter ``δ``.  ``backend`` selects the pure-Python
     reference kernels or the vectorized NumPy kernels
-    (:mod:`repro.core.kernels`); both yield identical results.
+    (:mod:`repro.core.kernels`); both yield identical results.  ``workers``
+    (greedy method only) routes the reduction through the sharded
+    multiprocess engine of :mod:`repro.parallel`, which computes plain GMS
+    (``δ = ∞`` semantics) bit-identically for every worker count.
 
     Returns a temporal relation with schema ``(A..., B..., T)``.
     """
@@ -60,6 +64,8 @@ def pta(
         raise ValueError("provide exactly one of 'size' and 'error'")
     if method not in ("dp", "greedy"):
         raise ValueError(f"method must be 'dp' or 'greedy', got {method!r}")
+    if workers is not None and method != "greedy":
+        raise ValueError("workers is only supported for method='greedy'")
 
     if method == "dp":
         if size is not None:
@@ -71,11 +77,12 @@ def pta(
         )
     if size is not None:
         return gpta_size_bounded(
-            relation, group_by, aggregates, size, delta, weights, backend
+            relation, group_by, aggregates, size, delta, weights, backend,
+            workers=workers,
         )
     return gpta_error_bounded(
         relation, group_by, aggregates, error, delta, weights,
-        backend=backend,
+        backend=backend, workers=workers,
     )
 
 
@@ -125,17 +132,26 @@ def gpta_size_bounded(
     delta: greedy.Delta = 1,
     weights: Weights | None = None,
     backend: str = "python",
+    workers: int | None = None,
 ) -> TemporalRelation:
     """Greedy online size-bounded PTA (algorithm ``gPTAc``).
 
     The ITA result is streamed into the merge heap, so the full ITA relation
-    is never materialised.
+    is never materialised.  With ``workers`` set the reduction runs on the
+    sharded engine instead (which materialises the ITA result as flat
+    arrays and ignores ``delta``/``backend``).
     """
     group_columns, value_columns = _result_columns(group_by, aggregates)
     stream = _segment_stream(relation, group_by, aggregates)
-    result = greedy.greedy_reduce_to_size(
-        stream, size, delta, weights, backend=backend
-    )
+    if workers is not None:
+        from ..parallel import reduce_segments_parallel
+
+        result = reduce_segments_parallel(stream, size=size, weights=weights,
+                                          workers=workers)
+    else:
+        result = greedy.greedy_reduce_to_size(
+            stream, size, delta, weights, backend=backend
+        )
     return segments_to_relation(
         result.segments, group_columns, value_columns,
         relation.schema.timestamp_name,
@@ -152,20 +168,33 @@ def gpta_error_bounded(
     sample_fraction: float = 0.05,
     seed: int = 0,
     backend: str = "python",
+    workers: int | None = None,
 ) -> TemporalRelation:
     """Greedy online error-bounded PTA (algorithm ``gPTAε``).
 
     The ITA result size is estimated as ``2·|r| − 1`` and ``SSE_max`` is
     estimated from a sample of the argument relation
     (:func:`estimate_max_error`); both estimates only influence how early
-    merging may start, not the error guarantee of the final result.
+    merging may start, not the error guarantee of the final result.  With
+    ``workers`` set the reduction runs on the sharded engine, which knows
+    the exact ``SSE_max`` and needs no estimates.
     """
     group_columns, value_columns = _result_columns(group_by, aggregates)
+    stream = _segment_stream(relation, group_by, aggregates)
+    if workers is not None:
+        from ..parallel import reduce_segments_parallel
+
+        result = reduce_segments_parallel(
+            stream, max_error=error, weights=weights, workers=workers
+        )
+        return segments_to_relation(
+            result.segments, group_columns, value_columns,
+            relation.schema.timestamp_name,
+        )
     size_estimate = max(2 * len(relation) - 1, 1)
     error_estimate = estimate_max_error(
         relation, group_by, aggregates, sample_fraction, weights, seed
     )
-    stream = _segment_stream(relation, group_by, aggregates)
     result = greedy.greedy_reduce_to_error(
         stream,
         error,

@@ -12,20 +12,39 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
+#: The timing clock, pinned at import time.  Every measurement in a process
+#: uses the same monotonic clock object even if ``time.perf_counter`` is
+#: later monkeypatched, and the per-call attribute lookup disappears from
+#: the measured region.
+_CLOCK = time.perf_counter
+
 
 @dataclass
 class TimedResult:
-    """A return value together with its wall-clock runtime in seconds."""
+    """A return value together with its wall-clock runtime in seconds.
+
+    For :func:`best_of`, ``seconds`` is the fastest of the ``runs`` repeats
+    and ``mean_seconds`` / ``spread_seconds`` describe the per-run variance
+    (mean and max−min); a large spread relative to the mean flags a noisy
+    measurement whose ratio should not be trusted.
+    """
 
     value: Any
     seconds: float
+    runs: int = 1
+    mean_seconds: float = 0.0
+    spread_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.runs == 1 and self.mean_seconds == 0.0:
+            self.mean_seconds = self.seconds
 
 
 def timed(function: Callable[..., Any], *args: Any, **kwargs: Any) -> TimedResult:
     """Call ``function`` and measure its wall-clock runtime."""
-    start = time.perf_counter()
+    start = _CLOCK()
     value = function(*args, **kwargs)
-    return TimedResult(value, time.perf_counter() - start)
+    return TimedResult(value, _CLOCK() - start)
 
 
 def best_of(
@@ -38,26 +57,36 @@ def best_of(
 
     Wall-clock minima are far less noisy than single measurements, which
     matters for the backend speedup tables (``benchmarks/bench_kernels.py``)
-    where two implementations of the same kernel are compared directly.
+    where two implementations of the same kernel are compared directly.  The
+    returned result also reports the repeat count, the mean runtime and the
+    max−min spread, so callers can surface measurement variance instead of
+    presenting a lone minimum as the truth.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be at least 1, got {repeats}")
     best: TimedResult | None = None
+    durations: List[float] = []
     for _ in range(repeats):
         run = timed(function, *args, **kwargs)
+        durations.append(run.seconds)
         if best is None or run.seconds < best.seconds:
             best = run
+    best.runs = repeats
+    best.mean_seconds = sum(durations) / repeats
+    best.spread_seconds = max(durations) - min(durations)
     return best
 
 
 def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
     """Speedup factor of a candidate over a baseline (>1 means faster).
 
-    Defined as ``baseline / candidate``; returns ``inf`` when the candidate
-    round to zero time, 0.0 when the baseline did.
+    Defined as ``baseline / candidate``.  Zero durations happen for kernels
+    faster than the clock's resolution: a zero candidate against a positive
+    baseline reports ``inf``, while two unmeasurably fast sides report a
+    neutral ``1.0`` instead of dividing zero by zero.
     """
     if candidate_seconds <= 0.0:
-        return float("inf")
+        return 1.0 if baseline_seconds <= 0.0 else float("inf")
     return baseline_seconds / candidate_seconds
 
 

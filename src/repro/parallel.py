@@ -1,0 +1,386 @@
+"""Sharded multiprocess reduction engine for greedy PTA.
+
+The merge operator never crosses a maximal-run boundary (a temporal gap or a
+change of aggregation group), so the runs produced by
+:func:`repro.core.merge.maximal_runs` are fully independent units of work.
+This module exploits that structure to scale the greedy reduction across
+cores:
+
+1. **Encode** — the segment stream is materialised once into flat NumPy
+   columns (:func:`encode_segments`), so a shard travels to a worker process
+   as a handful of array buffers instead of thousands of
+   :class:`~repro.core.merge.AggregateSegment` objects.
+2. **Shard** — the columns are cut into shards at run boundaries
+   (:func:`plan_shards`).  The shard plan depends only on the input and the
+   ``shard_size`` knob — never on the worker count — so the reduction is
+   bit-identical for every ``workers`` value.
+3. **Reduce** — each shard's complete greedy merge schedule (the
+   boundary-removal order and per-step merge errors down to the shard's
+   ``cmin``) is computed by
+   :func:`repro.core.kernels.greedy_merge_trajectory`, either in-process or
+   on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+4. **Reconcile** — because the merge performed by global GMS is always the
+   globally cheapest one and that merge is necessarily the *next step of
+   some shard's local schedule*, the global reduction is exactly a k-way
+   merge over the shard frontiers: repeatedly consume the smallest next key
+   across shards until the size budget is met (global top-k selection) or
+   the error budget ``ε·SSE_max`` is exhausted (``SSE_max`` is additive
+   across shards).
+5. **Rebuild** — each shard's output partition is materialised with one
+   ``reduceat`` pass over the encoded columns; merged values follow the
+   single-pass weighted-mean semantics of
+   :func:`repro.core.merge.merge_run` (less rounding drift than folding
+   pairwise merges).
+
+The engine therefore computes the *plain greedy merging strategy* (GMS) —
+equivalently, the online algorithms with read-ahead ``δ = ∞`` — not the
+finite-``δ`` online heuristics, whose early merges depend on global heap
+occupancy and would couple the shards.  Cross-shard key ties break towards
+the earlier shard, which matches the sequential heap's insertion-order
+tie-break for initial keys; for distinct keys (the generic case) the result
+is identical to the sequential GMS reduction step for step.
+
+Exact dynamic programming is *not* sharded: the optimal allocation of the
+output budget across shards couples them globally, and computing the
+per-shard error curves needed to decouple it costs ``O(n_i^2)`` per shard —
+more than the sequential DP it would replace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .core.errors import Weights, resolve_weights
+from .core.greedy import GreedyResult
+from .core.kernels import (
+    adjacent_pair_mask,
+    greedy_merge_trajectory,
+    shard_sse_max,
+)
+from .core.merge import AggregateSegment
+from .temporal import Interval
+
+#: Default number of segments per shard.  A function of the input only —
+#: never of the worker count — so that the shard plan (and with it the
+#: reduction) is identical for every ``workers`` value.  At 8k segments per
+#: shard a 100k-segment input yields ~12 shards, enough to keep 4–16 cores
+#: busy while keeping the per-task serialisation overhead negligible.
+DEFAULT_SHARD_SIZE = 8192
+
+
+@dataclass
+class EncodedSegments:
+    """A segment stream as flat columns (the engine's wire format).
+
+    ``starts`` / ``ends`` are ``int64`` interval endpoints, ``values`` is a
+    ``float64`` array of shape ``(n, p)``, ``groups`` holds dense interned
+    group ids and ``group_keys`` maps them back to the original group
+    tuples.
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    values: np.ndarray
+    groups: np.ndarray
+    group_keys: List[tuple]
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    @property
+    def dimensions(self) -> int:
+        return self.values.shape[1]
+
+
+def encode_segments(
+    segments: Iterable[AggregateSegment],
+) -> EncodedSegments:
+    """Materialise a segment stream into :class:`EncodedSegments` columns."""
+    starts: List[int] = []
+    ends: List[int] = []
+    values: List[tuple] = []
+    groups: List[int] = []
+    group_keys: List[tuple] = []
+    group_ids: dict = {}
+    last_group: tuple | None = None
+    last_group_id = -1
+    for segment in segments:
+        interval = segment.interval
+        starts.append(interval.start)
+        ends.append(interval.end)
+        values.append(segment.values)
+        group = segment.group
+        if group != last_group:
+            last_group = group
+            last_group_id = group_ids.get(group, -1)
+            if last_group_id < 0:
+                last_group_id = len(group_keys)
+                group_ids[group] = last_group_id
+                group_keys.append(group)
+        groups.append(last_group_id)
+    count = len(starts)
+    try:
+        value_array = (
+            np.asarray(values, dtype=np.float64)
+            if count
+            else np.zeros((0, 0), dtype=np.float64)
+        )
+    except ValueError as error:
+        raise ValueError(
+            "all segments must have the same number of aggregate values"
+        ) from error
+    if value_array.ndim != 2:
+        raise ValueError(
+            "all segments must have the same number of aggregate values"
+        )
+    return EncodedSegments(
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(ends, dtype=np.int64),
+        value_array,
+        np.asarray(groups, dtype=np.int64),
+        group_keys,
+    )
+
+
+def plan_shards(
+    encoded: EncodedSegments, shard_size: int = DEFAULT_SHARD_SIZE
+) -> List[Tuple[int, int]]:
+    """Cut the encoded stream into ``[lo, hi)`` shards at run boundaries.
+
+    Walks the maximal-run boundaries and closes a shard as soon as it holds
+    at least ``shard_size`` segments; a single run longer than ``shard_size``
+    stays whole (it cannot be split without coupling the shards).
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+    count = len(encoded)
+    if count == 0:
+        return []
+    adjacent = adjacent_pair_mask(
+        encoded.starts, encoded.ends, encoded.groups
+    )
+    run_starts = np.flatnonzero(~adjacent) + 1
+    shards: List[Tuple[int, int]] = []
+    shard_start = 0
+    for boundary in run_starts.tolist():
+        if boundary - shard_start >= shard_size:
+            shards.append((shard_start, boundary))
+            shard_start = boundary
+    shards.append((shard_start, count))
+    return shards
+
+
+def _reduce_shard(payload) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Worker task: complete merge schedule plus ``SSE_max`` of one shard."""
+    starts, ends, values, groups, w2 = payload
+    boundaries, keys = greedy_merge_trajectory(starts, ends, values, groups, w2)
+    return boundaries, keys, shard_sse_max(starts, ends, values, groups, w2)
+
+
+def reduce_segments_parallel(
+    segments: Iterable[AggregateSegment] | EncodedSegments,
+    size: int | None = None,
+    max_error: float | None = None,
+    weights: Weights | None = None,
+    workers: int = 1,
+    shard_size: int | None = None,
+) -> GreedyResult:
+    """Sharded greedy reduction (plain GMS semantics) of a segment stream.
+
+    Exactly one of ``size`` and ``max_error`` must be given, with the same
+    meaning as in :func:`repro.core.greedy.gms_reduce_to_size` /
+    ``gms_reduce_to_error``.  ``workers`` is the process-pool width (``0``
+    means ``os.cpu_count()``; ``1`` runs every shard in-process); the result
+    is bit-identical for every value.  ``shard_size`` overrides
+    :data:`DEFAULT_SHARD_SIZE` — it changes how work is distributed, not
+    what is computed (only exact cross-shard key ties are sensitive to it).
+
+    Returns a :class:`~repro.core.greedy.GreedyResult`; ``max_heap_size`` is
+    reported as 0 because the engine materialises the input instead of
+    bounding a streaming heap.
+    """
+    if (size is None) == (max_error is None):
+        raise ValueError("provide exactly one of 'size' and 'max_error'")
+    if size is not None and size < 1:
+        raise ValueError(f"size bound must be at least 1, got {size}")
+    if max_error is not None and not 0.0 <= max_error <= 1.0:
+        raise ValueError(f"epsilon must be within [0, 1], got {max_error}")
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    elif shard_size < 1:
+        raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+
+    encoded = (
+        segments
+        if isinstance(segments, EncodedSegments)
+        else encode_segments(segments)
+    )
+    count = len(encoded)
+    if count == 0:
+        return GreedyResult()
+
+    w2 = (
+        np.asarray(
+            resolve_weights(weights, encoded.dimensions), dtype=np.float64
+        )
+        ** 2
+    )
+    shards = plan_shards(encoded, shard_size)
+    payloads = [
+        (
+            encoded.starts[lo:hi],
+            encoded.ends[lo:hi],
+            encoded.values[lo:hi],
+            encoded.groups[lo:hi],
+            w2,
+        )
+        for lo, hi in shards
+    ]
+    pool_width = workers if workers else (os.cpu_count() or 1)
+    if pool_width > 1 and len(payloads) > 1:
+        pool_width = min(pool_width, len(payloads))
+        with ProcessPoolExecutor(max_workers=pool_width) as pool:
+            chunksize = max(1, len(payloads) // (4 * pool_width))
+            trajectories = list(
+                pool.map(_reduce_shard, payloads, chunksize=chunksize)
+            )
+    else:
+        trajectories = [_reduce_shard(payload) for payload in payloads]
+
+    counts, total_error, merges = _reconcile(
+        trajectories, size, max_error, count
+    )
+    output: List[AggregateSegment] = []
+    for (lo, hi), (boundaries, _, _), taken in zip(
+        shards, trajectories, counts
+    ):
+        output.extend(_rebuild_shard(encoded, lo, hi, boundaries[:taken]))
+    return GreedyResult(
+        segments=output,
+        error=total_error,
+        size=len(output),
+        max_heap_size=0,
+        merges=merges,
+        input_size=count,
+    )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _reconcile(
+    trajectories: Sequence[Tuple[np.ndarray, np.ndarray, float]],
+    size: int | None,
+    max_error: float | None,
+    input_size: int,
+) -> Tuple[List[int], float, int]:
+    """Decide how many schedule steps each shard takes under the budget.
+
+    A k-way merge over the shard frontiers: the heap holds each shard's
+    *next* merge key, and consuming the global minimum advances that shard's
+    schedule by one step — exactly the merge global GMS would perform.  Ties
+    break towards the earlier shard (then the earlier step).
+    """
+    key_lists = [keys.tolist() for _, keys, _ in trajectories]
+    frontier = [
+        (keys[0], shard, 0) for shard, keys in enumerate(key_lists) if keys
+    ]
+    heapq.heapify(frontier)
+    counts = [0] * len(trajectories)
+    total_error = 0.0
+    merges = 0
+
+    if size is not None:
+        live = input_size
+        while live > size and frontier:
+            key, shard, step = heapq.heappop(frontier)
+            counts[shard] += 1
+            total_error += key
+            merges += 1
+            live -= 1
+            keys = key_lists[shard]
+            if step + 1 < len(keys):
+                heapq.heappush(frontier, (keys[step + 1], shard, step + 1))
+        return counts, total_error, merges
+
+    # Error-bounded: SSE_max is additive across shards, so the global budget
+    # is the sum of the per-shard budgets; the stop rule mirrors
+    # gms_reduce_to_error's threshold check.  The slack is relative as well
+    # as absolute: the engine's keys and the threshold come from different
+    # float summation orders, so at ``ε = 1`` (where the consumed keys
+    # telescope to exactly ``SSE_max``) an absolute slack alone would stop
+    # one merge short of ``cmin``.
+    threshold = max_error * sum(sse for _, _, sse in trajectories)
+    budget = threshold + 1e-9 + 1e-9 * threshold
+    while frontier:
+        key, shard, step = frontier[0]
+        if total_error + key > budget:
+            break
+        heapq.heappop(frontier)
+        counts[shard] += 1
+        total_error += key
+        merges += 1
+        keys = key_lists[shard]
+        if step + 1 < len(keys):
+            heapq.heappush(frontier, (keys[step + 1], shard, step + 1))
+    return counts, total_error, merges
+
+
+def _rebuild_shard(
+    encoded: EncodedSegments, lo: int, hi: int, removed: np.ndarray
+) -> List[AggregateSegment]:
+    """Materialise one shard's output partition after ``removed`` merges.
+
+    ``removed`` holds the shard-local boundary indices consumed from the
+    shard's schedule; the surviving boundaries delimit the output segments,
+    whose values are computed with one weighted ``reduceat`` pass
+    (:func:`repro.core.merge.merge_run` semantics).
+    """
+    starts = encoded.starts[lo:hi]
+    ends = encoded.ends[lo:hi]
+    values = encoded.values[lo:hi]
+    groups = encoded.groups[lo:hi]
+    count = hi - lo
+    keep = np.ones(count, dtype=bool)
+    if removed.size:
+        keep[removed] = False
+    part_starts = np.flatnonzero(keep)
+    part_ends = np.append(part_starts[1:] - 1, count - 1)
+    lengths = (ends - starts + 1).astype(np.float64)
+    totals = np.add.reduceat(lengths, part_starts)
+    merged = (
+        np.add.reduceat(values * lengths[:, None], part_starts, axis=0)
+        / totals[:, None]
+    )
+    group_keys = encoded.group_keys
+    output: List[AggregateSegment] = []
+    for part, (first, last) in enumerate(zip(part_starts, part_ends)):
+        if first == last:
+            segment_values = tuple(float(v) for v in values[first])
+        else:
+            segment_values = tuple(float(v) for v in merged[part])
+        output.append(
+            AggregateSegment(
+                group_keys[int(groups[first])],
+                segment_values,
+                Interval(int(starts[first]), int(ends[last])),
+            )
+        )
+    return output
+
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "EncodedSegments",
+    "encode_segments",
+    "plan_shards",
+    "reduce_segments_parallel",
+]

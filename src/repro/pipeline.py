@@ -22,6 +22,14 @@ Both methods accept ``backend="python"`` (reference implementation) or
 ``backend="numpy"`` (vectorized kernels, :mod:`repro.core.kernels`); the two
 backends produce identical reductions.
 
+Passing ``workers=N`` switches the greedy method to the sharded multiprocess
+engine of :mod:`repro.parallel`: the stream is materialised into flat
+arrays, cut into independent shards at maximal-run boundaries, reduced
+shard-by-shard on a process pool and reconciled under the global size or
+error budget.  The result is the plain greedy merging strategy (the online
+result with ``δ = ∞``) and is bit-identical for every worker count; see the
+module docstring of :mod:`repro.parallel` for the exact semantics.
+
 Typical usage::
 
     from repro import Interval, TemporalRelation
@@ -32,10 +40,11 @@ Typical usage::
     for segment in result:
         print(segment)
 
-    # Streaming: reduce an unbounded generator of segments online.  (The
-    # default python backend is fastest for tuple-at-a-time streams; use
-    # backend="numpy" for the DP method and batch GMS reductions.)
+    # Streaming: reduce an unbounded generator of segments online.
     result = compress(sensor_segments(), size=100)
+
+    # Scale out: shard the reduction across every core.
+    result = compress(big_segment_list, size=10_000, workers=0)
 """
 
 from __future__ import annotations
@@ -110,6 +119,8 @@ def compress(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     input_size_estimate: int | None = None,
     max_error_estimate: float | None = None,
+    workers: int | None = None,
+    shard_size: int | None = None,
 ) -> CompressionResult:
     """Compress a temporal relation or segment stream with PTA.
 
@@ -141,6 +152,19 @@ def compress(
         (Section 6.3).  Derived automatically when ``records`` is a relation
         or a materialised sequence; for opaque generators they default to
         ``None``, which is always correct but lets the heap grow.
+    workers:
+        ``None`` (default) keeps the single-process online evaluation.  Any
+        integer switches to the sharded engine of :mod:`repro.parallel`:
+        ``0`` uses every core, ``1`` runs the shards in-process, ``N > 1``
+        dispatches them on an ``N``-wide process pool.  Requires
+        ``method="greedy"``; the result is plain GMS (the online result
+        with ``δ = ∞``, so ``delta`` does not apply) and is bit-identical
+        for every worker count.  The engine always runs on the array
+        kernels, so the reported backend is ``"numpy"``.
+    shard_size:
+        Segments per shard for the sharded engine (default
+        :data:`repro.parallel.DEFAULT_SHARD_SIZE`).  A work-distribution
+        knob only.
     """
     if (size is None) == (max_error is None):
         raise ValueError("provide exactly one of 'size' and 'max_error'")
@@ -148,16 +172,45 @@ def compress(
         raise ValueError(f"method must be 'dp' or 'greedy', got {method!r}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+    if workers is not None and method != "greedy":
+        raise ValueError(
+            "workers is only supported for method='greedy'; the exact DP "
+            "optimum couples the shards through the global output budget"
+        )
 
     stream, input_size_estimate, max_error_estimate = _open_source(
         records,
         group_by,
         aggregates,
         weights,
-        need_estimates=max_error is not None and method == "greedy",
+        need_estimates=(
+            max_error is not None and method == "greedy" and workers is None
+        ),
         input_size_estimate=input_size_estimate,
         max_error_estimate=max_error_estimate,
     )
+
+    if workers is not None:
+        from .parallel import reduce_segments_parallel
+
+        result = reduce_segments_parallel(
+            stream,
+            size=size,
+            max_error=max_error,
+            weights=weights,
+            workers=workers,
+            shard_size=shard_size,
+        )
+        return CompressionResult(
+            segments=result.segments,
+            error=result.error,
+            size=result.size,
+            input_size=result.input_size,
+            method=method,
+            backend="numpy",
+            max_heap_size=result.max_heap_size,
+            merges=result.merges,
+        )
 
     if method == "dp":
         segments = list(stream)

@@ -292,6 +292,25 @@ class TestGreedyParity:
         with pytest.raises(RuntimeError, match="compacted"):
             _ = early.key
 
+    def test_plain_inserts_allowed_after_staged_chunk_and_compaction(self):
+        # Regression: a fully consumed staged chunk leaves its staging
+        # marker behind; a later compaction renumbers rows below it and the
+        # stale marker must not make plain insert() believe tuples are
+        # still pending.
+        segments = synthetic_sequential_segments(4000, dimensions=1, seed=84)
+        heap = NumpyMergeHeap()
+        heap.stage_chunk(segments[:256])
+        for _ in range(256):
+            heap.insert_staged()
+        for segment in segments[256:]:
+            heap.insert(segment)  # must not raise across compactions
+            while len(heap) > 10:
+                top = heap.peek()
+                if top is None or math.isinf(top.key):
+                    break
+                heap.merge_top()
+        assert len(heap) == 10
+
     def test_streaming_memory_stays_bounded(self):
         # The array-backed heap must compact dead slots away: after
         # streaming 20k tuples through a c=50 reduction, the allocated

@@ -7,6 +7,7 @@ import pytest
 from repro import Interval, TemporalRelation
 from repro.evaluation import (
     ExperimentLog,
+    best_of,
     error_curve_normalized,
     feasible_sizes,
     format_series,
@@ -14,6 +15,7 @@ from repro.evaluation import (
     reduction_ratio,
     relative_error,
     size_for_reduction_ratio,
+    speedup,
     summarize_error_ratios,
     timed,
 )
@@ -122,6 +124,31 @@ class TestRunnerAndReporting:
         result = timed(sum, [1, 2, 3])
         assert result.value == 6
         assert result.seconds >= 0.0
+        assert result.runs == 1
+        assert result.mean_seconds == result.seconds
+
+    def test_best_of_reports_variance(self):
+        result = best_of(sum, [1, 2, 3], repeats=5)
+        assert result.value == 6
+        assert result.runs == 5
+        assert result.mean_seconds >= result.seconds  # min <= mean
+        assert result.spread_seconds >= 0.0
+
+    def test_best_of_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            best_of(sum, [1], repeats=0)
+
+    def test_speedup_ratios(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_speedup_zero_duration_guards(self):
+        # Kernels faster than the clock resolution must not divide by zero:
+        # zero candidate vs positive baseline is inf, zero vs zero is a
+        # neutral 1.0 instead of 0/0.
+        assert speedup(1.0, 0.0) == math.inf
+        assert speedup(0.0, 1.0) == 0.0
+        assert speedup(0.0, 0.0) == 1.0
 
     def test_experiment_log_table_and_series(self):
         log = ExperimentLog("demo")
