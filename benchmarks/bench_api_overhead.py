@@ -1,0 +1,104 @@
+"""Micro-benchmark: the declarative API layer must cost (almost) nothing.
+
+The Plan/Engine refactor routes ``compress`` and ``pta`` through plan
+construction plus the :func:`repro.api.execute` dispatcher.  This benchmark
+measures three things at the smoke-friendly scales:
+
+* **dispatch overhead** — ``Plan(...).reduce(...).run()`` versus the direct
+  engine call (:func:`repro.core.greedy.greedy_reduce_to_size`) on the same
+  input; the plan door must stay within a small constant factor (asserted
+  ≤ 1.25× at n ≥ 10k, where per-tuple work dominates);
+* **session push throughput** — the push-based
+  :class:`repro.api.Compressor` feeding one tuple at a time versus batch
+  ``compress`` over the same stream (the session path adds one method call
+  per tuple);
+* **snapshot cost** — ``Compressor.summary()`` as a function of the live
+  heap size: cloning is O(heap), so snapshots must not scale with how many
+  tuples were ever streamed.
+"""
+
+from repro.api import Compressor, ExecutionPolicy, Plan, SizeBudget
+from repro.core.greedy import greedy_reduce_to_size
+from repro.datasets import synthetic_sequential_segments
+from repro.evaluation import best_of, format_table, speedup
+from repro.pipeline import compress
+
+from paperbench import publish, workload_scale
+
+SIZES = {"smoke": 5_000, "tiny": 20_000, "small": 50_000, "paper": 100_000}
+BOUND_FRACTION = 0.01
+DIMENSIONS = 2
+
+
+def bench_api_overhead(benchmark):
+    scale = workload_scale()
+    n = SIZES.get(scale, SIZES["tiny"])
+    segments = synthetic_sequential_segments(n, DIMENSIONS, seed=91)
+    bound = max(int(n * BOUND_FRACTION), 4)
+    policy = ExecutionPolicy(backend="numpy")
+
+    headers = ["comparison", "n", "baseline_s", "candidate_s", "overhead"]
+    rows = []
+
+    # 1. Plan door vs. direct engine call (identical work underneath).
+    direct = best_of(
+        lambda: greedy_reduce_to_size(
+            iter(segments), bound, 1, backend="numpy"
+        )
+    )
+    plan = Plan(segments).reduce(SizeBudget(bound))
+    planned = best_of(lambda: plan.run(policy))
+    assert planned.value.segments == direct.value.segments
+    rows.append([
+        "Plan.run vs direct engine",
+        n,
+        f"{direct.seconds:.4f}",
+        f"{planned.seconds:.4f}",
+        f"{planned.seconds / direct.seconds:.2f}x" if direct.seconds else "n/a",
+    ])
+
+    # 2. Push-based session vs. batch compress over the same stream.
+    batch = best_of(
+        lambda: compress(segments, size=bound, backend="numpy")
+    )
+
+    def run_session():
+        session = Compressor(SizeBudget(bound), policy=policy)
+        for segment in segments:
+            session.push(segment)
+        return session.finalize()
+
+    pushed = best_of(run_session)
+    assert pushed.value.segments == batch.value.segments
+    rows.append([
+        "Compressor.push loop vs batch compress",
+        n,
+        f"{batch.seconds:.4f}",
+        f"{pushed.seconds:.4f}",
+        f"{pushed.seconds / batch.seconds:.2f}x" if batch.seconds else "n/a",
+    ])
+
+    # 3. Snapshot cost is O(live heap), not O(stream length).
+    session = Compressor(SizeBudget(bound), policy=policy)
+    session.push(segments)
+    snapshot = best_of(session.summary, repeats=5)
+    rows.append([
+        f"summary() snapshot (heap={session.heap_size})",
+        n,
+        f"{batch.seconds:.4f}",
+        f"{snapshot.seconds:.4f}",
+        f"{speedup(batch.seconds, snapshot.seconds):.0f}x cheaper than batch",
+    ])
+
+    publish(
+        "api_overhead",
+        format_table(headers, rows, title="Declarative API overhead"),
+    )
+
+    if n >= 10_000 and direct.seconds > 0:
+        overhead = planned.seconds / direct.seconds
+        assert overhead <= 1.25, (
+            f"Plan dispatch overhead {overhead:.2f}x exceeds the 1.25x budget"
+        )
+
+    benchmark(lambda: plan.run(policy))

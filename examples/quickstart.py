@@ -9,7 +9,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Interval, TemporalRelation, compress, ita, pta, sta
+from repro import Interval, Plan, SizeBudget, TemporalRelation, compress, ita, pta, sta
 from repro.core import (
     gms_reduce_to_size,
     max_error,
@@ -75,6 +75,19 @@ def main():
     print("\nPipeline: compress(proj, size=4) "
           f"-> {summary.size} segments, error {summary.error:.2f}, "
           f"max heap {summary.max_heap_size}")
+
+    # The same query as a declarative plan — the canonical typed surface
+    # (repro.api): build-time validation, one executor, uniform Result.
+    result = (
+        Plan(proj)
+        .group_by("proj")
+        .aggregate(avg_sal=("avg", "sal"))
+        .reduce(SizeBudget(4))
+        .run()
+    )
+    print("Plan(proj).group_by('proj').aggregate(...).reduce(SizeBudget(4)) "
+          f"-> {result.size} segments, error {result.error:.2f}")
+    print_relation("Same summary via result.to_relation()", result.to_relation())
 
 
 if __name__ == "__main__":

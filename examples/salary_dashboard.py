@@ -16,6 +16,8 @@ Run with::
     python examples/salary_dashboard.py
 """
 
+from pathlib import Path
+
 from repro import ita, pta, sta
 from repro.core import max_error, segments_from_relation, sse_between
 from repro.datasets import generate_incumbents
@@ -23,6 +25,9 @@ from repro.evaluation import reduction_ratio
 from repro.storage import write_relation
 
 TARGET_TUPLES_PER_DEPartment = 6
+
+#: Example outputs land next to the examples, not in the caller's CWD.
+OUT_DIR = Path(__file__).parent / "out"
 
 
 def sparkline(values, width=50):
@@ -72,8 +77,10 @@ def main():
               f"({len(rows)} segments, "
               f"{min(values):7.0f} .. {max(values):7.0f})")
 
-    write_relation(summary, "salary_summary.csv")
-    print("\nPTA summary written to salary_summary.csv")
+    OUT_DIR.mkdir(exist_ok=True)
+    target = OUT_DIR / "salary_summary.csv"
+    write_relation(summary, target)
+    print(f"\nPTA summary written to {target}")
 
 
 if __name__ == "__main__":

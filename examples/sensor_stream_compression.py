@@ -9,6 +9,12 @@ the merge heap stays at ``c + β`` entries — and compares the result against
 the exact DP reduction and against classic time series approximations (PAA
 and the Haar wavelet transform).
 
+It then switches to *live ingest*: a push-based
+:class:`repro.api.Compressor` session consumes the same stream one reading
+at a time and serves bounded summaries **while data keeps arriving** —
+every ``summary()`` snapshot is bit-identical to a batch run over the
+prefix pushed so far, and the live state keeps going afterwards.
+
 Run with::
 
     python examples/sensor_stream_compression.py
@@ -16,6 +22,7 @@ Run with::
 
 import numpy as np
 
+from repro.api import Compressor, ExecutionPolicy, SizeBudget
 from repro.baselines import dwt_approximate_to_size, paa, series_from_segments
 from repro.core import DELTA_INFINITY, reduce_to_size, sse_between
 from repro.datasets import chaotic_series, series_to_segments, wind_series
@@ -62,6 +69,29 @@ def main():
     recomputed = sse_between(chaotic, online.segments)
     assert abs(online.error - recomputed) < 1e-6
     print("\nError accounting verified: streamed error equals recomputed SSE.")
+
+    # Live ingest: push readings as they arrive, serve summaries on demand.
+    print("\nLive ingest (push-based Compressor session)")
+    print("-" * 60)
+    session = Compressor(
+        SizeBudget(SUMMARY_SIZE), policy=ExecutionPolicy(backend="numpy")
+    )
+    checkpoints = {len(chaotic) // 4, len(chaotic) // 2, len(chaotic)}
+    for reading in chaotic:
+        session.push(reading)
+        if session.pushed in checkpoints:
+            snapshot = session.summary()  # non-destructive, O(heap) cost
+            batch = compress(chaotic[: session.pushed], size=SUMMARY_SIZE,
+                             backend="numpy")
+            match = "bit-identical" if (
+                snapshot.segments == batch.segments
+                and snapshot.error == batch.error
+            ) else "DIVERGED!"
+            print(f"  after {session.pushed:4d} readings: "
+                  f"{snapshot.size:3d} segments, heap {session.heap_size:3d}, "
+                  f"snapshot vs batch: {match}")
+    final = session.finalize()
+    print(f"  final summary: {final.size} segments, error {final.error:.1f}")
 
 
 if __name__ == "__main__":

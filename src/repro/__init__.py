@@ -21,6 +21,20 @@ Typical usage::
     )
     summary = pta(proj, group_by=["proj"],
                   aggregates={"avg_sal": ("avg", "sal")}, size=4)
+
+The same query as a declarative plan (the canonical typed surface,
+:mod:`repro.api`), plus the push-based incremental session::
+
+    from repro import Plan, SizeBudget, Compressor
+
+    result = (Plan(proj).group_by("proj")
+              .aggregate(avg_sal=("avg", "sal"))
+              .reduce(SizeBudget(4)).run())
+
+    session = Compressor(SizeBudget(100))
+    for segment in live_segments:
+        session.push(segment)
+    snapshot = session.summary()
 """
 
 from .aggregation import (
@@ -32,6 +46,18 @@ from .aggregation import (
     register_aggregate,
     regular_spans,
     sta,
+)
+from .api import (
+    Backend,
+    Compressor,
+    ErrorBudget,
+    ExecutionPolicy,
+    Method,
+    Plan,
+    PlanError,
+    Result,
+    SizeBudget,
+    execute,
 )
 from .core import (
     DELTA_INFINITY,
@@ -61,10 +87,20 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateSegment",
     "AggregateSpec",
+    "Backend",
+    "Compressor",
     "DELTA_INFINITY",
     "DPResult",
+    "ErrorBudget",
+    "ExecutionPolicy",
     "GreedyResult",
     "Interval",
+    "Method",
+    "Plan",
+    "PlanError",
+    "Result",
+    "SizeBudget",
+    "execute",
     "TemporalRelation",
     "TemporalSchema",
     "TemporalTuple",

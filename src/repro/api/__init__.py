@@ -1,0 +1,63 @@
+"""The canonical typed surface of the PTA engine: one engine, three doors.
+
+The paper's PTA operator is one conceptual pipeline — aggregate, then
+reduce under a size or error budget — and this package is its single typed
+description and dispatcher:
+
+* :class:`Plan` — declarative builder
+  (``Plan(source).group_by(...).aggregate(...).reduce(budget)``) with all
+  validation at build time (:class:`PlanError`);
+* :func:`execute` — the one dispatch function mapping a (plan, policy)
+  pair onto the exact-DP, online-greedy or sharded-parallel engines,
+  returning a unified :class:`Result`;
+* :class:`Compressor` — the push-based incremental session for live
+  ingest, with non-destructive :meth:`~Compressor.summary` snapshots
+  bit-identical to batch runs over the same prefix.
+
+The historical entry points :func:`repro.pta`, :func:`repro.compress` and
+:func:`repro.parallel.reduce_segments_parallel` remain supported as thin
+shims over :func:`execute`.
+"""
+
+from .executor import execute, iter_chunks
+from .plan import (
+    DEFAULT_CHUNK_SIZE,
+    Backend,
+    Budget,
+    ErrorBudget,
+    ExecutionPolicy,
+    Method,
+    Plan,
+    PlanError,
+    PlanSource,
+    SizeBudget,
+    resolve_budget,
+    resolve_error_alias,
+    validate_chunk_size,
+    validate_delta,
+    validate_workers_method,
+)
+from .result import Result
+from .session import Compressor
+
+__all__ = [
+    "Backend",
+    "Budget",
+    "Compressor",
+    "DEFAULT_CHUNK_SIZE",
+    "ErrorBudget",
+    "ExecutionPolicy",
+    "Method",
+    "Plan",
+    "PlanError",
+    "PlanSource",
+    "Result",
+    "SizeBudget",
+    "execute",
+    "iter_chunks",
+    "resolve_budget",
+    "resolve_error_alias",
+    "validate_chunk_size",
+    "validate_delta",
+    "validate_workers_method",
+]

@@ -1,0 +1,196 @@
+"""Push-based incremental compression sessions.
+
+The online algorithms gPTAc / gPTAε (Section 6) are inherently push-based:
+tuples arrive one at a time and the summary is maintained continuously.
+:class:`Compressor` exposes exactly that shape — the missing piece for
+serving live traffic, where a caller feeds segments as they are produced
+and reads the current summary whenever a query arrives::
+
+    from repro.api import Compressor, SizeBudget
+
+    session = Compressor(SizeBudget(100))
+    for segment in live_feed:
+        session.push(segment)          # single segment or a whole chunk
+        if query_arrived():
+            snapshot = session.summary()   # non-destructive
+    final = session.finalize()
+
+Each :meth:`Compressor.summary` snapshot is **bit-identical** to running
+batch :func:`repro.compress` over the prefix pushed so far with the same
+parameters (asserted per prefix in ``tests/test_session.py``): the session
+holds the resumable :class:`~repro.core.greedy.OnlineReducer` state machine
+and finalises a clone of it, so the live online state is never disturbed.
+Snapshot cost is proportional to the *live heap size* (``c + β`` tuples),
+not to the stream length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..core.greedy import GreedyResult, OnlineReducer
+from ..core.merge import AggregateSegment
+from .plan import (
+    Budget,
+    ErrorBudget,
+    ExecutionPolicy,
+    Method,
+    PlanError,
+    SizeBudget,
+    resolve_budget,
+)
+from .result import Result
+
+
+class Compressor:
+    """An incremental gPTAc / gPTAε session over a segment stream.
+
+    Parameters
+    ----------
+    budget:
+        A :class:`SizeBudget` or :class:`ErrorBudget`; alternatively pass
+        exactly one of the ``size`` / ``max_error`` keywords.
+    policy:
+        Execution knobs (backend, ``delta``, weights, gPTAε estimates).
+        ``workers`` must stay ``None`` — an incremental session is
+        single-process by nature; use :func:`repro.api.execute` with a
+        worker policy for sharded batch reductions.
+
+    The segments must arrive in group-then-time order, exactly as the
+    online algorithms require.  Used as a context manager, a cleanly
+    exited ``with`` block finalizes the session automatically.
+    """
+
+    def __init__(
+        self,
+        budget: Optional[Budget] = None,
+        *,
+        size: Optional[int] = None,
+        max_error: Optional[float] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> None:
+        resolved = resolve_budget(budget, size=size, max_error=max_error)
+        policy = policy if policy is not None else ExecutionPolicy()
+        if policy.workers is not None:
+            raise PlanError(
+                "the incremental Compressor is single-process; workers "
+                "only applies to batch execution via repro.api.execute"
+            )
+        self.budget = resolved
+        self.policy = policy
+        self._reducer = OnlineReducer(
+            size=resolved.size if isinstance(resolved, SizeBudget) else None,
+            max_error=(
+                resolved.epsilon if isinstance(resolved, ErrorBudget) else None
+            ),
+            delta=policy.delta,
+            weights=policy.weights,
+            input_size_estimate=policy.input_size_estimate,
+            max_error_estimate=policy.max_error_estimate,
+            backend=policy.backend.value,
+        )
+        self._final: Optional[Result] = None
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        segments: Union[AggregateSegment, Iterable[AggregateSegment]],
+    ) -> "Compressor":
+        """Feed one segment or a whole chunk; returns ``self`` for chaining.
+
+        Chunks go through the heap's staged bulk-insert fast path when the
+        NumPy backend is active; the result is bit-identical to pushing the
+        same tuples one at a time.
+        """
+        self._check_open("push")
+        if isinstance(segments, AggregateSegment):
+            self._reducer.push(segments)
+        else:
+            self._reducer.push_chunk(
+                segments if isinstance(segments, (list, tuple))
+                else list(segments)
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def summary(self) -> Result:
+        """Return the summary of everything pushed so far, non-destructively.
+
+        Equivalent — bit for bit — to running batch ``compress`` over the
+        consumed prefix with the same parameters: the resumable online
+        state is cloned and the clone runs the end-of-input phase, so the
+        live session continues unaffected.  After :meth:`finalize` this
+        returns the final result.
+        """
+        if self._final is not None:
+            return self._final
+        return self._wrap(self._reducer.clone().finalize())
+
+    def finalize(self) -> Result:
+        """End the session and return the final summary.
+
+        Runs the end-of-input phase on the live state (no clone).  Further
+        :meth:`push` calls raise; :meth:`summary` keeps returning the final
+        result.
+        """
+        if self._final is None:
+            self._final = self._wrap(self._reducer.finalize())
+        return self._final
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pushed(self) -> int:
+        """Number of segments consumed so far."""
+        return self._reducer.consumed
+
+    @property
+    def heap_size(self) -> int:
+        """Number of tuples currently buffered in the merge heap."""
+        return len(self._reducer.heap)
+
+    @property
+    def finalized(self) -> bool:
+        return self._final is not None
+
+    def __len__(self) -> int:
+        return self.heap_size
+
+    def __enter__(self) -> "Compressor":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        # A cleanly exited session is finalized; after an exception the
+        # stream is torn mid-push, so the partial state is left untouched
+        # for inspection instead of being passed off as a final summary.
+        if exc_type is None and self._final is None:
+            self.finalize()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _wrap(self, greedy_result: GreedyResult) -> Result:
+        return Result(
+            segments=greedy_result.segments,
+            error=greedy_result.error,
+            size=greedy_result.size,
+            input_size=greedy_result.input_size,
+            method=Method.GREEDY.value,
+            backend=self.policy.backend.value,
+            max_heap_size=greedy_result.max_heap_size,
+            merges=greedy_result.merges,
+        )
+
+    def _check_open(self, operation: str) -> None:
+        if self._final is not None:
+            raise RuntimeError(
+                f"cannot {operation}() on a finalized Compressor"
+            )
+
+
+__all__ = ["Compressor"]

@@ -13,6 +13,7 @@ from .errors import (
 from .greedy import (
     DELTA_INFINITY,
     GreedyResult,
+    OnlineReducer,
     gms_reduce_to_error,
     gms_reduce_to_size,
     greedy_reduce_to_error,
@@ -67,6 +68,7 @@ __all__ = [
     "MergeHeap",
     "NumpyMergeHeap",
     "NumpyPrefixSums",
+    "OnlineReducer",
     "PrefixSums",
     "adjacency_flags",
     "adjacent",

@@ -7,7 +7,10 @@ satisfied.  Theorem 1 bounds the error ratio against the optimal DP solution
 by ``O(log n)``.
 
 Two online algorithms integrate GMS with ITA so that merging starts while
-ITA tuples are still being produced:
+ITA tuples are still being produced.  Their shared per-tuple logic lives in
+the resumable state machine :class:`OnlineReducer` (push one tuple, drain
+every merge the online policy allows, finalise on end of input), which also
+powers the incremental compression session :class:`repro.api.Compressor`:
 
 * :func:`greedy_reduce_to_size` — algorithm ``gPTAc`` (Fig. 11);
 * :func:`greedy_reduce_to_error` — algorithm ``gPTAε`` (Fig. 13).
@@ -28,7 +31,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from .errors import Weights, max_error, resolve_weights
 from .heap import make_merge_heap
@@ -130,8 +133,259 @@ def gms_reduce_to_error(
 
 
 # ----------------------------------------------------------------------
-# Online algorithms gPTAc and gPTAε
+# Online algorithms gPTAc and gPTAε as a resumable state machine
 # ----------------------------------------------------------------------
+class OnlineReducer:
+    """Explicit, resumable state of the online algorithms gPTAc / gPTAε.
+
+    The state machine holds everything the paper's Fig. 11 / Fig. 13 loops
+    keep between two input tuples: the merge heap, the gap bookkeeping
+    (``last_gap_id`` and the tuple counts before / after the last confirmed
+    gap), the accumulated merge error and — for the error-bounded variant —
+    the running exact ``SSE_max`` of the consumed prefix.  Feeding one tuple
+    is :meth:`push` (insert + drain every merge the online policy allows);
+    :meth:`finalize` runs the end-of-input phase and returns the
+    :class:`GreedyResult`.
+
+    Exactly one of ``size`` (bound ``c``, gPTAc) and ``max_error`` (bound
+    ``ε``, gPTAε) must be given.  The batch drivers
+    :func:`greedy_reduce_to_size` / :func:`greedy_reduce_to_error` are thin
+    loops over this class, and the push-based compression session
+    (:class:`repro.api.Compressor`) holds one instance across calls —
+    :meth:`clone` gives it a non-destructive way to finalise a snapshot
+    mid-stream with bit-identical results to a batch run over the same
+    prefix.
+    """
+
+    def __init__(
+        self,
+        size: int | None = None,
+        max_error: float | None = None,
+        delta: Delta = 1,
+        weights: Weights | None = None,
+        input_size_estimate: int | None = None,
+        max_error_estimate: float | None = None,
+        backend: str = "python",
+    ) -> None:
+        if (size is None) == (max_error is None):
+            raise ValueError("provide exactly one of 'size' and 'max_error'")
+        if size is not None and size < 1:
+            raise ValueError(f"size bound must be at least 1, got {size}")
+        if max_error is not None and not 0.0 <= max_error <= 1.0:
+            raise ValueError(
+                f"epsilon must be within [0, 1], got {max_error}"
+            )
+        _check_delta(delta)
+        self._size = size
+        self._epsilon = max_error
+        self._delta = delta
+        self._weights = weights
+        self.heap = make_merge_heap(weights, backend)
+        self._tracker = (
+            _MaxErrorTracker(weights) if max_error is not None else None
+        )
+        if (
+            max_error is not None
+            and input_size_estimate
+            and max_error_estimate is not None
+        ):
+            self._step_threshold = (
+                max_error * max_error_estimate / input_size_estimate
+            )
+        else:
+            self._step_threshold = 0.0  # disables early merging
+        self._last_gap_id = 0
+        self._before_gap = 0
+        self._after_gap = 0
+        self.total_error = 0.0
+        self.merges = 0
+        self.consumed = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Feeding the stream
+    # ------------------------------------------------------------------
+    def push(self, segment: AggregateSegment) -> None:
+        """Consume one ITA tuple: insert it and drain eligible merges."""
+        self._check_open()
+        node = self.heap.insert(segment)
+        self._observe(node.id, node.key, segment)
+
+    def push_chunk(self, segments: Sequence[AggregateSegment]) -> None:
+        """Consume a chunk of tuples through the staged-insert fast path.
+
+        On heaps exposing the staged-chunk protocol (the array-backed NumPy
+        heap) the chunk is bulk-written with its raw merge keys precomputed
+        vectorized (``stage_chunk``), then each tuple is activated
+        individually with ``insert_staged``.  Activations interleave with
+        the merge draining exactly like plain ``insert`` calls, so the
+        reduction is bit-identical to pushing tuple by tuple — only the
+        per-insert bookkeeping is amortised per chunk (the batched online
+        merge policy).
+        """
+        self._check_open()
+        heap = self.heap
+        if hasattr(heap, "stage_chunk"):
+            heap.stage_chunk(segments)
+            for segment in segments:
+                node_id, key = heap.insert_staged()
+                self._observe(node_id, key, segment)
+        else:
+            for segment in segments:
+                node = heap.insert(segment)
+                self._observe(node.id, node.key, segment)
+
+    def extend(self, source: Iterable[AggregateSegment]) -> None:
+        """Drive an entire iterable through the reducer.
+
+        Pulls :data:`ONLINE_CHUNK_SIZE` tuples at a time when the heap
+        supports staged chunks, single tuples otherwise.
+        """
+        if hasattr(self.heap, "stage_chunk"):
+            iterator = iter(source)
+            while True:
+                batch = list(islice(iterator, ONLINE_CHUNK_SIZE))
+                if not batch:
+                    return
+                self.push_chunk(batch)
+        else:
+            for segment in source:
+                self.push(segment)
+
+    # ------------------------------------------------------------------
+    # One step of the online policy
+    # ------------------------------------------------------------------
+    def _observe(
+        self, node_id: int, key: float, segment: AggregateSegment
+    ) -> None:
+        self.consumed += 1
+        if self._tracker is not None:
+            self._tracker.push(segment)
+        if math.isinf(key):
+            self._last_gap_id = node_id
+            self._before_gap += self._after_gap
+            self._after_gap = 1
+        else:
+            self._after_gap += 1
+        if self._size is not None:
+            self._drain_size_bounded()
+        else:
+            self._drain_error_bounded()
+
+    def _drain_size_bounded(self) -> None:
+        """Merge while over the size bound and a merge is safe (Fig. 11)."""
+        heap = self.heap
+        size = self._size
+        while len(heap) > size:
+            top = heap.peek_entry()
+            if top is None:
+                break
+            handle, top_id, top_key = top
+            if top_id < self._last_gap_id and self._before_gap >= size:
+                self._before_gap -= 1
+            elif top_id > self._last_gap_id and _has_read_ahead(
+                heap, handle, self._delta
+            ):
+                self._after_gap -= 1
+            else:
+                break
+            self.total_error += top_key
+            heap.merge_top()
+            self.merges += 1
+
+    def _drain_error_bounded(self) -> None:
+        """Merge while under the expected-average-error step (Fig. 13)."""
+        heap = self.heap
+        while True:
+            top = heap.peek_entry()
+            if top is None or top[2] > self._step_threshold:
+                break
+            handle, top_id, top_key = top
+            if top_id < self._last_gap_id:
+                self._before_gap -= 1
+            elif top_id > self._last_gap_id and _has_read_ahead(
+                heap, handle, self._delta
+            ):
+                self._after_gap -= 1
+            else:
+                break
+            self.total_error += top_key
+            heap.merge_top()
+            self.merges += 1
+
+    # ------------------------------------------------------------------
+    # End of input
+    # ------------------------------------------------------------------
+    def finalize(self) -> GreedyResult:
+        """Run the end-of-input phase and return the reduction result.
+
+        For gPTAc: plain greedy merging down to the size bound.  For gPTAε:
+        the exact ``SSE_max`` of the consumed input is now known, so plain
+        greedy merging continues while the accumulated error stays within
+        ``ε · SSE_max``.  The reducer is consumed — further ``push`` calls
+        raise :class:`RuntimeError`; take a :meth:`clone` first to keep the
+        live state (that is how ``Compressor.summary()`` snapshots work).
+        """
+        self._check_open()
+        self._finalized = True
+        heap = self.heap
+        if self._size is not None:
+            while len(heap) > self._size:
+                top = heap.peek_entry()
+                if top is None or math.isinf(top[2]):
+                    break
+                self.total_error += top[2]
+                heap.merge_top()
+                self.merges += 1
+        else:
+            assert self._tracker is not None
+            threshold = self._epsilon * self._tracker.total()
+            while True:
+                top = heap.peek_entry()
+                if top is None or math.isinf(top[2]):
+                    break
+                if self.total_error + top[2] > threshold + 1e-9:
+                    break
+                self.total_error += top[2]
+                heap.merge_top()
+                self.merges += 1
+        return _result(heap, self.total_error, self.merges, self.consumed)
+
+    def clone(self) -> "OnlineReducer":
+        """Deep-copy the resumable state (heap, gap bookkeeping, tracker).
+
+        The clone behaves bit-identically to the original under any further
+        operation sequence, so finalising the clone yields exactly what
+        finalising the original would — without consuming it.
+        """
+        self._check_open()
+        other = OnlineReducer.__new__(OnlineReducer)
+        other._size = self._size
+        other._epsilon = self._epsilon
+        other._delta = self._delta
+        other._weights = self._weights
+        other.heap = self.heap.clone()
+        other._tracker = (
+            self._tracker.clone() if self._tracker is not None else None
+        )
+        other._step_threshold = self._step_threshold
+        other._last_gap_id = self._last_gap_id
+        other._before_gap = self._before_gap
+        other._after_gap = self._after_gap
+        other.total_error = self.total_error
+        other.merges = self.merges
+        other.consumed = self.consumed
+        other._finalized = False
+        return other
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise RuntimeError(
+                "this OnlineReducer has been finalized; clone() before "
+                "finalize() to keep a resumable copy"
+            )
+
+
 def greedy_reduce_to_size(
     source: Iterable[AggregateSegment],
     size: int,
@@ -140,6 +394,10 @@ def greedy_reduce_to_size(
     backend: str = "python",
 ) -> GreedyResult:
     """Online size-bounded greedy reduction (algorithm ``gPTAc``, Fig. 11).
+
+    A batch driver over :class:`OnlineReducer`: the whole ``source`` is
+    pushed through the state machine, then the end-of-input phase finishes
+    with plain greedy merging.
 
     Parameters
     ----------
@@ -156,51 +414,11 @@ def greedy_reduce_to_size(
         ``"python"`` for the linked-node reference heap, ``"numpy"`` for the
         array-backed heap of :mod:`repro.core.kernels`.
     """
-    if size < 1:
-        raise ValueError(f"size bound must be at least 1, got {size}")
-    _check_delta(delta)
-
-    heap = make_merge_heap(weights, backend)
-    last_gap_id = 0
-    before_gap = 0
-    after_gap = 0
-    total_error = 0.0
-    merges = 0
-    consumed = 0
-
-    for node_id, key, _segment in _iter_online_inserts(heap, source):
-        consumed += 1
-        if math.isinf(key):
-            last_gap_id = node_id
-            before_gap += after_gap
-            after_gap = 1
-        else:
-            after_gap += 1
-
-        while len(heap) > size:
-            top = heap.peek_entry()
-            if top is None:
-                break
-            handle, top_id, top_key = top
-            if top_id < last_gap_id and before_gap >= size:
-                before_gap -= 1
-            elif top_id > last_gap_id and _has_read_ahead(heap, handle, delta):
-                after_gap -= 1
-            else:
-                break
-            total_error += top_key
-            heap.merge_top()
-            merges += 1
-
-    # The whole ITA result has been read: finish with plain greedy merging.
-    while len(heap) > size:
-        top = heap.peek_entry()
-        if top is None or math.isinf(top[2]):
-            break
-        total_error += top[2]
-        heap.merge_top()
-        merges += 1
-    return _result(heap, total_error, merges, consumed)
+    reducer = OnlineReducer(
+        size=size, delta=delta, weights=weights, backend=backend
+    )
+    reducer.extend(source)
+    return reducer.finalize()
 
 
 def greedy_reduce_to_error(
@@ -214,12 +432,13 @@ def greedy_reduce_to_error(
 ) -> GreedyResult:
     """Online error-bounded greedy reduction (algorithm ``gPTAε``, Fig. 13).
 
-    While tuples arrive, a merge candidate is only merged when its merge
-    error does not exceed the *expected average* error per step,
-    ``ε · Êmax / n̂``, and Proposition 4's safety condition (gap after the
-    candidate, or ``δ`` adjacent successors) holds.  Once the input is
-    exhausted the exact maximal error is known and plain greedy merging
-    continues until the threshold ``ε · SSE_max`` would be exceeded.
+    A batch driver over :class:`OnlineReducer`.  While tuples arrive, a
+    merge candidate is only merged when its merge error does not exceed the
+    *expected average* error per step, ``ε · Êmax / n̂``, and Proposition
+    4's safety condition (gap after the candidate, or ``δ`` adjacent
+    successors) holds.  Once the input is exhausted the exact maximal error
+    is known and plain greedy merging continues until the threshold
+    ``ε · SSE_max`` would be exceeded.
 
     Parameters
     ----------
@@ -231,94 +450,21 @@ def greedy_reduce_to_error(
         Estimate ``Êmax`` of ``SSE_max``.  Underestimating is safe
         (Theorem 3); overestimating may lead to a result different from GMS.
     """
-    if not 0.0 <= epsilon <= 1.0:
-        raise ValueError(f"epsilon must be within [0, 1], got {epsilon}")
-    _check_delta(delta)
-
-    if input_size_estimate and max_error_estimate is not None:
-        step_threshold = epsilon * max_error_estimate / input_size_estimate
-    else:
-        step_threshold = 0.0  # disables early merging
-
-    heap = make_merge_heap(weights, backend)
-    tracker = _MaxErrorTracker(weights)
-    last_gap_id = 0
-    before_gap = 0
-    after_gap = 0
-    total_error = 0.0
-    merges = 0
-    consumed = 0
-
-    for node_id, key, segment in _iter_online_inserts(heap, source):
-        consumed += 1
-        tracker.push(segment)
-        if math.isinf(key):
-            last_gap_id = node_id
-            before_gap += after_gap
-            after_gap = 1
-        else:
-            after_gap += 1
-
-        while True:
-            top = heap.peek_entry()
-            if top is None or top[2] > step_threshold:
-                break
-            handle, top_id, top_key = top
-            if top_id < last_gap_id:
-                before_gap -= 1
-            elif top_id > last_gap_id and _has_read_ahead(heap, handle, delta):
-                after_gap -= 1
-            else:
-                break
-            total_error += top_key
-            heap.merge_top()
-            merges += 1
-
-    # Finalisation: the true SSE_max is now known exactly.
-    threshold = epsilon * tracker.total()
-    while True:
-        top = heap.peek_entry()
-        if top is None or math.isinf(top[2]):
-            break
-        if total_error + top[2] > threshold + 1e-9:
-            break
-        total_error += top[2]
-        heap.merge_top()
-        merges += 1
-    return _result(heap, total_error, merges, consumed)
+    reducer = OnlineReducer(
+        max_error=epsilon,
+        delta=delta,
+        weights=weights,
+        input_size_estimate=input_size_estimate,
+        max_error_estimate=max_error_estimate,
+        backend=backend,
+    )
+    reducer.extend(source)
+    return reducer.finalize()
 
 
 # ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
-def _iter_online_inserts(
-    heap, source: Iterable[AggregateSegment]
-) -> Iterator[Tuple[int, float, AggregateSegment]]:
-    """Insert the stream into ``heap``, yielding ``(node_id, key, segment)``.
-
-    On heaps exposing the staged-chunk protocol (the array-backed NumPy
-    heap) the stream is pulled :data:`ONLINE_CHUNK_SIZE` tuples at a time:
-    ``stage_chunk`` bulk-writes the chunk and precomputes its raw merge keys
-    vectorized, and each tuple is then activated individually with
-    ``insert_staged``.  Activations interleave with the caller's merge
-    draining exactly like plain ``insert`` calls, so the reduction is
-    bit-identical to the tuple-at-a-time path — only the per-insert
-    bookkeeping is amortised per chunk (the batched online merge policy).
-    """
-    if hasattr(heap, "stage_chunk"):
-        iterator = iter(source)
-        while True:
-            batch = list(islice(iterator, ONLINE_CHUNK_SIZE))
-            if not batch:
-                return
-            heap.stage_chunk(batch)
-            for segment in batch:
-                node_id, key = heap.insert_staged()
-                yield node_id, key, segment
-    else:
-        for segment in source:
-            node = heap.insert(segment)
-            yield node.id, node.key, segment
 
 
 def _build_heap(
@@ -413,6 +559,16 @@ class _MaxErrorTracker:
         self._length = 0.0
         self._sums = [0.0] * len(self._sums)
         self._square_sums = [0.0] * len(self._square_sums)
+
+    def clone(self) -> "_MaxErrorTracker":
+        """Copy the accumulator state (used by :meth:`OnlineReducer.clone`)."""
+        other = _MaxErrorTracker(self._weights)
+        other._previous = self._previous
+        other._length = self._length
+        other._sums = list(self._sums)
+        other._square_sums = list(self._square_sums)
+        other._total = self._total
+        return other
 
     def total(self) -> float:
         """Return ``SSE_max`` over everything pushed so far."""

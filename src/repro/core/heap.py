@@ -22,7 +22,6 @@ greedy algorithms expose the choice as their ``backend`` parameter.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Iterator, List, Optional
 
@@ -54,7 +53,7 @@ class MergeHeap:
     def __init__(self, weights: Weights | None = None) -> None:
         self._weights = weights
         self._entries: List[tuple] = []
-        self._counter = itertools.count()
+        self._entry_counter = 0
         self._head: Optional[HeapNode] = None
         self._tail: Optional[HeapNode] = None
         self._size = 0
@@ -166,10 +165,56 @@ class MergeHeap:
             )
         node._version += 1
         if not math.isinf(node.key):
+            self._entry_counter += 1
             heapq.heappush(
                 self._entries,
-                (node.key, next(self._counter), node, node._version),
+                (node.key, self._entry_counter, node, node._version),
             )
+
+    def clone(self) -> "MergeHeap":
+        """Return an independent copy with identical observable behaviour.
+
+        The copy preserves node ids, keys, versions and — crucially — the
+        priority-queue entry counters, so a sequence of ``peek`` /
+        ``merge_top`` / ``insert`` calls on the clone produces exactly the
+        same results (including equal-key tie-breaking) as on the original.
+        Stale lazy-deletion entries are dropped during the copy; they can
+        never win a ``peek`` so their absence is unobservable.  This is what
+        lets an incremental compression session take a non-destructive
+        snapshot of its online state (:class:`repro.api.Compressor`).
+        """
+        other = MergeHeap(self._weights)
+        other._entry_counter = self._entry_counter
+        other._size = self._size
+        other._next_id = self._next_id
+        other.max_size = self.max_size
+        twins: dict[int, HeapNode] = {}
+        previous: Optional[HeapNode] = None
+        node = self._head
+        while node is not None:
+            twin = HeapNode(node.id, node.segment)
+            twin.key = node.key
+            twin._version = node._version
+            twin.prev = previous
+            if previous is None:
+                other._head = twin
+            else:
+                previous.next = twin
+            twins[id(node)] = twin
+            previous = twin
+            node = node.next
+        other._tail = previous
+        entries = [
+            (key, counter, twins[id(entry_node)], version)
+            for key, counter, entry_node, version in self._entries
+            if entry_node.alive
+            and entry_node._version == version
+            and entry_node.key == key
+        ]
+        # Filtering a binary heap does not preserve the heap invariant.
+        heapq.heapify(entries)
+        other._entries = entries
+        return other
 
     def adjacent_successor_count(self, node: HeapNode, limit: int) -> int:
         """Number of successors chained to ``node`` by adjacency, up to ``limit``.

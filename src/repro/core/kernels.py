@@ -808,6 +808,47 @@ class NumpyMergeHeap:
         """Materialise the current intermediate relation in list order."""
         return [self._segment_at(node.index) for node in self]
 
+    def clone(self) -> "NumpyMergeHeap":
+        """Return an independent copy with identical observable behaviour.
+
+        Every column, the priority queue (stale entries included — they
+        carry the tie-breaking counters) and all allocation bookkeeping are
+        copied, so any operation sequence on the clone yields bit-identical
+        results to the same sequence on the original.  Used by the
+        incremental compression session (:class:`repro.api.Compressor`) to
+        finalise a snapshot without disturbing the live online state.
+        Staged tuples must all be activated before cloning.
+        """
+        self._check_no_staged()
+        other = NumpyMergeHeap(self._weights)
+        other._w2 = self._w2
+        other._dimensions = self._dimensions
+        other._capacity = self._capacity
+        other._count = self._count
+        other._size = self._size
+        other.max_size = self.max_size
+        other._head = self._head
+        other._tail = self._tail
+        other._entries = list(self._entries)
+        other._entry_counter = self._entry_counter
+        other._next_node_id = self._next_node_id
+        other._group_ids = dict(self._group_ids)
+        other._group_keys = list(self._group_keys)
+        other._staged_base = self._staged_base
+        other._staged_end = self._staged_end
+        if self._dimensions is not None:
+            other._values = self._values.copy()
+            other._start = list(self._start)
+            other._end = list(self._end)
+            other._group = list(self._group)
+            other._prev = list(self._prev)
+            other._next = list(self._next)
+            other._key = list(self._key)
+            other._version = list(self._version)
+            other._alive = list(self._alive)
+            other._node_id = list(self._node_id)
+        return other
+
 
 # ----------------------------------------------------------------------
 # Array-encoded greedy merge trajectories (sharded engine work unit)

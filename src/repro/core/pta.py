@@ -1,9 +1,17 @@
 """The parsimonious temporal aggregation operator (user-facing facade).
 
+.. note::
+   The canonical, typed surface of the engine is :mod:`repro.api`
+   (``Plan`` / ``execute`` / ``Compressor``).  :func:`pta` is kept as the
+   historical operator-style door and is a thin shim that builds a
+   :class:`repro.api.Plan` and hands it to :func:`repro.api.execute`, so
+   validation behaves identically across every entry point.
+
 ``G PTA[A, F, c] r`` and ``G PTA[A, F, ε] r`` from the paper are exposed as
 :func:`pta` (plus the explicit variants :func:`pta_size_bounded`,
 :func:`pta_error_bounded`, :func:`gpta_size_bounded` and
-:func:`gpta_error_bounded`).  Conceptually the operator
+:func:`gpta_error_bounded`, which call the engines directly and serve as
+the pre-refactor reference in the parity tests).  Conceptually the operator
 
 1. evaluates instant temporal aggregation over the argument relation, and
 2. reduces the ITA result by merging adjacent tuples until the size or error
@@ -12,8 +20,9 @@
 
 The facade returns plain :class:`~repro.temporal.TemporalRelation` objects;
 callers that need algorithm statistics (error introduced, heap sizes, DP
-work counters) use :mod:`repro.core.dp` and :mod:`repro.core.greedy`
-directly, which is what the benchmark harness does.
+work counters) use :mod:`repro.api` (whose ``Result`` carries them) or
+:mod:`repro.core.dp` and :mod:`repro.core.greedy` directly, which is what
+the benchmark harness does.
 """
 
 from __future__ import annotations
@@ -44,46 +53,41 @@ def pta(
     weights: Weights | None = None,
     backend: str = "python",
     workers: int | None = None,
+    max_error: float | None = None,
 ) -> TemporalRelation:
     """Evaluate a PTA query over ``relation``.
 
     Exactly one of ``size`` (the bound ``c``) and ``error`` (the bound ``ε``
-    in ``[0, 1]``) must be given.  ``method`` selects the evaluation
-    strategy: ``"dp"`` for the exact dynamic-programming algorithms and
-    ``"greedy"`` for the online greedy algorithms; ``delta`` is the greedy
-    read-ahead parameter ``δ``.  ``backend`` selects the pure-Python
-    reference kernels or the vectorized NumPy kernels
-    (:mod:`repro.core.kernels`); both yield identical results.  ``workers``
-    (greedy method only) routes the reduction through the sharded
-    multiprocess engine of :mod:`repro.parallel`, which computes plain GMS
-    (``δ = ∞`` semantics) bit-identically for every worker count.
+    in ``[0, 1]``) must be given; ``max_error`` is accepted as an alias of
+    ``error`` — the canonical spelling used by :mod:`repro.api` and
+    :func:`repro.compress`.  ``method`` selects the evaluation strategy:
+    ``"dp"`` for the exact dynamic-programming algorithms and ``"greedy"``
+    for the online greedy algorithms; ``delta`` is the greedy read-ahead
+    parameter ``δ``.  ``backend`` selects the pure-Python reference kernels
+    or the vectorized NumPy kernels (:mod:`repro.core.kernels`); both yield
+    identical results.  ``workers`` (greedy method only) routes the
+    reduction through the sharded multiprocess engine of
+    :mod:`repro.parallel`, which computes plain GMS (``δ = ∞`` semantics)
+    bit-identically for every worker count.
+
+    This is a shim over :func:`repro.api.execute`; the equivalent plan is
+    ``Plan(relation).group_by(*A).aggregate(F).reduce(budget, method)``.
 
     Returns a temporal relation with schema ``(A..., B..., T)``.
     """
-    if (size is None) == (error is None):
-        raise ValueError("provide exactly one of 'size' and 'error'")
-    if method not in ("dp", "greedy"):
-        raise ValueError(f"method must be 'dp' or 'greedy', got {method!r}")
-    if workers is not None and method != "greedy":
-        raise ValueError("workers is only supported for method='greedy'")
+    from ..api import ExecutionPolicy, Plan, execute, resolve_error_alias
 
-    if method == "dp":
-        if size is not None:
-            return pta_size_bounded(
-                relation, group_by, aggregates, size, weights, backend
-            )
-        return pta_error_bounded(
-            relation, group_by, aggregates, error, weights, backend
-        )
-    if size is not None:
-        return gpta_size_bounded(
-            relation, group_by, aggregates, size, delta, weights, backend,
-            workers=workers,
-        )
-    return gpta_error_bounded(
-        relation, group_by, aggregates, error, delta, weights,
-        backend=backend, workers=workers,
+    epsilon = resolve_error_alias(error, max_error)
+    plan = Plan(relation)
+    if group_by:
+        plan = plan.group_by(*group_by)
+    if aggregates:
+        plan = plan.aggregate(aggregates)
+    plan = plan.reduce(size=size, max_error=epsilon, method=method)
+    policy = ExecutionPolicy(
+        backend=backend, workers=workers, delta=delta, weights=weights
     )
+    return execute(plan, policy).to_relation()
 
 
 def pta_size_bounded(

@@ -193,6 +193,9 @@ def reduce_segments_parallel(
 ) -> GreedyResult:
     """Sharded greedy reduction (plain GMS semantics) of a segment stream.
 
+    A compatibility shim over the canonical :func:`repro.api.execute`
+    dispatcher: it builds a greedy :class:`repro.api.Plan` with a worker
+    policy, so validation errors are identical across all entry points.
     Exactly one of ``size`` and ``max_error`` must be given, with the same
     meaning as in :func:`repro.core.greedy.gms_reduce_to_size` /
     ``gms_reduce_to_error``.  ``workers`` is the process-pool width (``0``
@@ -204,6 +207,39 @@ def reduce_segments_parallel(
     Returns a :class:`~repro.core.greedy.GreedyResult`; ``max_heap_size`` is
     reported as 0 because the engine materialises the input instead of
     bounding a streaming heap.
+    """
+    from .api import ExecutionPolicy, Method, Plan, execute
+
+    plan = Plan(segments).reduce(
+        size=size, max_error=max_error, method=Method.GREEDY
+    )
+    policy = ExecutionPolicy(
+        workers=workers, shard_size=shard_size, weights=weights
+    )
+    result = execute(plan, policy)
+    return GreedyResult(
+        segments=result.segments,
+        error=result.error,
+        size=result.size,
+        max_heap_size=result.max_heap_size,
+        merges=result.merges,
+        input_size=result.input_size,
+    )
+
+
+def run_sharded(
+    segments: Iterable[AggregateSegment] | EncodedSegments,
+    size: int | None = None,
+    max_error: float | None = None,
+    weights: Weights | None = None,
+    workers: int = 1,
+    shard_size: int | None = None,
+) -> GreedyResult:
+    """The sharded engine proper (encode → shard → reduce → reconcile).
+
+    This is the raw engine invoked by :func:`repro.api.execute`; its
+    defensive validation mirrors the build-time checks of
+    :mod:`repro.api.plan` for direct callers.
     """
     if (size is None) == (max_error is None):
         raise ValueError("provide exactly one of 'size' and 'max_error'")
@@ -383,4 +419,5 @@ __all__ = [
     "encode_segments",
     "plan_shards",
     "reduce_segments_parallel",
+    "run_sharded",
 ]

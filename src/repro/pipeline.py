@@ -1,12 +1,18 @@
 """Streaming compression pipeline for parsimonious temporal aggregation.
 
-:func:`compress` is the one-call facade over the whole PTA stack: it accepts
-either a raw :class:`~repro.temporal.TemporalRelation` (which is aggregated
-with ITA on the fly) or any iterable of
-:class:`~repro.core.merge.AggregateSegment` objects (an already aggregated
-relation, a time series converted to unit segments, or a live generator),
-and reduces it under a size bound ``size`` or a relative error bound
-``max_error``.
+.. note::
+   The canonical, typed surface of the engine is :mod:`repro.api`
+   (``Plan`` / ``execute`` / ``Compressor``); :func:`compress` is kept as
+   the historical one-call door and is a thin shim that builds a
+   :class:`repro.api.Plan` and hands it to :func:`repro.api.execute`.
+
+:func:`compress` accepts either a raw
+:class:`~repro.temporal.TemporalRelation` (which is aggregated with ITA on
+the fly) or any iterable of :class:`~repro.core.merge.AggregateSegment`
+objects (an already aggregated relation, a time series converted to unit
+segments, or a live generator), and reduces it under a size bound ``size``
+or a relative error bound ``max_error`` (``error`` is accepted as an alias
+for symmetry with the historical :func:`repro.pta` spelling).
 
 The default ``method="greedy"`` keeps the pipeline *streaming*: segments are
 pulled from the source in chunks of ``chunk_size`` and fed one by one into
@@ -49,60 +55,26 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Sequence
+from typing import Iterable, Sequence
 
-from .aggregation import iter_ita_segments
 from .aggregation.functions import AggregatesLike
-from .core import dp, greedy
+from .api import (
+    DEFAULT_CHUNK_SIZE,
+    ExecutionPolicy,
+    Plan,
+    Result,
+    execute,
+    iter_chunks,
+    resolve_error_alias,
+)
+from .core import greedy
 from .core.errors import Weights
-from .core.errors import max_error as exact_max_error
 from .core.merge import AggregateSegment
 from .temporal import TemporalRelation
 
-#: Default number of segments pulled from the source per pipeline step.
-#: Deliberately modest: the chunk buffer adds to the ``c + β`` heap bound,
-#: so it should not dwarf typical output sizes.
-DEFAULT_CHUNK_SIZE = 256
-
-
-@dataclass
-class CompressionResult:
-    """Result of a :func:`compress` call, uniform across methods.
-
-    Attributes
-    ----------
-    segments:
-        The reduced relation in group-then-time order.
-    error:
-        Total SSE introduced with respect to the (conceptual) ITA input.
-    size:
-        Number of output segments.
-    input_size:
-        Number of ITA tuples consumed from the source.
-    method / backend:
-        The evaluation strategy and kernel backend that produced the result.
-    max_heap_size:
-        Largest number of tuples simultaneously buffered by the greedy merge
-        heap (0 for the DP method, which materialises the input instead).
-    merges:
-        Number of merge steps performed (greedy method only).
-    """
-
-    segments: List[AggregateSegment] = field(default_factory=list)
-    error: float = 0.0
-    size: int = 0
-    input_size: int = 0
-    method: str = "greedy"
-    backend: str = "python"
-    max_heap_size: int = 0
-    merges: int = 0
-
-    def __iter__(self):
-        return iter(self.segments)
-
-    def __len__(self) -> int:
-        return self.size
+#: The unified result type; an alias of :class:`repro.api.Result`, kept
+#: under its historical name for backwards compatibility.
+CompressionResult = Result
 
 
 def compress(
@@ -112,6 +84,7 @@ def compress(
     aggregates: AggregatesLike = (),
     size: int | None = None,
     max_error: float | None = None,
+    error: float | None = None,
     method: str = "greedy",
     backend: str = "python",
     delta: greedy.Delta = 1,
@@ -125,7 +98,8 @@ def compress(
     """Compress a temporal relation or segment stream with PTA.
 
     Exactly one of ``size`` (the output size bound ``c``) and ``max_error``
-    (the relative error bound ``ε`` in ``[0, 1]``) must be given.
+    (the relative error bound ``ε`` in ``[0, 1]``) must be given; ``error``
+    is accepted as a legacy alias of ``max_error``.
 
     Parameters
     ----------
@@ -166,172 +140,24 @@ def compress(
         :data:`repro.parallel.DEFAULT_SHARD_SIZE`).  A work-distribution
         knob only.
     """
-    if (size is None) == (max_error is None):
-        raise ValueError("provide exactly one of 'size' and 'max_error'")
-    if method not in ("dp", "greedy"):
-        raise ValueError(f"method must be 'dp' or 'greedy', got {method!r}")
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
-    if workers is not None and method != "greedy":
-        raise ValueError(
-            "workers is only supported for method='greedy'; the exact DP "
-            "optimum couples the shards through the global output budget"
-        )
-
-    stream, input_size_estimate, max_error_estimate = _open_source(
-        records,
-        group_by,
-        aggregates,
-        weights,
-        need_estimates=(
-            max_error is not None and method == "greedy" and workers is None
-        ),
+    epsilon = resolve_error_alias(error, max_error)
+    plan = Plan(records)
+    if group_by:
+        plan = plan.group_by(*group_by)
+    if aggregates:
+        plan = plan.aggregate(aggregates)
+    plan = plan.reduce(size=size, max_error=epsilon, method=method)
+    policy = ExecutionPolicy(
+        backend=backend,
+        workers=workers,
+        shard_size=shard_size,
+        chunk_size=chunk_size,
+        delta=delta,
+        weights=weights,
         input_size_estimate=input_size_estimate,
         max_error_estimate=max_error_estimate,
     )
-
-    if workers is not None:
-        from .parallel import reduce_segments_parallel
-
-        result = reduce_segments_parallel(
-            stream,
-            size=size,
-            max_error=max_error,
-            weights=weights,
-            workers=workers,
-            shard_size=shard_size,
-        )
-        return CompressionResult(
-            segments=result.segments,
-            error=result.error,
-            size=result.size,
-            input_size=result.input_size,
-            method=method,
-            backend="numpy",
-            max_heap_size=result.max_heap_size,
-            merges=result.merges,
-        )
-
-    if method == "dp":
-        segments = list(stream)
-        if size is not None:
-            result = dp.reduce_to_size(segments, size, weights, backend=backend)
-        else:
-            result = dp.reduce_to_error(
-                segments, max_error, weights, backend=backend
-            )
-        return CompressionResult(
-            segments=result.segments,
-            error=result.error,
-            size=result.size,
-            input_size=len(segments),
-            method=method,
-            backend=backend,
-        )
-
-    chunked = _rechunk(stream, chunk_size)
-    if size is not None:
-        result = greedy.greedy_reduce_to_size(
-            chunked, size, delta, weights, backend=backend
-        )
-    else:
-        result = greedy.greedy_reduce_to_error(
-            chunked,
-            max_error,
-            delta,
-            weights,
-            input_size_estimate=input_size_estimate,
-            max_error_estimate=max_error_estimate,
-            backend=backend,
-        )
-    return CompressionResult(
-        segments=result.segments,
-        error=result.error,
-        size=result.size,
-        input_size=result.input_size,
-        method=method,
-        backend=backend,
-        max_heap_size=result.max_heap_size,
-        merges=result.merges,
-    )
-
-
-def iter_chunks(
-    source: Iterable[Any], chunk_size: int
-) -> Iterator[List[Any]]:
-    """Split ``source`` into lists of at most ``chunk_size`` items.
-
-    The building block of the streaming pipeline; exposed for tests and for
-    callers that want to drive the chunking themselves.
-    """
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
-    chunk: List[Any] = []
-    for item in source:
-        chunk.append(item)
-        if len(chunk) >= chunk_size:
-            yield chunk
-            chunk = []
-    if chunk:
-        yield chunk
-
-
-# ----------------------------------------------------------------------
-# Internals
-# ----------------------------------------------------------------------
-def _open_source(
-    records,
-    group_by: Sequence[str],
-    aggregates: AggregatesLike,
-    weights: Weights | None,
-    need_estimates: bool,
-    input_size_estimate: int | None,
-    max_error_estimate: float | None,
-):
-    """Normalise ``records`` into a segment iterator plus gPTAε estimates."""
-    from .core.pta import estimate_max_error
-
-    if isinstance(records, TemporalRelation):
-        stream: Iterable[AggregateSegment] = iter_ita_segments(
-            records, group_by, aggregates
-        )
-        if need_estimates:
-            if input_size_estimate is None:
-                input_size_estimate = max(2 * len(records) - 1, 1)
-            if max_error_estimate is None:
-                max_error_estimate = estimate_max_error(
-                    records, group_by, aggregates, weights=weights
-                )
-        return stream, input_size_estimate, max_error_estimate
-
-    if group_by or aggregates:
-        raise ValueError(
-            "group_by/aggregates only apply when compressing a "
-            "TemporalRelation; segment streams are already aggregated"
-        )
-    if isinstance(records, (list, tuple)):
-        # Materialised input: the exact values are cheap, use them.
-        if need_estimates:
-            if input_size_estimate is None:
-                input_size_estimate = max(len(records), 1)
-            if max_error_estimate is None:
-                max_error_estimate = exact_max_error(records, weights)
-        return iter(records), input_size_estimate, max_error_estimate
-    return iter(records), input_size_estimate, max_error_estimate
-
-
-def _rechunk(
-    stream: Iterable[AggregateSegment], chunk_size: int
-) -> Iterator[AggregateSegment]:
-    """Pull segments from ``stream`` in chunks, re-yielding them one by one.
-
-    Chunking decouples the producer (ITA, a file reader, a socket) from the
-    consumer (the merge heap): the producer is driven ``chunk_size`` tuples
-    at a time while the consumer still observes a flat, order-preserving
-    stream, so results are bit-identical to the unchunked evaluation.
-    """
-    for chunk in iter_chunks(stream, chunk_size):
-        yield from chunk
+    return execute(plan, policy)
 
 
 __all__ = [

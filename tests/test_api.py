@@ -1,0 +1,285 @@
+"""Tests for the declarative Plan/Engine surface (:mod:`repro.api`).
+
+Covers the fluent builder (immutability, build-time validation, typed
+budgets and enums), the execution policy, the unified :class:`Result`
+(stats + ``to_relation`` / ``to_csv`` / iteration sinks), and the executor
+dispatch onto all three engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interval, TemporalRelation, compress, ita, pta, reduce_ita
+from repro.api import (
+    Backend,
+    ErrorBudget,
+    ExecutionPolicy,
+    Method,
+    Plan,
+    PlanError,
+    Result,
+    SizeBudget,
+    execute,
+    resolve_budget,
+)
+from repro.datasets import (
+    synthetic_grouped_segments,
+    synthetic_sequential_segments,
+)
+from repro.parallel import encode_segments
+from repro.pipeline import CompressionResult
+
+
+@pytest.fixture
+def relation() -> TemporalRelation:
+    return TemporalRelation.from_records(
+        columns=("empl", "proj", "sal"),
+        records=[
+            ("John", "A", 800, Interval(1, 4)),
+            ("Ann", "A", 400, Interval(3, 6)),
+            ("Tom", "A", 300, Interval(4, 7)),
+            ("John", "B", 500, Interval(4, 5)),
+            ("John", "B", 500, Interval(7, 8)),
+        ],
+    )
+
+
+AGGS = {"avg_sal": ("avg", "sal")}
+
+
+# ----------------------------------------------------------------------
+# Typed building blocks
+# ----------------------------------------------------------------------
+class TestBuildingBlocks:
+    def test_budgets_validate_on_construction(self):
+        assert SizeBudget(4).size == 4
+        assert ErrorBudget(0.25).epsilon == 0.25
+        with pytest.raises(PlanError, match="size bound"):
+            SizeBudget(0)
+        with pytest.raises(PlanError, match="epsilon"):
+            ErrorBudget(-0.1)
+
+    def test_resolve_budget_accepts_objects_and_keywords(self):
+        assert resolve_budget(SizeBudget(3)) == SizeBudget(3)
+        assert resolve_budget(size=3) == SizeBudget(3)
+        assert resolve_budget(max_error=0.5) == ErrorBudget(0.5)
+        with pytest.raises(PlanError, match="exactly one"):
+            resolve_budget(SizeBudget(3), size=3)
+        with pytest.raises(PlanError, match="SizeBudget or ErrorBudget"):
+            resolve_budget(3)  # a bare int is ambiguous, reject it
+
+    def test_enums_coerce_from_strings(self):
+        assert Method.coerce("dp") is Method.DP
+        assert Method.coerce(Method.GREEDY) is Method.GREEDY
+        assert Backend.coerce("numpy") is Backend.NUMPY
+        # str-valued enums keep comparing equal to their spelling
+        assert Method.DP == "dp" and Backend.PYTHON == "python"
+
+    def test_policy_is_frozen_and_validated(self):
+        policy = ExecutionPolicy(backend="numpy", workers=2, delta=0)
+        assert policy.backend is Backend.NUMPY
+        with pytest.raises(AttributeError):
+            policy.workers = 3  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# The fluent builder
+# ----------------------------------------------------------------------
+class TestPlanBuilder:
+    def test_builder_steps_return_new_plans(self, relation):
+        base = Plan(relation)
+        grouped = base.group_by("proj")
+        aggregated = grouped.aggregate(AGGS)
+        reduced = aggregated.reduce(SizeBudget(4))
+        assert base.group_columns == ()
+        assert grouped.group_columns == ("proj",)
+        assert base.budget is None and reduced.budget == SizeBudget(4)
+        assert reduced.method is Method.GREEDY
+
+    def test_shared_partial_plans(self, relation):
+        base = Plan(relation).group_by("proj").aggregate(AGGS)
+        small = base.reduce(SizeBudget(4), method=Method.DP)
+        loose = base.reduce(ErrorBudget(0.5))
+        assert small.method is Method.DP
+        assert loose.method is Method.GREEDY
+        assert len(small.run()) == 4
+        assert len(loose.run()) <= 7
+
+    def test_aggregate_keyword_form(self, relation):
+        plan = (
+            Plan(relation)
+            .group_by("proj")
+            .aggregate(avg_sal=("avg", "sal"))
+            .reduce(SizeBudget(4), method="dp")
+        )
+        keyword_result = plan.run()
+        mapping_result = (
+            Plan(relation)
+            .group_by("proj")
+            .aggregate(AGGS)
+            .reduce(SizeBudget(4), method="dp")
+            .run()
+        )
+        assert keyword_result.segments == mapping_result.segments
+        assert plan.value_columns == ("avg_sal",)
+
+    def test_with_policy_attaches_defaults(self, relation):
+        plan = (
+            Plan(relation)
+            .group_by("proj")
+            .aggregate(AGGS)
+            .reduce(SizeBudget(4))
+            .with_policy(backend="numpy")
+        )
+        result = plan.run()
+        assert result.backend == "numpy"
+        # An explicit policy at run() overrides the attached one.
+        assert plan.run(ExecutionPolicy()).backend == "python"
+
+    def test_with_method(self, relation):
+        plan = (
+            Plan(relation).group_by("proj").aggregate(AGGS)
+            .reduce(SizeBudget(4)).with_method("dp")
+        )
+        assert plan.method is Method.DP
+
+    def test_duplicate_outputs_rejected_at_build_time(self, relation):
+        base = Plan(relation).group_by("proj")
+        # Across chained aggregate() calls ...
+        with pytest.raises(PlanError, match="duplicate output"):
+            base.aggregate(avg=("avg", "sal")).aggregate(avg=("avg", "sal"))
+        # ... and when mixing the mapping and keyword forms in one call.
+        with pytest.raises(PlanError, match="duplicate output"):
+            base.aggregate({"avg": ("avg", "sal")}, avg=("max", "sal"))
+
+    def test_duplicate_group_columns_rejected_at_build_time(self, relation):
+        with pytest.raises(PlanError, match="duplicate group_by"):
+            Plan(relation).group_by("proj", "proj")
+        with pytest.raises(PlanError, match="duplicate group_by"):
+            Plan(relation).group_by("proj").group_by("proj")
+
+    def test_relation_without_aggregates_is_rejected_at_execute(self, relation):
+        plan = Plan(relation).reduce(SizeBudget(3))
+        with pytest.raises(PlanError, match="at least one aggregate"):
+            plan.run()
+
+    def test_execute_requires_a_reduced_plan(self, relation):
+        with pytest.raises(PlanError, match="no reduction step"):
+            execute(Plan(relation).group_by("proj").aggregate(AGGS))
+
+    def test_execute_rejects_non_plans(self):
+        with pytest.raises(PlanError, match="expects a Plan"):
+            execute("reduce all the things")  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Executor dispatch
+# ----------------------------------------------------------------------
+class TestExecutorDispatch:
+    def test_dp_matches_reduce_ita(self, relation):
+        plan = (
+            Plan(relation).group_by("proj").aggregate(AGGS)
+            .reduce(SizeBudget(4), method=Method.DP)
+        )
+        result = plan.run()
+        assert result.method == "dp"
+        expected = reduce_ita(
+            ita(relation, ["proj"], AGGS), ["proj"], ["avg_sal"], size=4
+        )
+        assert result.to_relation().rows() == expected.rows()
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_greedy_stream_matches_compress(self, backend):
+        segments = synthetic_sequential_segments(120, dimensions=2, seed=21)
+        plan = Plan(iter(segments)).reduce(SizeBudget(18))
+        result = plan.run(ExecutionPolicy(backend=backend))
+        reference = compress(list(segments), size=18, backend=backend)
+        assert result.segments == reference.segments
+        assert result.error == reference.error
+        assert result.max_heap_size == reference.max_heap_size
+
+    def test_sharded_dispatch_reports_numpy_backend(self):
+        segments = synthetic_grouped_segments(4, 40, dimensions=1, seed=22)
+        plan = Plan(segments).reduce(SizeBudget(25))
+        result = plan.run(ExecutionPolicy(workers=1))
+        assert result.backend == "numpy"
+        assert result.size == 25
+
+    def test_encoded_source_requires_workers(self):
+        segments = synthetic_sequential_segments(30, dimensions=1, seed=23)
+        encoded = encode_segments(segments)
+        sharded = Plan(encoded).reduce(SizeBudget(5)).run(
+            ExecutionPolicy(workers=1)
+        )
+        assert sharded.size == 5
+        with pytest.raises(PlanError, match="sharded engine"):
+            Plan(encoded).reduce(SizeBudget(5)).run()
+
+    def test_relation_through_sharded_engine(self, relation):
+        plan = Plan(relation).group_by("proj").aggregate(AGGS).reduce(
+            SizeBudget(4)
+        )
+        sharded = plan.run(ExecutionPolicy(workers=1))
+        # Plain GMS (δ = ∞) is what the sharded engine computes.
+        sequential = plan.run(ExecutionPolicy(delta=float("inf")))
+        assert len(sharded) == len(sequential) == 4
+        for left, right in zip(sharded.segments, sequential.segments):
+            assert left.group == right.group
+            assert left.interval == right.interval
+            assert left.values == pytest.approx(right.values)
+
+
+# ----------------------------------------------------------------------
+# The unified Result
+# ----------------------------------------------------------------------
+class TestResult:
+    def test_compression_result_is_the_same_class(self):
+        assert CompressionResult is Result
+
+    def test_carries_plan_schema_metadata(self, relation):
+        result = (
+            Plan(relation).group_by("proj").aggregate(AGGS)
+            .reduce(SizeBudget(4)).run()
+        )
+        assert result.group_columns == ("proj",)
+        assert result.value_columns == ("avg_sal",)
+        rel = result.to_relation()
+        assert rel.schema.columns == ("proj", "avg_sal")
+
+    def test_default_column_names_for_streams(self):
+        segments = synthetic_sequential_segments(20, dimensions=3, seed=24)
+        result = Plan(segments).reduce(SizeBudget(4)).run()
+        rel = result.to_relation()
+        assert rel.schema.columns == ("v1", "v2", "v3")
+
+    def test_to_csv_round_trip(self, relation, tmp_path):
+        result = (
+            Plan(relation).group_by("proj").aggregate(AGGS)
+            .reduce(SizeBudget(4)).run()
+        )
+        path = result.to_csv(tmp_path / "out.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "proj,avg_sal,t_start,t_end"
+
+    def test_iteration_and_len(self):
+        segments = synthetic_sequential_segments(40, dimensions=1, seed=25)
+        result = Plan(segments).reduce(SizeBudget(9)).run()
+        assert len(result) == 9
+        assert list(result) == result.segments
+
+
+# ----------------------------------------------------------------------
+# Budget alias on the legacy shims
+# ----------------------------------------------------------------------
+class TestErrorAlias:
+    def test_pta_accepts_canonical_max_error(self, relation):
+        legacy = pta(relation, ["proj"], AGGS, error=0.5, method="dp")
+        canonical = pta(relation, ["proj"], AGGS, max_error=0.5, method="dp")
+        assert legacy.rows() == canonical.rows()
+
+    def test_compress_accepts_legacy_error(self):
+        segments = synthetic_sequential_segments(30, dimensions=1, seed=26)
+        legacy = compress(list(segments), error=0.4)
+        canonical = compress(list(segments), max_error=0.4)
+        assert legacy.segments == canonical.segments

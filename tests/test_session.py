@@ -1,0 +1,253 @@
+"""Tests for the push-based incremental Compressor session (repro.api).
+
+The central contract (ISSUE 3 acceptance criterion): after pushing any
+prefix of a stream, ``Compressor.summary()`` is **bit-identical** — same
+intervals, same exact float values, same error/size/merge counters — to
+running batch :func:`repro.compress` over that prefix with the same
+parameters, on both heap backends.  ``summary()`` must also be
+non-destructive: the session keeps running and later snapshots are
+unaffected by earlier ones.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import Interval, compress
+from repro.api import (
+    Compressor,
+    ErrorBudget,
+    ExecutionPolicy,
+    PlanError,
+    Result,
+    SizeBudget,
+)
+from repro.core import AggregateSegment, max_error
+
+BACKENDS = ["python", "numpy"]
+
+
+def random_stream(
+    count: int,
+    seed: int,
+    gap_probability: float = 0.15,
+    groups: int = 1,
+    dimensions: int = 1,
+) -> list[AggregateSegment]:
+    """A randomized segment stream with gaps and optional groups.
+
+    Gaps and group changes exercise the online algorithms' gap bookkeeping
+    (``last_gap_id`` / before-gap / after-gap counts), which is where a
+    resumable state machine could silently diverge from the batch loops.
+    """
+    rng = random.Random(seed)
+    stream: list[AggregateSegment] = []
+    per_group = count // groups
+    for g in range(groups):
+        group = (f"g{g}",) if groups > 1 else ()
+        time = rng.randrange(0, 5)
+        for _ in range(per_group):
+            length = rng.randrange(1, 4)
+            values = tuple(rng.uniform(0.0, 100.0) for _ in range(dimensions))
+            stream.append(
+                AggregateSegment(group, values, Interval(time, time + length - 1))
+            )
+            time += length
+            if rng.random() < gap_probability:
+                time += rng.randrange(1, 4)  # temporal gap
+    return stream
+
+
+def assert_bit_identical(snapshot: Result, reference: Result) -> None:
+    assert snapshot.size == reference.size
+    assert snapshot.input_size == reference.input_size
+    assert snapshot.merges == reference.merges
+    assert snapshot.max_heap_size == reference.max_heap_size
+    assert snapshot.error == reference.error  # exact float equality
+    for left, right in zip(snapshot.segments, reference.segments):
+        assert left.group == right.group
+        assert left.interval == right.interval
+        assert left.values == right.values  # exact float equality
+
+
+# ----------------------------------------------------------------------
+# Prefix parity with batch compress
+# ----------------------------------------------------------------------
+class TestPrefixParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_size_bounded_every_prefix(self, backend):
+        stream = random_stream(80, seed=1)
+        session = Compressor(
+            SizeBudget(12), policy=ExecutionPolicy(backend=backend)
+        )
+        for length, segment in enumerate(stream, start=1):
+            session.push(segment)
+            snapshot = session.summary()
+            reference = compress(stream[:length], size=12, backend=backend)
+            assert_bit_identical(snapshot, reference)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_size_bounded_grouped_stream(self, backend):
+        stream = random_stream(90, seed=2, groups=3, dimensions=2)
+        session = Compressor(
+            size=15, policy=ExecutionPolicy(backend=backend)
+        )
+        for length, segment in enumerate(stream, start=1):
+            session.push(segment)
+            if length % 7 and length != len(stream):
+                continue  # snapshot on a sparse prefix grid + at the end
+            assert_bit_identical(
+                session.summary(),
+                compress(stream[:length], size=15, backend=backend),
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_error_bounded_with_estimates_every_prefix(self, backend):
+        stream = random_stream(70, seed=3)
+        estimates = dict(
+            input_size_estimate=len(stream),
+            max_error_estimate=max_error(stream),
+        )
+        session = Compressor(
+            ErrorBudget(0.3),
+            policy=ExecutionPolicy(backend=backend, **estimates),
+        )
+        for length, segment in enumerate(stream, start=1):
+            session.push(segment)
+            reference = compress(
+                iter(stream[:length]), max_error=0.3, backend=backend,
+                **estimates,
+            )
+            assert_bit_identical(session.summary(), reference)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_error_bounded_without_estimates(self, backend):
+        # No estimates: early merging is disabled in both the session and
+        # the batch run (generator input keeps compress estimate-free).
+        stream = random_stream(60, seed=4)
+        session = Compressor(
+            max_error=0.5, policy=ExecutionPolicy(backend=backend)
+        )
+        for length, segment in enumerate(stream, start=1):
+            session.push(segment)
+            if length % 9 and length != len(stream):
+                continue
+            reference = compress(
+                iter(stream[:length]), max_error=0.5, backend=backend
+            )
+            assert_bit_identical(session.summary(), reference)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delta_infinity_matches_batch(self, backend):
+        stream = random_stream(50, seed=5)
+        policy = ExecutionPolicy(backend=backend, delta=math.inf)
+        session = Compressor(SizeBudget(8), policy=policy)
+        for length, segment in enumerate(stream, start=1):
+            session.push(segment)
+        assert_bit_identical(
+            session.summary(),
+            compress(stream, size=8, backend=backend, delta=math.inf),
+        )
+
+
+# ----------------------------------------------------------------------
+# Session mechanics
+# ----------------------------------------------------------------------
+class TestSessionMechanics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chunk_push_equals_single_push(self, backend):
+        stream = random_stream(64, seed=6, groups=2)
+        singles = Compressor(size=10, policy=ExecutionPolicy(backend=backend))
+        chunked = Compressor(size=10, policy=ExecutionPolicy(backend=backend))
+        for segment in stream:
+            singles.push(segment)
+        for start in range(0, len(stream), 13):
+            chunked.push(stream[start : start + 13])
+        assert_bit_identical(singles.summary(), chunked.summary())
+
+    def test_push_accepts_generators(self):
+        stream = random_stream(20, seed=7)
+        session = Compressor(size=5)
+        session.push(iter(stream))
+        assert session.pushed == 20
+
+    def test_summary_is_non_destructive(self):
+        stream = random_stream(40, seed=8)
+        session = Compressor(size=6)
+        session.push(stream[:25])
+        first = session.summary()
+        second = session.summary()
+        assert_bit_identical(first, second)
+        # The live state keeps accepting tuples after a snapshot.
+        session.push(stream[25:])
+        assert_bit_identical(session.summary(), compress(stream, size=6))
+
+    def test_finalize_matches_last_summary_and_closes(self):
+        stream = random_stream(30, seed=9)
+        session = Compressor(size=7)
+        session.push(stream)
+        snapshot = session.summary()
+        final = session.finalize()
+        assert_bit_identical(final, snapshot)
+        assert session.finalized
+        assert session.summary() is final  # cached, still readable
+        assert session.finalize() is final  # idempotent
+        with pytest.raises(RuntimeError, match="finalized"):
+            session.push(stream[0])
+
+    def test_introspection_and_context_manager(self):
+        stream = random_stream(25, seed=10)
+        with Compressor(size=5) as session:
+            session.push(stream)
+            assert session.pushed == 25
+            assert len(session) == session.heap_size <= 25
+            assert not session.finalized
+        # A cleanly exited block finalizes the session.
+        assert session.finalized
+        assert_bit_identical(session.summary(), compress(stream, size=5))
+
+    def test_context_manager_leaves_state_open_on_error(self):
+        stream = random_stream(10, seed=12)
+        with pytest.raises(RuntimeError, match="boom"):
+            with Compressor(size=5) as session:
+                session.push(stream)
+                raise RuntimeError("boom")
+        assert not session.finalized  # partial state kept for inspection
+
+    def test_result_sinks(self, tmp_path):
+        stream = random_stream(30, seed=11)
+        session = Compressor(size=5)
+        session.push(stream)
+        result = session.finalize()
+        assert len(list(result)) == len(result) == result.size
+        relation = result.to_relation(value_columns=["reading"])
+        assert relation.schema.columns == ("reading",)
+        written = result.to_csv(tmp_path / "summary.csv")
+        assert written.exists()
+        assert "reading" not in written.read_text()  # default names v1..vp
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestSessionValidation:
+    def test_requires_exactly_one_budget(self):
+        with pytest.raises(PlanError, match="exactly one"):
+            Compressor()
+        with pytest.raises(PlanError, match="exactly one"):
+            Compressor(size=3, max_error=0.5)
+        with pytest.raises(PlanError, match="exactly one"):
+            Compressor(SizeBudget(3), max_error=0.5)
+
+    def test_rejects_invalid_bounds(self):
+        with pytest.raises(PlanError, match="size"):
+            Compressor(size=0)
+        with pytest.raises(PlanError, match="epsilon"):
+            Compressor(max_error=1.5)
+
+    def test_rejects_workers_policy(self):
+        with pytest.raises(PlanError, match="single-process"):
+            Compressor(size=3, policy=ExecutionPolicy(workers=2))

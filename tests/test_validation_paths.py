@@ -1,0 +1,166 @@
+"""Every invalid knob combination fails identically through all three doors.
+
+Satellite task of ISSUE 3: the ad-hoc checks formerly duplicated across
+``pta`` and ``compress`` now live in :mod:`repro.api.plan`, so the same
+mistake raises the *same exception type* (:class:`repro.api.PlanError`, a
+:class:`ValueError` subclass) with the *same message* whether it enters
+through ``pta``, ``compress`` or the declarative ``Plan`` API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interval, TemporalRelation, compress, pta
+from repro.api import ExecutionPolicy, Plan, PlanError
+from repro.core import AggregateSegment
+from repro.datasets import synthetic_sequential_segments
+
+AGGS = {"avg_sal": ("avg", "sal")}
+
+
+def relation() -> TemporalRelation:
+    return TemporalRelation.from_records(
+        columns=("empl", "proj", "sal"),
+        records=[
+            ("John", "A", 800, Interval(1, 4)),
+            ("Ann", "A", 400, Interval(3, 6)),
+        ],
+    )
+
+
+def segments() -> list[AggregateSegment]:
+    return synthetic_sequential_segments(10, dimensions=1, seed=1)
+
+
+# Each entry: (case name, expected message fragment,
+#              pta call, compress call, plan call) — every call must raise
+# PlanError with the same message.
+INVALID_CASES = [
+    (
+        "no-budget",
+        "provide exactly one of 'size' and 'max_error'",
+        lambda: pta(relation(), ["proj"], AGGS),
+        lambda: compress(segments()),
+        lambda: Plan(segments()).reduce(),
+    ),
+    (
+        "both-budgets",
+        "provide exactly one of 'size' and 'max_error'",
+        lambda: pta(relation(), ["proj"], AGGS, size=3, error=0.5),
+        lambda: compress(segments(), size=3, max_error=0.5),
+        lambda: Plan(segments()).reduce(size=3, max_error=0.5),
+    ),
+    (
+        "bad-method",
+        "method must be 'dp' or 'greedy', got 'quantum'",
+        lambda: pta(relation(), ["proj"], AGGS, size=3, method="quantum"),
+        lambda: compress(segments(), size=3, method="quantum"),
+        lambda: Plan(segments()).reduce(size=3, method="quantum"),
+    ),
+    (
+        "workers-with-dp",
+        "workers is only supported for method='greedy'",
+        lambda: pta(relation(), ["proj"], AGGS, size=3, method="dp", workers=2),
+        lambda: compress(segments(), size=3, method="dp", workers=2),
+        lambda: Plan(segments())
+        .reduce(size=3, method="dp")
+        .run(ExecutionPolicy(workers=2)),
+    ),
+    (
+        "group-by-on-stream",
+        "segment streams are already aggregated",
+        None,  # pta's first argument is a relation by signature
+        lambda: compress(segments(), size=3, group_by=["proj"]),
+        lambda: Plan(segments()).group_by("proj"),
+    ),
+    (
+        "aggregates-on-stream",
+        "segment streams are already aggregated",
+        None,
+        lambda: compress(segments(), size=3, aggregates=AGGS),
+        lambda: Plan(segments()).aggregate(AGGS),
+    ),
+    (
+        "bad-chunk-size",
+        "chunk_size must be at least 1, got 0",
+        None,  # pta has no chunk_size knob
+        lambda: compress(segments(), size=3, chunk_size=0),
+        lambda: Plan(segments()).reduce(size=3).run(ExecutionPolicy(chunk_size=0)),
+    ),
+    (
+        "bad-delta",
+        "delta must be a non-negative integer or DELTA_INFINITY, got -1",
+        lambda: pta(relation(), ["proj"], AGGS, size=3, method="greedy", delta=-1),
+        lambda: compress(segments(), size=3, delta=-1),
+        lambda: Plan(segments()).reduce(size=3).run(ExecutionPolicy(delta=-1)),
+    ),
+    (
+        "bad-size-bound",
+        "size bound must be at least 1, got 0",
+        lambda: pta(relation(), ["proj"], AGGS, size=0),
+        lambda: compress(segments(), size=0),
+        lambda: Plan(segments()).reduce(size=0),
+    ),
+    (
+        "bad-epsilon",
+        "epsilon must be within [0, 1], got 1.5",
+        lambda: pta(relation(), ["proj"], AGGS, error=1.5),
+        lambda: compress(segments(), max_error=1.5),
+        lambda: Plan(segments()).reduce(max_error=1.5),
+    ),
+    (
+        "bad-backend",
+        "backend must be 'python' or 'numpy', got 'fortran'",
+        lambda: pta(relation(), ["proj"], AGGS, size=3, backend="fortran"),
+        lambda: compress(segments(), size=3, backend="fortran"),
+        lambda: Plan(segments()).reduce(size=3).run(ExecutionPolicy(backend="fortran")),
+    ),
+    (
+        "negative-workers",
+        "workers must be non-negative, got -1",
+        lambda: pta(relation(), ["proj"], AGGS, size=3, method="greedy", workers=-1),
+        lambda: compress(segments(), size=3, workers=-1),
+        lambda: Plan(segments()).reduce(size=3).run(ExecutionPolicy(workers=-1)),
+    ),
+    (
+        "bad-shard-size",
+        "shard_size must be at least 1, got 0",
+        None,  # pta has no shard_size knob
+        lambda: compress(segments(), size=3, workers=1, shard_size=0),
+        lambda: Plan(segments()).reduce(size=3).run(ExecutionPolicy(shard_size=0)),
+    ),
+    (
+        "error-alias-double-spelling",
+        "'error' is a legacy alias of 'max_error'",
+        lambda: pta(relation(), ["proj"], AGGS, error=0.5, max_error=0.5),
+        lambda: compress(segments(), error=0.5, max_error=0.5),
+        None,  # the typed API has no alias to misuse
+    ),
+]
+
+IDS = [case[0] for case in INVALID_CASES]
+
+
+@pytest.mark.parametrize("case", INVALID_CASES, ids=IDS)
+def test_same_exception_type_and_message_through_every_door(case):
+    _, fragment, *doors = case
+    exercised = 0
+    messages = set()
+    for door in doors:
+        if door is None:
+            continue
+        with pytest.raises(PlanError) as info:
+            door()
+        assert fragment in str(info.value)
+        messages.add(str(info.value))
+        exercised += 1
+    assert exercised >= 2, "each case must cover at least two doors"
+    assert len(messages) == 1, f"doors disagree on the message: {messages}"
+
+
+def test_plan_error_is_a_value_error():
+    """Legacy ``except ValueError`` call sites keep catching everything."""
+    assert issubclass(PlanError, ValueError)
+    with pytest.raises(ValueError):
+        compress(segments())
