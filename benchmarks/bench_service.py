@@ -1,0 +1,261 @@
+"""Serving-layer benchmark: snapshot queries versus batch recompression.
+
+The point of the serving layer is that answering a query from a cached
+``summary()`` snapshot is orders of magnitude cheaper than the alternative
+a server without it would face — re-running batch ``compress`` over the
+key's accumulated history on every read.  This benchmark measures that gap
+and keeps it honest across PRs:
+
+* **cold query** — first read after a push: the engine finalizes a session
+  clone and builds the snapshot index (sorted arrays + prefix sums);
+* **warm query** — subsequent reads at the same push generation: pure
+  binary search + prefix-sum arithmetic on the cached index;
+* **batch recompression** — ``compress`` over the same stream plus the
+  same query, i.e. the no-serving-layer baseline;
+* **wire codec** — encode/decode throughput of the binary segment format.
+
+Ratios are persisted in ``BENCH_service.json`` (same machine-normalized
+scheme as ``BENCH_parallel.json``)::
+
+    python benchmarks/bench_service.py record [--scale full]
+    python benchmarks/bench_service.py check  [--scale smoke]
+
+``check`` re-measures and fails when the warm-query advantage dropped more
+than 50% below the recorded value (micro-latency ratios are noisier than
+the kernel throughput ratios, hence the wider gate).  The CI service job
+runs it at the smoke scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: Warm-query ratios are micro-latencies (microseconds against tens of
+#: milliseconds); allow a wider regression band than the kernel gates.
+REGRESSION_TOLERANCE = 0.50
+
+SCALES = {
+    "smoke": {"stream": 20_000, "summary": 200, "queries": 200},
+    "full": {"stream": 200_000, "summary": 1_000, "queries": 1_000},
+}
+
+
+def measure(scale: str) -> dict:
+    """Measure the serving ratios at the given scale."""
+    from repro.datasets import synthetic_sequential_segments
+    from repro.evaluation import best_of, speedup
+    from repro.pipeline import compress
+    from repro.service import (
+        QueryEngine,
+        SessionStore,
+        SnapshotIndex,
+        decode_segments,
+        encode_segments,
+    )
+
+    config = SCALES[scale]
+    n, summary_size = config["stream"], config["summary"]
+    queries = config["queries"]
+    stream = synthetic_sequential_segments(n, 2, seed=77)
+    lo, hi = 1, n  # unit intervals starting at 1
+    spans = [
+        (lo + (i * 131) % (n // 2), lo + (i * 131) % (n // 2) + n // 4)
+        for i in range(queries)
+    ]
+
+    from repro.api import ExecutionPolicy
+
+    store = SessionStore(
+        size=summary_size, policy=ExecutionPolicy(backend="numpy")
+    )
+    engine = QueryEngine(store)
+    store.push("k", stream)
+
+    # Cold: every query pays the snapshot finalization + index build.
+    def cold_query():
+        engine._cache.clear()
+        return engine.range_agg("k", lo, hi, "avg")
+
+    cold = best_of(cold_query, repeats=3)
+
+    # Warm: the per-generation cache answers from prefix sums.
+    engine.range_agg("k", lo, hi, "avg")  # prime
+
+    def warm_queries():
+        for t1, t2 in spans:
+            engine.range_agg("k", t1, t2, "avg")
+
+    warm = best_of(warm_queries, repeats=3)
+    warm_per_query = warm.seconds / queries
+
+    # The no-serving-layer baseline: recompress the history, then query.
+    def batch_recompress():
+        result = compress(stream, size=summary_size, backend="numpy")
+        index = SnapshotIndex(result.segments).resolve(None)
+        return index.range_agg(lo, hi, "avg")
+
+    batch = best_of(batch_recompress, repeats=3)
+
+    # Wire codec throughput.
+    blob = encode_segments(stream)
+    encode_run = best_of(encode_segments, stream, repeats=3)
+    decode_run = best_of(decode_segments, blob, repeats=3)
+
+    return {
+        "warm_query_vs_batch_recompress": speedup(
+            batch.seconds, warm_per_query
+        ),
+        "cold_query_vs_batch_recompress": speedup(
+            batch.seconds, cold.seconds
+        ),
+        "wire_decode_vs_encode": speedup(
+            encode_run.seconds, decode_run.seconds
+        ),
+        "raw": {
+            "stream": n,
+            "summary": summary_size,
+            "batch_recompress_s": batch.seconds,
+            "cold_query_s": cold.seconds,
+            "warm_query_us": warm_per_query * 1e6,
+            "wire_bytes": len(blob),
+            "wire_encode_s": encode_run.seconds,
+            "wire_decode_s": decode_run.seconds,
+        },
+    }
+
+
+def bench_service(benchmark):
+    """Pytest-benchmark entry point (smoke table; used by `pytest benchmarks`)."""
+    from paperbench import publish
+
+    # Always the smoke workload: the pytest entry point guards the code
+    # path and the caching invariant; the record/check CLI below owns the
+    # full-scale numbers.
+    ratios = measure("smoke")
+    raw = ratios["raw"]
+    lines = [
+        "Serving layer: snapshot queries vs batch recompression",
+        f"  stream n={raw['stream']}, summary c={raw['summary']}",
+        f"  batch recompress + query : {raw['batch_recompress_s'] * 1e3:9.2f} ms",
+        f"  cold snapshot query      : {raw['cold_query_s'] * 1e3:9.2f} ms "
+        f"({ratios['cold_query_vs_batch_recompress']:.0f}x cheaper)",
+        f"  warm snapshot query      : {raw['warm_query_us']:9.2f} us "
+        f"({ratios['warm_query_vs_batch_recompress']:.0f}x cheaper)",
+        f"  wire payload             : {raw['wire_bytes']:,} bytes "
+        f"(encode {raw['wire_encode_s'] * 1e3:.1f} ms, "
+        f"decode {raw['wire_decode_s'] * 1e3:.1f} ms)",
+    ]
+    publish("service", "\n".join(lines))
+    # The serving layer must beat recompression by a wide margin even at
+    # smoke scale; anything less means snapshot caching is broken.
+    assert ratios["warm_query_vs_batch_recompress"] >= 50.0
+
+    from repro.service import QueryEngine, SessionStore
+    from repro.datasets import synthetic_sequential_segments
+    from repro.api import ExecutionPolicy
+
+    store = SessionStore(size=64, policy=ExecutionPolicy(backend="numpy"))
+    store.push("k", synthetic_sequential_segments(2_000, 1, seed=3))
+    engine = QueryEngine(store)
+    engine.range_agg("k", 1, 2_000)
+    benchmark(lambda: engine.range_agg("k", 1, 2_000))
+
+
+# ----------------------------------------------------------------------
+# Baseline record / check CLI (mirrors perf_baseline.py)
+# ----------------------------------------------------------------------
+def _load() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    return {"schema": 1, "scales": {}}
+
+
+def _ratio_items(ratios: dict) -> dict:
+    return {k: v for k, v in ratios.items() if k != "raw"}
+
+
+def _print_ratios(title: str, ratios: dict, recorded: dict | None = None):
+    print(f"\n{title}")
+    for name, value in sorted(_ratio_items(ratios).items()):
+        line = f"  {name:36s} {value:10.2f}x"
+        if recorded and name in recorded:
+            line += f"   (recorded {recorded[name]:.2f}x)"
+        print(line)
+
+
+def record(scale: str) -> None:
+    ratios = measure(scale)
+    data = _load()
+    data.setdefault("scales", {})[scale] = _ratio_items(ratios)
+    data["meta"] = {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        # Fresh measurement wins over any previously recorded raw numbers.
+        "raw": {**data.get("meta", {}).get("raw", {}), scale: ratios["raw"]},
+    }
+    BASELINE_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    _print_ratios(f"recorded baseline ({scale}) -> {BASELINE_PATH.name}",
+                  ratios)
+
+
+def check(scale: str) -> int:
+    data = _load()
+    recorded = data.get("scales", {}).get(scale)
+    if not recorded:
+        print(f"no recorded baseline for scale {scale!r} in "
+              f"{BASELINE_PATH.name}; run 'record' first", file=sys.stderr)
+        return 2
+    ratios = measure(scale)
+    _print_ratios(f"measured ratios ({scale})", ratios, recorded)
+    regressions = []
+    for name, reference in sorted(recorded.items()):
+        measured = _ratio_items(ratios).get(name)
+        if measured is None:
+            regressions.append(f"{name}: not measured anymore")
+        elif measured < reference * (1.0 - REGRESSION_TOLERANCE):
+            regressions.append(
+                f"{name}: {measured:.2f}x is more than "
+                f"{REGRESSION_TOLERANCE:.0%} below the recorded "
+                f"{reference:.2f}x"
+            )
+    if regressions:
+        print("\nserving performance regression detected:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno regression: all ratios within "
+          f"{REGRESSION_TOLERANCE:.0%} of the recorded baseline")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", choices=("record", "check"))
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="smoke",
+        help="workload scale (default: smoke)",
+    )
+    arguments = parser.parse_args()
+    if arguments.mode == "record":
+        record(arguments.scale)
+        return 0
+    return check(arguments.scale)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,7 +55,7 @@ def main():
     )
     print_relation(
         "PTA, error-bounded to 20% of the maximal error",
-        pta(proj, ["proj"], aggregates, error=0.2),
+        pta(proj, ["proj"], aggregates, max_error=0.2),
     )
 
     # Peek under the hood: compare the exact and the greedy reduction.

@@ -74,6 +74,7 @@ from .core import (
 )
 from .parallel import reduce_segments_parallel
 from .pipeline import CompressionResult, compress
+from .service import QueryEngine, Service, ServiceError, SessionStore
 from .temporal import (
     Interval,
     TemporalRelation,
@@ -98,7 +99,11 @@ __all__ = [
     "Method",
     "Plan",
     "PlanError",
+    "QueryEngine",
     "Result",
+    "Service",
+    "ServiceError",
+    "SessionStore",
     "SizeBudget",
     "execute",
     "TemporalRelation",

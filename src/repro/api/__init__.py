@@ -17,7 +17,15 @@ description and dispatcher:
 The historical entry points :func:`repro.pta`, :func:`repro.compress` and
 :func:`repro.parallel.reduce_segments_parallel` remain supported as thin
 shims over :func:`execute`.
+
+The serving layer built on :class:`Compressor` —
+:class:`~repro.service.Service`, :class:`~repro.service.SessionStore` and
+:class:`~repro.service.QueryEngine` — is re-exported here for
+discoverability (resolved lazily to keep ``repro.api`` importable on its
+own: :mod:`repro.service` imports this package's submodules).
 """
+
+from typing import Any
 
 from .executor import execute, iter_chunks
 from .plan import (
@@ -40,6 +48,20 @@ from .plan import (
 from .result import Result
 from .session import Compressor
 
+#: Serving-layer names resolved lazily from :mod:`repro.service` (PEP 562).
+_SERVICE_EXPORTS = frozenset(
+    {"QueryEngine", "Service", "ServiceError", "SessionStore"}
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SERVICE_EXPORTS:
+        from .. import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Backend",
     "Budget",
@@ -51,7 +73,11 @@ __all__ = [
     "Plan",
     "PlanError",
     "PlanSource",
+    "QueryEngine",
     "Result",
+    "Service",
+    "ServiceError",
+    "SessionStore",
     "SizeBudget",
     "execute",
     "iter_chunks",

@@ -30,6 +30,7 @@ Typical usage::
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Iterable, Optional, Tuple, Union
@@ -136,14 +137,25 @@ def resolve_error_alias(
     ``pta`` historically called the bound ``error`` while ``compress``
     called it ``max_error``; both shims now accept both spellings and route
     them here.  Passing both at once is rejected rather than silently
-    preferring one.
+    preferring one, and the legacy spelling emits a
+    :class:`DeprecationWarning` (the canonical ``max_error=`` stays
+    silent).
     """
     if error is not None and max_error is not None:
         raise PlanError(
             "'error' is a legacy alias of 'max_error'; provide only one "
             "of the two spellings"
         )
-    return max_error if max_error is not None else error
+    if error is not None:
+        # stacklevel 3: resolve_error_alias <- pta/compress shim <- caller.
+        warnings.warn(
+            "the 'error' keyword is a deprecated legacy alias; pass "
+            "max_error= instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return error
+    return max_error
 
 
 # ----------------------------------------------------------------------

@@ -90,6 +90,7 @@ class Compressor:
             backend=policy.backend.value,
         )
         self._final: Optional[Result] = None
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Feeding
@@ -112,6 +113,7 @@ class Compressor:
                 segments if isinstance(segments, (list, tuple))
                 else list(segments)
             )
+        self._generation += 1
         return self
 
     # ------------------------------------------------------------------
@@ -135,10 +137,14 @@ class Compressor:
 
         Runs the end-of-input phase on the live state (no clone).  Further
         :meth:`push` calls raise; :meth:`summary` keeps returning the final
-        result.
+        result.  This is also the *frozen-summary handoff* used by the
+        serving layer: when :class:`repro.service.SessionStore` evicts an
+        idle session it finalizes it and keeps the returned result
+        queryable, so eviction never discards pushed tuples.
         """
         if self._final is None:
             self._final = self._wrap(self._reducer.finalize())
+            self._generation += 1
         return self._final
 
     # ------------------------------------------------------------------
@@ -148,6 +154,18 @@ class Compressor:
     def pushed(self) -> int:
         """Number of segments consumed so far."""
         return self._reducer.consumed
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped by every state change (push call or finalize).
+
+        Two :meth:`summary` calls at the same generation are guaranteed to
+        return equal results, so callers that cache derived artifacts — the
+        serving layer's :class:`repro.service.QueryEngine` caches a
+        query-ready snapshot index per session — can use the generation as
+        their invalidation token instead of re-finalizing a clone per read.
+        """
+        return self._generation
 
     @property
     def heap_size(self) -> int:

@@ -23,10 +23,65 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterator, List, Optional
+from typing import Any, Iterator, List, Optional, Protocol, Tuple
 
 from .errors import Weights, pairwise_merge_error
 from .merge import AggregateSegment, adjacent, merge
+
+
+class HeapNodeView(Protocol):
+    """What the greedy algorithms read off a heap node, backend-agnostic.
+
+    Satisfied structurally by the linked :class:`HeapNode` and by the
+    array-slot view :class:`~repro.core.kernels.NumpyHeapNode`.
+    """
+
+    @property
+    def id(self) -> int: ...
+
+    @property
+    def key(self) -> float: ...
+
+    @property
+    def segment(self) -> AggregateSegment: ...
+
+
+class Heap(Protocol):
+    """The merge-heap surface shared by the two backends (Section 6.2.2).
+
+    :class:`MergeHeap` (linked nodes, the reference) and
+    :class:`~repro.core.kernels.NumpyMergeHeap` (parallel array columns)
+    both satisfy this protocol structurally; the greedy state machine
+    (:class:`repro.core.greedy.OnlineReducer`) and the serving layer are
+    written against it, so a third backend only needs to match this
+    surface.  The staged-chunk fast path (``stage_chunk`` /
+    ``insert_staged``) is deliberately *not* part of the protocol — it is
+    an optional optimisation the callers probe with ``hasattr``.
+
+    ``peek_entry`` returns ``(handle, node_id, key)`` where ``handle`` is
+    whatever the backend accepts back in ``adjacent_successor_count`` (a
+    node object for the linked heap, a row index for the array heap).
+    """
+
+    max_size: int
+
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool: ...
+
+    def insert(self, segment: AggregateSegment) -> HeapNodeView: ...
+
+    def peek(self) -> Optional[HeapNodeView]: ...
+
+    def peek_entry(self) -> Optional[Tuple[Any, int, float]]: ...
+
+    def merge_top(self) -> HeapNodeView: ...
+
+    def adjacent_successor_count(self, node: Any, limit: int) -> int: ...
+
+    def segments(self) -> List[AggregateSegment]: ...
+
+    def clone(self) -> "Heap": ...
 
 
 class HeapNode:
@@ -114,7 +169,7 @@ class MergeHeap:
             heapq.heappop(self._entries)
         return None
 
-    def peek_entry(self):
+    def peek_entry(self) -> Optional[Tuple["HeapNode", int, float]]:
         """Scalar view of the top: ``(handle, node_id, key)`` or ``None``.
 
         Mirrors :meth:`NumpyMergeHeap.peek_entry
@@ -245,13 +300,15 @@ class MergeHeap:
         return [node.segment for node in self]
 
 
-def make_merge_heap(weights: Weights | None = None, backend: str = "python"):
+def make_merge_heap(
+    weights: Weights | None = None, backend: str = "python"
+) -> Heap:
     """Construct a merge heap for the requested ``backend``.
 
     ``"python"`` returns the linked-node reference :class:`MergeHeap`;
     ``"numpy"`` returns the array-backed
-    :class:`~repro.core.kernels.NumpyMergeHeap`.  Both expose the same
-    ``insert`` / ``peek`` / ``merge_top`` / ``segments`` surface.
+    :class:`~repro.core.kernels.NumpyMergeHeap`.  Both satisfy the
+    :class:`Heap` protocol.
     """
     if backend == "python":
         return MergeHeap(weights)

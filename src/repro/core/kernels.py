@@ -1054,6 +1054,84 @@ def shard_sse_max(
     return float((deviation @ w2).sum())
 
 
+# ----------------------------------------------------------------------
+# Snapshot-query helpers (serving layer, Propositions 1 / 2 reused)
+# ----------------------------------------------------------------------
+def instant_index(starts: np.ndarray, ends: np.ndarray, t: int) -> int:
+    """Index of the segment covering chronon ``t``, or ``-1`` for a gap.
+
+    One binary search over the (time-ordered, non-overlapping) segment
+    starts of a summary snapshot; the candidate found is then checked
+    against its end, so gaps between runs answer ``-1`` instead of the
+    nearest neighbour.  This is the point-lookup primitive of the serving
+    layer's :class:`repro.service.QueryEngine`.
+    """
+    index = int(np.searchsorted(starts, t, side="right")) - 1
+    if index < 0 or ends[index] < int(t):
+        return -1
+    return index
+
+
+def time_weighted_prefix(
+    starts: np.ndarray, ends: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Prefix sums of chronon counts and value·length products.
+
+    Returns ``(L, W)`` where ``L[i]`` is the total number of chronons
+    covered by segments ``0 .. i-1`` and ``W[i]`` (shape ``(n + 1, p)``)
+    the cumulative per-dimension sum of ``value · length`` — exactly the
+    Proposition 1 sums the merge kernels use, evaluated once per snapshot
+    so any range aggregate over the snapshot costs two prefix-row
+    differences (:func:`range_weighted_sum`).
+    """
+    lengths = (ends - starts + 1).astype(np.float64)
+    count = len(starts)
+    length_prefix = np.zeros(count + 1, dtype=np.float64)
+    np.cumsum(lengths, out=length_prefix[1:])
+    weighted = np.zeros((count + 1, values.shape[1]), dtype=np.float64)
+    np.cumsum(values * lengths[:, None], axis=0, out=weighted[1:])
+    return length_prefix, weighted
+
+
+def range_weighted_sum(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    values: np.ndarray,
+    length_prefix: np.ndarray,
+    weighted_prefix: np.ndarray,
+    lo: int,
+    hi: int,
+    t1: int,
+    t2: int,
+) -> Tuple[float, np.ndarray]:
+    """Covered chronons and value·length sums of ``[t1, t2]`` in O(p).
+
+    ``lo`` / ``hi`` bound the (inclusive) index range of segments
+    overlapping ``[t1, t2]``.  Because a summary tuple's value is constant
+    over its interval, clipping the two boundary segments is exact: the
+    full-range prefix difference minus the uncovered left part of segment
+    ``lo`` and the uncovered right part of segment ``hi``.  Together with
+    :func:`time_weighted_prefix` this is the constant-time range-aggregate
+    identity the serving layer answers queries with — the same weighted
+    prefix sums that give the merge kernels their constant-time SSE
+    (Propositions 1 and 2).
+    """
+    left_excess = float(max(int(t1) - int(starts[lo]), 0))
+    right_excess = float(max(int(ends[hi]) - int(t2), 0))
+    covered = (
+        float(length_prefix[hi + 1] - length_prefix[lo])
+        - left_excess
+        - right_excess
+    )
+    weighted = (
+        weighted_prefix[hi + 1]
+        - weighted_prefix[lo]
+        - left_excess * values[lo]
+        - right_excess * values[hi]
+    )
+    return covered, weighted
+
+
 __all__ = [
     "NumpyHeapNode",
     "NumpyMergeHeap",
@@ -1062,6 +1140,9 @@ __all__ = [
     "dp_best_split",
     "dp_first_row",
     "greedy_merge_trajectory",
+    "instant_index",
     "pairwise_merge_keys",
+    "range_weighted_sum",
     "shard_sse_max",
+    "time_weighted_prefix",
 ]

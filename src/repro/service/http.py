@@ -1,0 +1,410 @@
+"""In-process ``Service`` facade and the stdlib HTTP front end.
+
+:class:`Service` bundles the write path (:class:`SessionStore`) and the
+read path (:class:`QueryEngine`) into one object embeddable in any Python
+process; :func:`serve` / :func:`start_in_background` put a JSON-over-HTTP
+surface in front of it using only :mod:`http.server` from the standard
+library (``ThreadingHTTPServer`` — one thread per connection, the store's
+internal lock serialises mutations).
+
+Endpoints::
+
+    POST /push/<key>      body: one segment object, a JSON array of them,
+                          or JSON lines; with Content-Type
+                          application/x-pta-wire, the binary wire format
+                          of repro.service.wire.  -> {pushed, generation}
+    GET  /value_at?key=K&t=T[&group=G]            -> {t, values|null}
+    GET  /range_agg?key=K&t1=A&t2=B[&fn=avg][&group=G]
+                                                  -> {t1, t2, fn, values|null}
+    GET  /window?key=K&t1=A&t2=B&stride=S[&fn=avg][&group=G]
+                                                  -> {buckets: [...]}
+    GET  /summary?key=K   JSON summary + stats; with Accept:
+                          application/x-pta-wire, the binary Result payload
+    GET  /stats           store-wide counters
+    GET  /healthz         liveness probe
+
+A segment object is ``{"group": [...], "values": [...], "start": int,
+"end": int}`` (``group`` may be omitted for ungrouped streams); ``group=``
+query parameters take the same JSON array form.  Errors come back as
+``{"error": message}`` with status 400 (bad request / unknown key) or 404
+(unknown route).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.merge import AggregateSegment
+from ..api.plan import Budget, ExecutionPolicy
+from ..api.result import Result
+from .query import QueryEngine, WindowBucket
+from .store import Key, LRUTTLEviction, ServiceError, SessionStore, StoreStats
+from .wire import (
+    WireError,
+    decode_segments,
+    encode_result,
+    segment_from_obj,
+    segment_to_obj,
+)
+
+#: Content type of binary wire payloads on the HTTP surface.
+WIRE_CONTENT_TYPE = "application/x-pta-wire"
+
+
+class Service:
+    """The serving layer as one embeddable object: store + query engine.
+
+    Either wrap an existing configured store
+    (``Service(store=my_store)``) or let the facade build one from the
+    same keyword surface as :class:`SessionStore`.
+    """
+
+    def __init__(
+        self,
+        store: Optional[SessionStore] = None,
+        *,
+        budget: Optional[Budget] = None,
+        size: Optional[int] = None,
+        max_error: Optional[float] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        eviction: Optional[LRUTTLEviction] = None,
+        max_sessions: Optional[int] = None,
+        ttl: Optional[float] = None,
+        session_factory: Optional[Callable[[Key], Any]] = None,
+    ) -> None:
+        if store is not None:
+            if (budget, size, max_error, policy, eviction, max_sessions,
+                    ttl, session_factory) != (None,) * 8:
+                raise ServiceError(
+                    "pass either a prebuilt store or store-construction "
+                    "keywords, not both"
+                )
+            self.store = store
+        else:
+            self.store = SessionStore(
+                budget,
+                size=size,
+                max_error=max_error,
+                policy=policy,
+                eviction=eviction,
+                max_sessions=max_sessions,
+                ttl=ttl,
+                session_factory=session_factory,
+            )
+        self.engine = QueryEngine(self.store)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        key: Key,
+        segments: Union[AggregateSegment, Sequence[AggregateSegment]],
+    ) -> Dict[str, int]:
+        """Feed segments; returns ``{"pushed": n, "generation": g}``."""
+        pushed = self.store.push(key, segments)
+        return {"pushed": pushed, "generation": self.store.generation(key)}
+
+    # ------------------------------------------------------------------
+    # Read path (delegates to the query engine)
+    # ------------------------------------------------------------------
+    def value_at(
+        self, key: Key, t: int, group: Optional[Sequence[Any]] = None
+    ) -> Optional[Tuple[float, ...]]:
+        return self.engine.value_at(key, t, group)
+
+    def range_agg(
+        self,
+        key: Key,
+        t1: int,
+        t2: int,
+        fn: str = "avg",
+        group: Optional[Sequence[Any]] = None,
+    ) -> Optional[Tuple[float, ...]]:
+        return self.engine.range_agg(key, t1, t2, fn, group)
+
+    def window(
+        self,
+        key: Key,
+        t1: int,
+        t2: int,
+        stride: int,
+        fn: str = "avg",
+        group: Optional[Sequence[Any]] = None,
+    ) -> List[WindowBucket]:
+        return self.engine.window(key, t1, t2, stride, fn, group)
+
+    def summary(self, key: Key) -> Result:
+        """The combined (frozen + live) summary snapshot for ``key``."""
+        return self.store.snapshot(key)
+
+    def stats(self) -> StoreStats:
+        return self.store.stats()
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`Service` instance."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: Service,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with the ephemeral ``port=0``)."""
+        return int(self.server_address[1])
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer  # narrowed for the route handlers
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        url = urlsplit(self.path)
+        query = parse_qs(url.query)
+        try:
+            if url.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif url.path == "/stats":
+                self._send_json(
+                    200, self.server.service.stats().as_dict()
+                )
+            elif url.path == "/value_at":
+                self._handle_value_at(query)
+            elif url.path == "/range_agg":
+                self._handle_range_agg(query)
+            elif url.path == "/window":
+                self._handle_window(query)
+            elif url.path == "/summary":
+                self._handle_summary(query)
+            else:
+                self._send_json(
+                    404, {"error": f"unknown route {url.path!r}"}
+                )
+        except (ServiceError, WireError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        url = urlsplit(self.path)
+        try:
+            if url.path.startswith("/push/"):
+                key = url.path[len("/push/"):]
+                if not key:
+                    raise ServiceError("push requires a non-empty key")
+                self._handle_push(key)
+            else:
+                self._send_json(
+                    404, {"error": f"unknown route {url.path!r}"}
+                )
+        except (ServiceError, WireError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+
+    # ------------------------------------------------------------------
+    # Route handlers
+    # ------------------------------------------------------------------
+    def _handle_push(self, key: str) -> None:
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length)
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0]
+        if content_type == WIRE_CONTENT_TYPE:
+            segments = decode_segments(body)
+        else:
+            segments = _segments_from_json_body(body)
+        self._send_json(200, self.server.service.push(key, segments))
+
+    def _handle_value_at(self, query: Dict[str, List[str]]) -> None:
+        key = _param(query, "key")
+        t = int(_param(query, "t"))
+        values = self.server.service.value_at(key, t, _group(query))
+        self._send_json(
+            200, {"t": t, "values": list(values) if values else None}
+        )
+
+    def _handle_range_agg(self, query: Dict[str, List[str]]) -> None:
+        key = _param(query, "key")
+        t1 = int(_param(query, "t1"))
+        t2 = int(_param(query, "t2"))
+        fn = _param(query, "fn", "avg")
+        values = self.server.service.range_agg(key, t1, t2, fn, _group(query))
+        self._send_json(
+            200,
+            {
+                "t1": t1,
+                "t2": t2,
+                "fn": fn,
+                "values": list(values) if values else None,
+            },
+        )
+
+    def _handle_window(self, query: Dict[str, List[str]]) -> None:
+        key = _param(query, "key")
+        buckets = self.server.service.window(
+            key,
+            int(_param(query, "t1")),
+            int(_param(query, "t2")),
+            int(_param(query, "stride")),
+            _param(query, "fn", "avg"),
+            _group(query),
+        )
+        self._send_json(
+            200,
+            {
+                "buckets": [
+                    {
+                        "start": bucket.start,
+                        "end": bucket.end,
+                        "values": (
+                            list(bucket.values)
+                            if bucket.values is not None
+                            else None
+                        ),
+                    }
+                    for bucket in buckets
+                ]
+            },
+        )
+
+    def _handle_summary(self, query: Dict[str, List[str]]) -> None:
+        key = _param(query, "key")
+        result = self.server.service.summary(key)
+        if WIRE_CONTENT_TYPE in (self.headers.get("Accept") or ""):
+            self._send_bytes(200, encode_result(result), WIRE_CONTENT_TYPE)
+            return
+        self._send_json(
+            200,
+            {
+                "key": key,
+                "size": result.size,
+                "input_size": result.input_size,
+                "error": result.error,
+                "merges": result.merges,
+                "segments": [
+                    segment_to_obj(segment) for segment in result.segments
+                ],
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._send_bytes(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_bytes(self, status: int, body: bytes, ctype: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def _param(
+    query: Dict[str, List[str]], name: str, default: Optional[str] = None
+) -> str:
+    values = query.get(name)
+    if not values:
+        if default is not None:
+            return default
+        raise ServiceError(f"missing required query parameter {name!r}")
+    return values[0]
+
+
+def _group(query: Dict[str, List[str]]) -> Optional[List[Any]]:
+    raw = query.get("group")
+    if not raw:
+        return None
+    try:
+        parsed = json.loads(raw[0])
+    except json.JSONDecodeError as error:
+        raise ServiceError(
+            f"group must be a JSON array, got {raw[0]!r}: {error}"
+        ) from error
+    if not isinstance(parsed, list):
+        raise ServiceError(f"group must be a JSON array, got {raw[0]!r}")
+    return parsed
+
+
+def _segments_from_json_body(body: bytes) -> List[AggregateSegment]:
+    text = body.decode("utf-8")
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError:
+        # Not one JSON document: treat it as JSON lines (which reports
+        # per-line errors when it is not that either).
+        from .wire import segments_from_jsonl
+
+        return segments_from_jsonl(text)
+    if isinstance(parsed, list):
+        return [segment_from_obj(obj) for obj in parsed]
+    if isinstance(parsed, dict):
+        return [segment_from_obj(parsed)]
+    raise ServiceError(
+        "push body must be a segment object, a JSON array of them, or "
+        "JSON lines"
+    )
+
+
+# ----------------------------------------------------------------------
+# Running the server
+# ----------------------------------------------------------------------
+def serve(
+    service: Service,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind the HTTP front end; call ``serve_forever()`` on the result."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def start_in_background(
+    service: Service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Start the front end on a daemon thread (``port=0`` = ephemeral).
+
+    Returns the bound server (``server.port`` tells the chosen port) and
+    the serving thread; ``server.shutdown()`` stops it.
+    """
+    server = serve(service, host, port, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="pta-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+__all__ = [
+    "Service",
+    "ServiceHTTPServer",
+    "WIRE_CONTENT_TYPE",
+    "serve",
+    "start_in_background",
+]

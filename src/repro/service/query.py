@@ -1,0 +1,261 @@
+"""Temporal queries over summary snapshots (the read path of serving).
+
+The paper's premise is that a parsimonious summary is small enough to
+*serve from*: point lookups and range aggregates over the reduced relation
+answer the original workload within the bounded error of the reduction.
+:class:`QueryEngine` implements that read path over a
+:class:`~repro.service.store.SessionStore`:
+
+* ``value_at(key, t)`` — the aggregate values at chronon ``t``: one binary
+  search over the snapshot's segment starts
+  (:func:`repro.core.kernels.instant_index`);
+* ``range_agg(key, t1, t2, fn)`` — a range aggregate over ``[t1, t2]``:
+  ``avg`` and ``sum`` are answered in ``O(log n + p)`` from the snapshot's
+  time-weighted prefix sums (:func:`repro.core.kernels.range_weighted_sum`
+  — the same Proposition 1/2 identities the merge kernels use), ``min`` /
+  ``max`` scan only the overlapped rows;
+* ``window(key, t1, t2, stride)`` — a fixed-stride sweep of range
+  aggregates, the shape dashboards poll for.
+
+Snapshots are cached per key and invalidated by the store's push
+*generation*: between pushes, repeated queries reuse one prepared index
+(sorted arrays + prefix sums) instead of re-finalizing a session clone per
+read.  Keys that serve several aggregation groups expose them via the
+``group=`` parameter.
+
+Answers are float-exact with respect to the snapshot: running the same
+query against the batch ``compress`` output of the same prefix yields
+bit-identical numbers, because snapshots are bit-identical to batch
+summaries (the PR 3 session contract) and the query arithmetic is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.kernels import (
+    instant_index,
+    range_weighted_sum,
+    time_weighted_prefix,
+)
+from ..core.merge import AggregateSegment
+from .store import Key, ServiceError, SessionStore
+
+#: Range-aggregate functions:``avg`` is the chronon-weighted mean (what the
+#: summary's merge operator preserves), ``sum`` the value·chronon integral,
+#: ``min``/``max`` the extreme segment values touching the range.
+RANGE_FUNCTIONS = ("avg", "sum", "min", "max")
+
+
+@dataclass(frozen=True)
+class WindowBucket:
+    """One stride of a :meth:`QueryEngine.window` sweep.
+
+    ``values`` is ``None`` when the bucket lies entirely in a temporal gap.
+    """
+
+    start: int
+    end: int
+    values: Optional[Tuple[float, ...]]
+
+
+class _GroupIndex:
+    """Query-ready arrays of one group's snapshot segments."""
+
+    __slots__ = ("starts", "ends", "values", "length_prefix", "weighted_prefix")
+
+    def __init__(self, segments: Sequence[AggregateSegment]) -> None:
+        count = len(segments)
+        self.starts = np.fromiter(
+            (s.interval.start for s in segments), np.int64, count
+        )
+        self.ends = np.fromiter(
+            (s.interval.end for s in segments), np.int64, count
+        )
+        dimensions = segments[0].dimensions if count else 0
+        self.values = np.array(
+            [s.values for s in segments], dtype=np.float64
+        ).reshape(count, dimensions)
+        self.length_prefix, self.weighted_prefix = time_weighted_prefix(
+            self.starts, self.ends, self.values
+        )
+
+    def value_at(self, t: int) -> Optional[Tuple[float, ...]]:
+        index = instant_index(self.starts, self.ends, t)
+        if index < 0:
+            return None
+        return tuple(float(v) for v in self.values[index])
+
+    def range_agg(
+        self, t1: int, t2: int, fn: str
+    ) -> Optional[Tuple[float, ...]]:
+        # Overlapping segment index range: first segment ending at/after t1,
+        # last segment starting at/before t2.
+        lo = int(np.searchsorted(self.ends, t1, side="left"))
+        hi = int(np.searchsorted(self.starts, t2, side="right")) - 1
+        if lo > hi or lo >= len(self.starts) or hi < 0:
+            return None
+        if fn == "min":
+            return tuple(
+                float(v) for v in self.values[lo : hi + 1].min(axis=0)
+            )
+        if fn == "max":
+            return tuple(
+                float(v) for v in self.values[lo : hi + 1].max(axis=0)
+            )
+        covered, weighted = range_weighted_sum(
+            self.starts,
+            self.ends,
+            self.values,
+            self.length_prefix,
+            self.weighted_prefix,
+            lo,
+            hi,
+            t1,
+            t2,
+        )
+        if fn == "sum":
+            return tuple(float(v) for v in weighted)
+        return tuple(float(v) for v in weighted / covered)
+
+
+class SnapshotIndex:
+    """A whole snapshot prepared for querying, one sub-index per group."""
+
+    def __init__(self, segments: Sequence[AggregateSegment]) -> None:
+        grouped: Dict[Tuple[Any, ...], List[AggregateSegment]] = {}
+        for segment in segments:
+            grouped.setdefault(segment.group, []).append(segment)
+        for members in grouped.values():
+            members.sort(key=lambda s: s.interval.start)
+        self._groups = {
+            group: _GroupIndex(members) for group, members in grouped.items()
+        }
+
+    @property
+    def groups(self) -> List[Tuple[Any, ...]]:
+        return list(self._groups)
+
+    def resolve(self, group: Optional[Sequence[Any]]) -> _GroupIndex:
+        if group is None:
+            if len(self._groups) == 1:
+                return next(iter(self._groups.values()))
+            if not self._groups:
+                raise ServiceError("the snapshot is empty")
+            raise ServiceError(
+                f"the key serves {len(self._groups)} aggregation groups; "
+                f"pass group= to select one of {sorted(self._groups)}"
+            )
+        wanted = tuple(group)
+        index = self._groups.get(wanted)
+        if index is None:
+            raise ServiceError(
+                f"unknown group {wanted!r}; known: {sorted(self._groups)}"
+            )
+        return index
+
+
+class QueryEngine:
+    """Answer temporal queries from a store's summary snapshots."""
+
+    def __init__(self, store: SessionStore) -> None:
+        self._store = store
+        self._cache: Dict[Key, Tuple[int, SnapshotIndex]] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def value_at(
+        self, key: Key, t: int, group: Optional[Sequence[Any]] = None
+    ) -> Optional[Tuple[float, ...]]:
+        """Aggregate values at chronon ``t``, or ``None`` in a gap."""
+        return self._index(key).resolve(group).value_at(int(t))
+
+    def range_agg(
+        self,
+        key: Key,
+        t1: int,
+        t2: int,
+        fn: str = "avg",
+        group: Optional[Sequence[Any]] = None,
+    ) -> Optional[Tuple[float, ...]]:
+        """Range aggregate over ``[t1, t2]`` (inclusive chronons).
+
+        Returns one float per aggregate dimension, or ``None`` when the
+        range lies entirely in temporal gaps.  ``fn`` is one of
+        :data:`RANGE_FUNCTIONS`; gaps inside the range simply contribute
+        nothing (the aggregate is over the covered chronons).
+        """
+        if fn not in RANGE_FUNCTIONS:
+            raise ServiceError(
+                f"fn must be one of {RANGE_FUNCTIONS}, got {fn!r}"
+            )
+        t1, t2 = int(t1), int(t2)
+        if t2 < t1:
+            raise ServiceError(f"empty range: t2={t2} precedes t1={t1}")
+        return self._index(key).resolve(group).range_agg(t1, t2, fn)
+
+    def window(
+        self,
+        key: Key,
+        t1: int,
+        t2: int,
+        stride: int,
+        fn: str = "avg",
+        group: Optional[Sequence[Any]] = None,
+    ) -> List[WindowBucket]:
+        """Fixed-stride sweep of range aggregates across ``[t1, t2]``.
+
+        Buckets are ``[t, t + stride - 1]`` clipped to ``t2``; each bucket
+        is one :meth:`range_agg` answer (``None`` values inside gaps).
+        """
+        if stride < 1:
+            raise ServiceError(f"stride must be at least 1, got {stride}")
+        if fn not in RANGE_FUNCTIONS:
+            raise ServiceError(
+                f"fn must be one of {RANGE_FUNCTIONS}, got {fn!r}"
+            )
+        t1, t2 = int(t1), int(t2)
+        if t2 < t1:
+            raise ServiceError(f"empty range: t2={t2} precedes t1={t1}")
+        index = self._index(key).resolve(group)
+        buckets: List[WindowBucket] = []
+        start = t1
+        while start <= t2:
+            end = min(start + stride - 1, t2)
+            buckets.append(
+                WindowBucket(start, end, index.range_agg(start, end, fn))
+            )
+            start += stride
+        return buckets
+
+    def groups(self, key: Key) -> List[Tuple[Any, ...]]:
+        """The aggregation groups served under ``key``."""
+        return self._index(key).groups
+
+    # ------------------------------------------------------------------
+    # Snapshot cache
+    # ------------------------------------------------------------------
+    def _index(self, key: Key) -> SnapshotIndex:
+        generation = self._store.generation(key)
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        index = SnapshotIndex(self._store.segments(key))
+        self._cache[key] = (generation, index)
+        return index
+
+    def cache_info(self) -> Dict[Key, int]:
+        """Cached generation per key (monitoring/test hook)."""
+        return {key: gen for key, (gen, _) in self._cache.items()}
+
+
+__all__ = [
+    "QueryEngine",
+    "RANGE_FUNCTIONS",
+    "SnapshotIndex",
+    "WindowBucket",
+]

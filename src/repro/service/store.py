@@ -1,0 +1,412 @@
+"""Keyed registry of live compression sessions with freezing eviction.
+
+A serving deployment holds one :class:`~repro.api.session.Compressor` per
+stream key (a sensor id, a tenant, a metric name) and feeds each key's
+segments as they arrive.  :class:`SessionStore` is that registry:
+
+* ``store.push(key, segment_or_chunk)`` creates the key's session on first
+  touch and feeds it (chunks go through the session's staged bulk-insert
+  fast path);
+* an :class:`LRUTTLEviction` policy bounds the number of live sessions and
+  their idle time — but eviction **finalizes** a session into a *frozen
+  summary* instead of dropping it, so every tuple ever pushed stays
+  queryable.  A key whose session was frozen simply starts a new session
+  epoch on its next push; snapshots concatenate the frozen epochs with the
+  live summary in arrival order;
+* per-store counters (:class:`StoreStats`) expose live sessions, frozen
+  summaries, pushed tuples and evictions for monitoring.
+
+The store tracks a *generation* per key — bumped by every push and every
+eviction — which the :class:`~repro.service.query.QueryEngine` uses to
+cache query-ready snapshot indexes: repeated queries between pushes cost
+zero re-finalization.
+
+Thread safety: all mutating operations take an internal lock, so the store
+can sit directly behind the threaded HTTP front end
+(:mod:`repro.service.http`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from ..core.merge import AggregateSegment
+from ..api.plan import Budget, ExecutionPolicy
+from ..api.result import Result
+from ..api.session import Compressor
+
+#: Stream keys are ordinary hashable identifiers (strings in the HTTP
+#: front end, but any hashable works in process).
+Key = Any
+
+
+class ServiceError(ValueError):
+    """An invalid serving-layer request (unknown key, bad query, ...)."""
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Point-in-time counters of a :class:`SessionStore`."""
+
+    live_sessions: int
+    frozen_summaries: int
+    pushed_segments: int
+    evictions: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """The stats as a plain mapping (the HTTP ``/stats`` shape)."""
+        return {
+            "live_sessions": self.live_sessions,
+            "frozen_summaries": self.frozen_summaries,
+            "pushed_segments": self.pushed_segments,
+            "evictions": self.evictions,
+        }
+
+
+class LRUTTLEviction:
+    """Least-recently-used + time-to-live eviction policy.
+
+    ``max_sessions`` bounds the number of *live* sessions (frozen summaries
+    are cheap — just the reduced segments — and are not counted);
+    ``ttl`` ages out sessions idle for longer than that many seconds.
+    Either knob may be ``None`` to disable it.  The policy only *selects*
+    keys; the store performs the freezing, so a custom policy is just an
+    object with this ``select`` signature.
+    """
+
+    def __init__(
+        self,
+        max_sessions: Optional[int] = None,
+        ttl: Optional[float] = None,
+    ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ServiceError(
+                f"max_sessions must be at least 1, got {max_sessions}"
+            )
+        if ttl is not None and ttl <= 0:
+            raise ServiceError(f"ttl must be positive, got {ttl}")
+        self.max_sessions = max_sessions
+        self.ttl = ttl
+
+    def select(
+        self, now: float, last_access: "Mapping[Key, float]"
+    ) -> List[Key]:
+        """Keys to evict, given live keys in least-recently-used order."""
+        victims: List[Key] = []
+        if self.ttl is not None:
+            victims.extend(
+                key
+                for key, touched in last_access.items()
+                if now - touched > self.ttl
+            )
+        if self.max_sessions is not None:
+            over = len(last_access) - len(victims) - self.max_sessions
+            if over > 0:
+                chosen = set(victims)
+                for key in last_access:  # oldest first
+                    if over <= 0:
+                        break
+                    if key not in chosen:
+                        victims.append(key)
+                        chosen.add(key)
+                        over -= 1
+        return victims
+
+
+@dataclass
+class _KeyState:
+    """Everything the store holds for one stream key."""
+
+    session: Optional[Compressor] = None
+    frozen: List[Result] = field(default_factory=list)
+    generation: int = 0
+    pushed: int = 0
+    last_access: float = 0.0
+
+
+class SessionStore:
+    """A keyed registry of live :class:`Compressor` sessions.
+
+    Parameters
+    ----------
+    budget:
+        Default reduction budget for new sessions; alternatively pass one
+        of ``size`` / ``max_error``.  Ignored for keys handled by
+        ``session_factory``.
+    policy:
+        Execution knobs shared by every session (backend, delta, weights);
+        ``workers`` must stay ``None`` as for any :class:`Compressor`.
+    eviction:
+        An eviction policy object (``select(now, last_access) -> keys``);
+        defaults to :class:`LRUTTLEviction` built from ``max_sessions`` /
+        ``ttl``.  Eviction runs after every push.
+    session_factory:
+        Optional ``key -> Compressor`` hook for per-key budgets or
+        policies; when given, ``budget``/``size``/``max_error`` become the
+        fallback and may be omitted entirely.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        budget: Optional[Budget] = None,
+        *,
+        size: Optional[int] = None,
+        max_error: Optional[float] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        eviction: Optional[LRUTTLEviction] = None,
+        max_sessions: Optional[int] = None,
+        ttl: Optional[float] = None,
+        session_factory: Optional[Callable[[Key], Compressor]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if eviction is not None and (
+            max_sessions is not None or ttl is not None
+        ):
+            raise ServiceError(
+                "pass either an eviction policy object or the "
+                "max_sessions/ttl shorthands, not both"
+            )
+        self._policy = policy
+        self._factory: Optional[Callable[[Key], Compressor]] = session_factory
+        # With a factory, a default budget is optional (pure fallback);
+        # without one it is required and validated eagerly — a bad store
+        # config should fail at construction, not on the first push.
+        self._default: Optional[Tuple[Any, Any, Any]] = (
+            (budget, size, max_error)
+            if (budget, size, max_error) != (None, None, None)
+            or session_factory is None
+            else None
+        )
+        if session_factory is None:
+            self._make_session()
+        self._eviction = (
+            eviction
+            if eviction is not None
+            else LRUTTLEviction(max_sessions=max_sessions, ttl=ttl)
+        )
+        self._clock = clock
+        self._states: "OrderedDict[Key, _KeyState]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._pushed = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        key: Key,
+        segments: Union[AggregateSegment, Iterable[AggregateSegment]],
+    ) -> int:
+        """Feed one segment or a chunk into ``key``'s live session.
+
+        Creates the session on first touch (or a fresh epoch if the key's
+        previous session was frozen), then runs the eviction policy over
+        the live sessions.  Returns the number of segments consumed.
+        """
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.session is None:
+                # Open the session *before* registering any state: a
+                # failing session_factory must not leave a phantom key
+                # behind (its snapshot would have nothing to serve).
+                session = self._open_session(key)
+                if state is None:
+                    state = _KeyState()
+                    self._states[key] = state
+                state.session = session
+            before = state.session.pushed
+            state.session.push(segments)
+            consumed = state.session.pushed - before
+            state.pushed += consumed
+            state.generation += 1
+            state.last_access = self._clock()
+            self._states.move_to_end(key)
+            self._pushed += consumed
+            self._run_eviction()
+            return consumed
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def snapshot(self, key: Key) -> Result:
+        """Summary of everything ever pushed for ``key``, frozen + live.
+
+        Frozen epochs come first in push order, followed by the live
+        session's non-destructive :meth:`~Compressor.summary` snapshot;
+        the statistics (error, sizes, merges) are summed across parts.
+        Raises :class:`ServiceError` for an unknown key.
+        """
+        with self._lock:
+            state = self._require(key)
+            parts = list(state.frozen)
+            if state.session is not None:
+                parts.append(state.session.summary())
+                state.last_access = self._clock()
+                self._states.move_to_end(key)
+            if len(parts) == 1:
+                return parts[0]
+            combined = Result(method=parts[0].method, backend=parts[0].backend)
+            for part in parts:
+                combined.segments.extend(part.segments)
+                combined.error += part.error
+                combined.size += part.size
+                combined.input_size += part.input_size
+                combined.max_heap_size = max(
+                    combined.max_heap_size, part.max_heap_size
+                )
+                combined.merges += part.merges
+            return combined
+
+    def segments(self, key: Key) -> List[AggregateSegment]:
+        """The combined snapshot's segments (what the query engine reads)."""
+        return self.snapshot(key).segments
+
+    def generation(self, key: Key) -> int:
+        """Cache-invalidation token: bumped by every push and eviction."""
+        with self._lock:
+            return self._require(key).generation
+
+    def frozen(self, key: Key) -> List[Result]:
+        """The frozen summaries of ``key``'s evicted epochs (oldest first)."""
+        with self._lock:
+            return list(self._require(key).frozen)
+
+    def pushed(self, key: Key) -> int:
+        """Total segments ever pushed for ``key`` (across epochs)."""
+        with self._lock:
+            return self._require(key).pushed
+
+    def keys(self) -> List[Key]:
+        """Every known key (live or frozen), least recently used first."""
+        with self._lock:
+            return list(self._states)
+
+    def is_live(self, key: Key) -> bool:
+        """Whether ``key`` currently holds a live (unfrozen) session."""
+        with self._lock:
+            state = self._states.get(key)
+            return state is not None and state.session is not None
+
+    def __contains__(self, key: Key) -> bool:
+        with self._lock:
+            return key in self._states
+
+    def __len__(self) -> int:
+        """Number of *live* sessions (what the LRU bound applies to)."""
+        with self._lock:
+            return sum(
+                1 for state in self._states.values()
+                if state.session is not None
+            )
+
+    def stats(self) -> StoreStats:
+        """Current store-wide counters."""
+        with self._lock:
+            return StoreStats(
+                live_sessions=len(self),
+                frozen_summaries=sum(
+                    len(state.frozen) for state in self._states.values()
+                ),
+                pushed_segments=self._pushed,
+                evictions=self._evictions,
+            )
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def freeze(self, key: Key) -> Result:
+        """Manually finalize ``key``'s live session into a frozen summary.
+
+        The frozen-summary handoff: the session's end-of-input phase runs
+        once, the result is retained for querying, and the key's next push
+        opens a fresh epoch.  Returns the frozen summary.
+        """
+        with self._lock:
+            state = self._require(key)
+            if state.session is None:
+                raise ServiceError(f"key {key!r} has no live session")
+            return self._freeze_state(state)
+
+    def evict_idle(self) -> List[Key]:
+        """Run the eviction policy now (it also runs after every push)."""
+        with self._lock:
+            return self._run_eviction()
+
+    def _run_eviction(self) -> List[Key]:
+        live: "OrderedDict[Key, float]" = OrderedDict(
+            (key, state.last_access)
+            for key, state in self._states.items()
+            if state.session is not None
+        )
+        victims = self._eviction.select(self._clock(), live)
+        for key in victims:
+            state = self._states.get(key)
+            if state is not None and state.session is not None:
+                self._freeze_state(state)
+        return victims
+
+    def _freeze_state(self, state: _KeyState) -> Result:
+        assert state.session is not None
+        frozen = state.session.finalize()
+        state.frozen.append(frozen)
+        state.session = None
+        state.generation += 1
+        self._evictions += 1
+        return frozen
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _open_session(self, key: Key) -> Compressor:
+        if self._factory is not None:
+            session = self._factory(key)
+            if not isinstance(session, Compressor):
+                raise ServiceError(
+                    f"session_factory must return a Compressor, got "
+                    f"{session!r}"
+                )
+            return session
+        return self._make_session()
+
+    def _make_session(self) -> Compressor:
+        if self._default is None:
+            raise ServiceError(
+                "the store has no default budget; construct it with "
+                "budget=/size=/max_error= or a session_factory"
+            )
+        budget, size, max_error = self._default
+        return Compressor(
+            budget, size=size, max_error=max_error, policy=self._policy
+        )
+
+    def _require(self, key: Key) -> _KeyState:
+        state = self._states.get(key)
+        if state is None:
+            raise ServiceError(f"unknown stream key {key!r}")
+        return state
+
+
+__all__ = [
+    "Key",
+    "LRUTTLEviction",
+    "ServiceError",
+    "SessionStore",
+    "StoreStats",
+]

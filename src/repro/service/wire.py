@@ -1,0 +1,346 @@
+"""Binary wire format for segment streams and result payloads.
+
+The serving layer needs summaries to *leave the process* — to be persisted,
+shipped to a cache, or exchanged between hosts of a future distributed
+reduction.  This module gives :class:`~repro.core.merge.AggregateSegment`
+streams and :class:`~repro.api.result.Result` payloads a compact, versioned
+binary representation:
+
+* the column layout is exactly the flat-array encoding the sharded engine
+  already uses internally (:class:`repro.parallel.EncodedSegments` —
+  ``int64`` interval endpoints, a ``float64`` value matrix, dense interned
+  group ids), so a wire payload *is* a valid unit of work for the shard
+  planner, byte-layout included;
+* the byte-level container is the versioned column codec of
+  :mod:`repro.storage.columns`; a 4-byte magic tag distinguishes segment
+  payloads (``PTAS``) from result payloads (``PTAR``) and a ``uint16``
+  version gate rejects cross-version buffers loudly;
+* group-key tuples and result metadata travel as UTF-8 JSON side columns —
+  group values must be JSON scalars (``str`` / ``int`` / ``float`` /
+  ``bool`` / ``None``), which covers every grouping attribute the temporal
+  relations produce;
+* aggregate values must be finite: NaN and ±inf have no length-weighted
+  mean semantics under the merge operator, so :func:`encode_segments`
+  rejects them with :class:`WireError` instead of letting them poison a
+  remote heap.
+
+Decoding restores dtypes and exact float bits, so
+``decode_segments(encode_segments(s)) == s`` holds with exact equality.
+A JSON-lines debug encoding (:func:`segments_to_jsonl` /
+:func:`segments_from_jsonl`) mirrors the binary format one object per line
+for logs and curl-ability; it is also float-exact (``repr`` roundtrip).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Union
+
+import numpy as np
+
+from ..core.merge import AggregateSegment
+from ..parallel import EncodedSegments
+from ..parallel import encode_segments as _to_columns
+from ..storage.columns import ColumnCodecError, pack_columns, unpack_columns
+from ..temporal import Interval
+
+#: Magic tags of the two payload kinds.
+SEGMENTS_MAGIC = b"PTAS"
+RESULT_MAGIC = b"PTAR"
+
+#: Version of the wire format this module reads and writes.  Bump on any
+#: layout change; readers reject every other version.
+WIRE_VERSION = 1
+
+_SEGMENT_COLUMNS = ("starts", "ends", "values", "groups", "group_keys")
+
+
+class WireError(ValueError):
+    """A payload that cannot be wire-encoded, or malformed wire bytes."""
+
+
+# ----------------------------------------------------------------------
+# Segment streams
+# ----------------------------------------------------------------------
+def encode_segments(
+    segments: Union[Iterable[AggregateSegment], EncodedSegments],
+) -> bytes:
+    """Encode a segment stream (or pre-encoded columns) into wire bytes."""
+    encoded = (
+        segments
+        if isinstance(segments, EncodedSegments)
+        else _to_columns(segments)
+    )
+    _require_finite(encoded.values)
+    return pack_columns(
+        {
+            "starts": np.asarray(encoded.starts, dtype=np.int64),
+            "ends": np.asarray(encoded.ends, dtype=np.int64),
+            "values": np.asarray(encoded.values, dtype=np.float64),
+            "groups": np.asarray(encoded.groups, dtype=np.int64),
+            "group_keys": _json_column(
+                [list(key) for key in encoded.group_keys], "group values"
+            ),
+        },
+        SEGMENTS_MAGIC,
+        WIRE_VERSION,
+    )
+
+
+def decode_encoded(data: bytes) -> EncodedSegments:
+    """Decode wire bytes into :class:`EncodedSegments` flat columns.
+
+    The returned columns are exactly what :mod:`repro.parallel` shards, so
+    a decoded payload can enter the reduction engine without ever being
+    materialised into segment objects.
+    """
+    return _columns_to_encoded(_unpack(data, SEGMENTS_MAGIC))
+
+
+def _columns_to_encoded(columns: Dict[str, np.ndarray]) -> EncodedSegments:
+    """Validate unpacked segment columns and assemble the flat encoding.
+
+    Shared by :func:`decode_encoded` and :func:`decode_result`; every
+    malformed shape/dtype surfaces as :class:`WireError` (never a raw
+    TypeError from downstream array arithmetic on untrusted bytes).
+    """
+    missing = [name for name in _SEGMENT_COLUMNS if name not in columns]
+    if missing:
+        raise WireError(f"segment payload is missing columns {missing}")
+    for name, kind, ndim in (
+        ("starts", "i", 1), ("ends", "i", 1), ("groups", "i", 1),
+        ("values", "f", 2),
+    ):
+        column = columns[name]
+        if column.ndim != ndim or column.dtype.kind != kind:
+            raise WireError(
+                f"{name} column must be a {ndim}-dimensional "
+                f"{'integer' if kind == 'i' else 'float'} array, got "
+                f"{column.dtype} with shape {column.shape}"
+            )
+    values = columns["values"]
+    _require_finite(values)
+    group_keys_raw = _json_value(columns["group_keys"], "group_keys")
+    if not isinstance(group_keys_raw, list):
+        raise WireError("group_keys column must decode to a JSON array")
+    group_keys = [tuple(key) for key in group_keys_raw]
+    starts = columns["starts"]
+    groups = columns["groups"]
+    count = len(starts)
+    if not (len(columns["ends"]) == len(groups) == len(values) == count):
+        raise WireError(
+            "segment payload columns disagree on the number of rows"
+        )
+    if count and groups.size:
+        lo, hi = int(groups.min()), int(groups.max())
+        if lo < 0 or hi >= len(group_keys):
+            raise WireError(
+                f"group id {hi if hi >= len(group_keys) else lo} outside "
+                f"the {len(group_keys)} interned group keys"
+            )
+    return EncodedSegments(
+        starts, columns["ends"], values, groups, group_keys
+    )
+
+
+def decode_segments(data: bytes) -> List[AggregateSegment]:
+    """Decode wire bytes back into a list of segments, float-exact."""
+    return _materialise(decode_encoded(data))
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+def encode_result(result: Any) -> bytes:
+    """Encode a :class:`repro.api.Result` (summary + stats) into wire bytes."""
+    encoded = _to_columns(result.segments)
+    _require_finite(encoded.values)
+    meta = {
+        "error": result.error,
+        "size": result.size,
+        "input_size": result.input_size,
+        "method": result.method,
+        "backend": result.backend,
+        "max_heap_size": result.max_heap_size,
+        "merges": result.merges,
+        "group_columns": list(result.group_columns),
+        "value_columns": list(result.value_columns),
+        "timestamp_name": result.timestamp_name,
+    }
+    return pack_columns(
+        {
+            "starts": np.asarray(encoded.starts, dtype=np.int64),
+            "ends": np.asarray(encoded.ends, dtype=np.int64),
+            "values": np.asarray(encoded.values, dtype=np.float64),
+            "groups": np.asarray(encoded.groups, dtype=np.int64),
+            "group_keys": _json_column(
+                [list(key) for key in encoded.group_keys], "group values"
+            ),
+            "meta": _json_column(meta, "result metadata"),
+        },
+        RESULT_MAGIC,
+        WIRE_VERSION,
+    )
+
+
+def decode_result(data: bytes) -> Any:
+    """Decode wire bytes produced by :func:`encode_result`."""
+    from ..api.result import Result
+
+    columns = _unpack(data, RESULT_MAGIC)
+    if "meta" not in columns:
+        raise WireError("result payload is missing the meta column")
+    meta = _json_value(columns["meta"], "meta")
+    if not isinstance(meta, dict):
+        raise WireError("meta column must decode to a JSON object")
+    segments = _materialise(_columns_to_encoded(columns))
+    try:
+        return Result(
+            segments=segments,
+            error=float(meta["error"]),
+            size=int(meta["size"]),
+            input_size=int(meta["input_size"]),
+            method=str(meta["method"]),
+            backend=str(meta["backend"]),
+            max_heap_size=int(meta["max_heap_size"]),
+            merges=int(meta["merges"]),
+            group_columns=tuple(meta["group_columns"]),
+            value_columns=tuple(meta["value_columns"]),
+            timestamp_name=str(meta["timestamp_name"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(f"malformed result metadata: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# JSON-lines debug encoding
+# ----------------------------------------------------------------------
+def segment_to_obj(segment: AggregateSegment) -> Dict[str, Any]:
+    """One segment as a plain JSON-ready mapping (the debug/HTTP shape)."""
+    return {
+        "group": list(segment.group),
+        "values": list(segment.values),
+        "start": segment.interval.start,
+        "end": segment.interval.end,
+    }
+
+
+def segment_from_obj(obj: Mapping[str, Any]) -> AggregateSegment:
+    """Rebuild a segment from the mapping shape of :func:`segment_to_obj`."""
+    try:
+        return AggregateSegment(
+            tuple(obj.get("group", ())),
+            tuple(float(v) for v in obj["values"]),
+            Interval(int(obj["start"]), int(obj["end"])),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(f"malformed segment object {obj!r}: {error}") from error
+
+
+def segments_to_jsonl(segments: Iterable[AggregateSegment]) -> str:
+    """Encode a stream as JSON lines (one segment object per line)."""
+    lines = []
+    for segment in segments:
+        try:
+            lines.append(
+                json.dumps(
+                    segment_to_obj(segment),
+                    allow_nan=False,
+                    separators=(",", ":"),
+                )
+            )
+        except ValueError as error:
+            raise WireError(
+                f"segment {segment} has a non-finite aggregate value "
+                f"(NaN/inf cannot be wire-encoded)"
+            ) from error
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def segments_from_jsonl(text: str) -> List[AggregateSegment]:
+    """Decode the JSON-lines encoding of :func:`segments_to_jsonl`."""
+    segments: List[AggregateSegment] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise WireError(
+                f"line {number} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(obj, dict):
+            raise WireError(f"line {number} must be a JSON object")
+        segments.append(segment_from_obj(obj))
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _require_finite(values: np.ndarray) -> None:
+    if values.size and not bool(np.isfinite(values).all()):
+        bad = np.argwhere(~np.isfinite(np.atleast_2d(values)))[0]
+        raise WireError(
+            f"segment {int(bad[0])} has a non-finite aggregate value "
+            f"(NaN/inf cannot be wire-encoded: the merge operator's "
+            f"length-weighted means are undefined for it)"
+        )
+
+
+def _json_column(payload: Any, what: str) -> np.ndarray:
+    try:
+        blob = json.dumps(payload, allow_nan=False).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise WireError(
+            f"{what} must be JSON-encodable scalars "
+            f"(str/int/float/bool/None): {error}"
+        ) from error
+    return np.frombuffer(blob, dtype=np.uint8)
+
+
+def _json_value(column: np.ndarray, what: str) -> Any:
+    try:
+        return json.loads(bytes(np.asarray(column, dtype=np.uint8)))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise WireError(f"malformed JSON in {what} column: {error}") from error
+
+
+def _unpack(data: bytes, magic: bytes) -> Dict[str, np.ndarray]:
+    try:
+        return unpack_columns(data, magic, WIRE_VERSION)
+    except ColumnCodecError as error:
+        raise WireError(str(error)) from error
+
+
+def _materialise(encoded: EncodedSegments) -> List[AggregateSegment]:
+    starts = encoded.starts
+    ends = encoded.ends
+    values = encoded.values
+    groups = encoded.groups
+    group_keys = encoded.group_keys
+    return [
+        AggregateSegment(
+            group_keys[int(groups[index])],
+            tuple(float(v) for v in values[index]),
+            Interval(int(starts[index]), int(ends[index])),
+        )
+        for index in range(len(encoded))
+    ]
+
+
+__all__ = [
+    "RESULT_MAGIC",
+    "SEGMENTS_MAGIC",
+    "WIRE_VERSION",
+    "WireError",
+    "decode_encoded",
+    "decode_result",
+    "decode_segments",
+    "encode_result",
+    "encode_segments",
+    "segment_from_obj",
+    "segment_to_obj",
+    "segments_from_jsonl",
+    "segments_to_jsonl",
+]

@@ -1,6 +1,14 @@
-"""Storage substrate: in-memory tables and CSV persistence."""
+"""Storage substrate: tables, CSV persistence, binary column buffers."""
 
+from .columns import ColumnCodecError, pack_columns, unpack_columns
 from .csv_io import read_relation, write_relation
 from .table import Table
 
-__all__ = ["Table", "read_relation", "write_relation"]
+__all__ = [
+    "ColumnCodecError",
+    "Table",
+    "pack_columns",
+    "read_relation",
+    "unpack_columns",
+    "write_relation",
+]

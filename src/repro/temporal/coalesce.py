@@ -62,8 +62,22 @@ def coalesce(
 
 
 def _sort_key(key: tuple) -> tuple:
-    """Order group keys deterministically even for mixed value types."""
-    return tuple((str(type(v)), str(v)) for v in key)
+    """Order group keys deterministically even for mixed value types.
+
+    Equal values must map to equal sort keys or coalescing would not be
+    idempotent: ``0.0 == -0.0`` puts both spellings in one run bucket, but
+    ``str()`` distinguishes them, so whichever spelling happened to enter
+    the dict first would decide the bucket's position relative to other
+    keys — and that spelling can change between passes.  Negative zero is
+    therefore folded to positive zero before stringifying.
+    """
+    return tuple(
+        (
+            str(type(v)),
+            str(0.0 if isinstance(v, float) and v == 0.0 else v),
+        )
+        for v in key
+    )
 
 
 def split_into_maximal_segments(

@@ -1,0 +1,76 @@
+"""The legacy ``error=`` alias warns; canonical ``max_error=`` stays silent.
+
+Both shim doors (:func:`repro.pta` and :func:`repro.compress`) accept the
+historical ``error=`` spelling of the error budget.  It keeps working —
+same result, same validation — but now announces its deprecation, while
+the canonical ``max_error=`` spelling must never warn.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+from repro import Interval, TemporalRelation, compress, pta
+from repro.api import PlanError, resolve_error_alias
+from repro.core import AggregateSegment
+
+AGGS = {"avg_sal": ("avg", "sal")}
+
+
+def relation() -> TemporalRelation:
+    return TemporalRelation.from_records(
+        columns=("proj", "sal"),
+        records=[
+            ("A", 800, Interval(1, 4)),
+            ("A", 400, Interval(3, 6)),
+            ("B", 300, Interval(4, 7)),
+        ],
+    )
+
+
+def segments() -> list[AggregateSegment]:
+    rng = random.Random(5)
+    return [
+        AggregateSegment((), (rng.uniform(0, 10),), Interval(t, t))
+        for t in range(20)
+    ]
+
+
+class TestLegacyErrorAliasWarns:
+    def test_pta_error_keyword_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="legacy alias"):
+            legacy = pta(relation(), ["proj"], AGGS, error=0.5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            canonical = pta(relation(), ["proj"], AGGS, max_error=0.5)
+        assert legacy.rows() == canonical.rows()
+
+    def test_compress_error_keyword_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="legacy alias"):
+            legacy = compress(segments(), error=0.4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            canonical = compress(segments(), max_error=0.4)
+        assert legacy.segments == canonical.segments
+
+    def test_max_error_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning becomes a failure
+            pta(relation(), ["proj"], AGGS, max_error=0.3)
+            compress(segments(), max_error=0.3)
+            compress(segments(), size=5)  # size budgets are silent too
+
+    def test_double_spelling_still_rejected(self):
+        with pytest.raises(PlanError, match="only one"):
+            compress(segments(), error=0.5, max_error=0.5)
+
+    def test_resolver_unit_behaviour(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_error_alias(None, 0.25) == 0.25
+            assert resolve_error_alias(None, None) is None
+        with pytest.warns(DeprecationWarning, match="max_error"):
+            assert resolve_error_alias(0.25, None) == 0.25

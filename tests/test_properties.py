@@ -263,6 +263,23 @@ def test_ita_covers_exactly_the_argument_support(relation):
         assert result_support == argument_support
 
 
+def test_coalesce_idempotent_with_negative_zero():
+    """Regression: 0.0 and -0.0 are one equality class but stringify
+    differently, so the bucket's sort position used to depend on which
+    spelling entered the run dict first — breaking idempotence.
+    (Falsifying example found by hypothesis during PR 4.)"""
+    relation = TemporalRelation.from_records(
+        columns=("g", "v"),
+        records=[
+            ("x", -1.0, Interval(1, 1)),
+            ("x", 0.0, Interval(1, 2)),
+            ("x", -0.0, Interval(1, 1)),
+        ],
+    )
+    once = coalesce(relation)
+    assert coalesce(once) == once
+
+
 @given(raw_relations())
 @settings(max_examples=50, deadline=None)
 def test_coalesce_is_idempotent_and_preserves_support(relation):

@@ -1,0 +1,300 @@
+"""QueryEngine: snapshot queries, caching, and batch bit-identity.
+
+The acceptance criterion (ISSUE 4): for randomized streams on both heap
+backends, every ``value_at`` / ``range_agg`` answer served from the live
+store is **bit-identical** to computing the same query on the batch
+``compress`` output of the same prefix.  Snapshots are bit-identical to
+batch summaries (the PR 3 session contract) and the query arithmetic is
+shared (:class:`repro.service.SnapshotIndex` on both sides), so equality
+is exact, not approximate.
+
+A separate class checks the query arithmetic itself against a naive
+per-chronon reference evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Interval, compress
+from repro.api import ExecutionPolicy
+from repro.core import AggregateSegment
+from repro.service import (
+    QueryEngine,
+    ServiceError,
+    SessionStore,
+    SnapshotIndex,
+)
+
+BACKENDS = ["python", "numpy"]
+
+
+def random_stream(
+    count: int,
+    seed: int,
+    gap_probability: float = 0.15,
+    groups: int = 1,
+    dimensions: int = 1,
+) -> list[AggregateSegment]:
+    rng = random.Random(seed)
+    stream: list[AggregateSegment] = []
+    for g in range(groups):
+        group = (f"g{g}",) if groups > 1 else ()
+        time = rng.randrange(0, 5)
+        for _ in range(count // groups):
+            length = rng.randrange(1, 4)
+            values = tuple(rng.uniform(0.0, 100.0) for _ in range(dimensions))
+            stream.append(
+                AggregateSegment(group, values, Interval(time, time + length - 1))
+            )
+            time += length
+            if rng.random() < gap_probability:
+                time += rng.randrange(1, 4)
+    return stream
+
+
+def span_of(stream: list[AggregateSegment]) -> tuple[int, int]:
+    return (
+        min(s.interval.start for s in stream),
+        max(s.interval.end for s in stream),
+    )
+
+
+def reference_answers(
+    batch_segments: list[AggregateSegment],
+    instants: list[int],
+    ranges: list[tuple[int, int, str]],
+    group=None,
+):
+    """The same queries, computed on batch compress output."""
+    index = SnapshotIndex(batch_segments).resolve(group)
+    return (
+        [index.value_at(t) for t in instants],
+        [index.range_agg(t1, t2, fn) for t1, t2, fn in ranges],
+    )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: bit-identity with batch compress on every prefix
+# ----------------------------------------------------------------------
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_size_bounded_prefix_grid(self, backend):
+        stream = random_stream(90, seed=21)
+        rng = random.Random(121)
+        store = SessionStore(size=11, policy=ExecutionPolicy(backend=backend))
+        engine = QueryEngine(store)
+        for length, segment in enumerate(stream, start=1):
+            store.push("k", segment)
+            if length % 9 and length != len(stream):
+                continue
+            prefix = stream[:length]
+            lo, hi = span_of(prefix)
+            instants = [rng.randrange(lo - 1, hi + 2) for _ in range(8)]
+            ranges = []
+            for fn in ("avg", "sum", "min", "max"):
+                a = rng.randrange(lo - 1, hi + 1)
+                b = rng.randrange(a, hi + 2)
+                ranges.append((a, b, fn))
+            live_values = [engine.value_at("k", t) for t in instants]
+            live_ranges = [
+                engine.range_agg("k", t1, t2, fn) for t1, t2, fn in ranges
+            ]
+            batch = compress(prefix, size=11, backend=backend)
+            ref_values, ref_ranges = reference_answers(
+                batch.segments, instants, ranges
+            )
+            assert live_values == ref_values  # exact float equality
+            assert live_ranges == ref_ranges
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_error_bounded_multi_dimensional(self, backend):
+        stream = random_stream(80, seed=22, dimensions=3)
+        rng = random.Random(122)
+        store = SessionStore(
+            max_error=0.4, policy=ExecutionPolicy(backend=backend)
+        )
+        engine = QueryEngine(store)
+        for start in range(0, len(stream), 16):
+            store.push("k", stream[start : start + 16])
+            prefix = stream[: min(start + 16, len(stream))]
+            lo, hi = span_of(prefix)
+            instants = [rng.randrange(lo, hi + 1) for _ in range(6)]
+            ranges = [
+                (lo, hi, "avg"),
+                (lo + (hi - lo) // 3, hi - (hi - lo) // 3, "sum"),
+            ]
+            batch = compress(iter(prefix), max_error=0.4, backend=backend)
+            ref_values, ref_ranges = reference_answers(
+                batch.segments, instants, ranges
+            )
+            assert [engine.value_at("k", t) for t in instants] == ref_values
+            assert [
+                engine.range_agg("k", t1, t2, fn) for t1, t2, fn in ranges
+            ] == ref_ranges
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_grouped_stream_with_group_parameter(self, backend):
+        stream = random_stream(90, seed=23, groups=3, dimensions=2)
+        store = SessionStore(size=15, policy=ExecutionPolicy(backend=backend))
+        engine = QueryEngine(store)
+        store.push("k", stream)
+        batch = compress(stream, size=15, backend=backend)
+        for g in range(3):
+            group = (f"g{g}",)
+            members = [s for s in stream if s.group == group]
+            lo, hi = span_of(members)
+            ref_values, ref_ranges = reference_answers(
+                batch.segments, [lo, (lo + hi) // 2, hi],
+                [(lo, hi, "avg")], group=group,
+            )
+            assert [
+                engine.value_at("k", t, group=group)
+                for t in (lo, (lo + hi) // 2, hi)
+            ] == ref_values
+            assert [engine.range_agg("k", lo, hi, "avg", group=group)] \
+                == ref_ranges
+
+
+# ----------------------------------------------------------------------
+# Query arithmetic against a naive per-chronon evaluation
+# ----------------------------------------------------------------------
+class TestQueryCorrectness:
+    def build(self, segments):
+        store = SessionStore(size=len(segments) + 1)
+        store.push("k", segments)
+        return QueryEngine(store)
+
+    def test_value_at_gaps_return_none(self):
+        engine = self.build(
+            [
+                AggregateSegment((), (1.0,), Interval(0, 2)),
+                AggregateSegment((), (2.0,), Interval(5, 6)),
+            ]
+        )
+        assert engine.value_at("k", 1) == (1.0,)
+        assert engine.value_at("k", 3) is None
+        assert engine.value_at("k", 4) is None
+        assert engine.value_at("k", 5) == (2.0,)
+        assert engine.value_at("k", 7) is None
+        assert engine.value_at("k", -1) is None
+
+    def test_range_agg_matches_per_chronon_reference(self):
+        stream = random_stream(60, seed=24, dimensions=2)
+        engine = self.build(stream)
+        by_chronon: dict[int, tuple[float, ...]] = {}
+        for segment in stream:
+            for t in segment.interval:
+                by_chronon[t] = segment.values
+        lo, hi = span_of(stream)
+        rng = random.Random(42)
+        for _ in range(25):
+            t1 = rng.randrange(lo - 2, hi + 1)
+            t2 = rng.randrange(t1, hi + 3)
+            covered = [by_chronon[t] for t in range(t1, t2 + 1)
+                       if t in by_chronon]
+            answer = engine.range_agg("k", t1, t2, "avg")
+            if not covered:
+                assert answer is None
+                continue
+            for d in range(2):
+                expected = sum(v[d] for v in covered) / len(covered)
+                assert answer[d] == pytest.approx(expected, rel=1e-12)
+            total = engine.range_agg("k", t1, t2, "sum")
+            for d in range(2):
+                assert total[d] == pytest.approx(
+                    sum(v[d] for v in covered), rel=1e-12
+                )
+            low = engine.range_agg("k", t1, t2, "min")
+            high = engine.range_agg("k", t1, t2, "max")
+            for d in range(2):
+                assert low[d] == min(v[d] for v in covered)
+                assert high[d] == max(v[d] for v in covered)
+
+    def test_partial_boundary_segments_are_clipped(self):
+        engine = self.build(
+            [
+                AggregateSegment((), (10.0,), Interval(0, 9)),
+                AggregateSegment((), (20.0,), Interval(10, 19)),
+            ]
+        )
+        # [5, 14]: five chronons at 10.0, five at 20.0.
+        assert engine.range_agg("k", 5, 14, "avg") == (15.0,)
+        assert engine.range_agg("k", 5, 14, "sum") == (150.0,)
+
+    def test_window_sweep(self):
+        engine = self.build(
+            [
+                AggregateSegment((), (4.0,), Interval(0, 3)),
+                AggregateSegment((), (8.0,), Interval(8, 11)),
+            ]
+        )
+        buckets = engine.window("k", 0, 11, 4)
+        assert [(b.start, b.end) for b in buckets] == [
+            (0, 3), (4, 7), (8, 11),
+        ]
+        assert buckets[0].values == (4.0,)
+        assert buckets[1].values is None  # entirely inside the gap
+        assert buckets[2].values == (8.0,)
+        # Last bucket clips to t2.
+        assert engine.window("k", 0, 9, 4)[-1].end == 9
+
+    def test_validation(self):
+        engine = self.build([AggregateSegment((), (1.0,), Interval(0, 0))])
+        with pytest.raises(ServiceError, match="fn must be"):
+            engine.range_agg("k", 0, 1, "median")
+        with pytest.raises(ServiceError, match="empty range"):
+            engine.range_agg("k", 5, 4)
+        with pytest.raises(ServiceError, match="stride"):
+            engine.window("k", 0, 5, 0)
+
+    def test_multi_group_requires_group_argument(self):
+        stream = random_stream(40, seed=25, groups=2)
+        engine = self.build(stream)
+        with pytest.raises(ServiceError, match="aggregation groups"):
+            engine.value_at("k", 0)
+        with pytest.raises(ServiceError, match="unknown group"):
+            engine.value_at("k", 0, group=("nope",))
+        assert sorted(engine.groups("k")) == [("g0",), ("g1",)]
+
+
+# ----------------------------------------------------------------------
+# Snapshot cache behaviour
+# ----------------------------------------------------------------------
+class TestSnapshotCache:
+    def test_cache_reused_between_pushes(self):
+        store = SessionStore(size=8)
+        engine = QueryEngine(store)
+        store.push("k", random_stream(30, seed=26))
+        engine.value_at("k", 5)
+        index_before = engine._index("k")
+        engine.range_agg("k", 0, 20)
+        assert engine._index("k") is index_before  # same generation, reused
+
+    def test_cache_invalidated_by_push(self):
+        store = SessionStore(size=8)
+        engine = QueryEngine(store)
+        stream = random_stream(40, seed=27, gap_probability=0.0)
+        store.push("k", stream[:20])
+        before = engine.range_agg("k", *span_of(stream[:20]))
+        index_before = engine._index("k")
+        store.push("k", stream[20:])
+        assert engine._index("k") is not index_before
+        after = engine.range_agg("k", *span_of(stream))
+        assert engine.cache_info()["k"] == store.generation("k")
+        assert before != after  # new data visible
+
+    def test_cache_spans_frozen_epochs(self):
+        store = SessionStore(size=6)
+        engine = QueryEngine(store)
+        stream = random_stream(40, seed=28, gap_probability=0.0)
+        store.push("k", stream[:20])
+        store.freeze("k")
+        store.push("k", stream[20:])
+        lo, hi = span_of(stream)
+        # Queries see both the frozen epoch and the live one.
+        assert engine.value_at("k", lo) is not None
+        assert engine.value_at("k", hi) is not None
+        assert engine.range_agg("k", lo, hi, "avg") is not None
