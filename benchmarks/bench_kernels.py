@@ -12,13 +12,14 @@ table:
   honesty);
 * greedy merging (GMS) over a materialised input, where the NumPy heap's
   batched insert computes all initial merge keys vectorized;
-* the online gPTAc loop under the batched online merge policy: the array
+* the online gPTAc loop under the fused batch-activation policy: the array
   heap stages whole chunks of incoming tuples (bulk column writes plus
-  vectorized raw merge keys) and activates them one at a time, so the
-  per-insert Python overhead is amortised per chunk while the reduction
-  stays bit-identical to tuple-at-a-time insertion.  This closed the online
-  gap of the array backend: at n >= 10k the numpy online path must be at
-  least as fast as the python heap (asserted below).
+  vectorized raw merge keys) and runs the whole activation-plus-drain loop
+  inside one heap kernel (``activate_staged_all``), bulk-activating the
+  spans where the merge policy provably cannot fire and falling back to
+  per-tuple interleaving only for the interacting remainder — bit-identical
+  to tuple-at-a-time insertion.  This turned the array backend's one-time
+  ~1.2x online edge into >=2x at n >= 10k (asserted below).
 
 Scale is controlled by ``REPRO_BENCH_SCALE``: the default ``tiny`` already
 uses the paper-sized n = 10 000 input for the DP row (about a minute of
@@ -124,13 +125,14 @@ def bench_kernels(benchmark):
         f"got {dp_speedup:.1f}x"
     )
 
-    # The batched online merge policy must have closed the online gap: at
-    # paper scale the array heap may no longer lose to the python heap on
-    # tuple-at-a-time streams.  (The smoke scale is too small for a stable
-    # ratio and only guards against import rot.)
+    # The fused batch-activation path must keep the online numpy loop at
+    # least twice as fast as the python heap at paper scale — the PR 5
+    # acceptance bar (measured ~2.3x; the old per-tuple activation sat at
+    # ~1.2x).  (The smoke scale is too small for a stable ratio and only
+    # guards against import rot.)
     if n >= 10_000:
-        assert online_speedup >= 1.0, (
-            f"numpy online path regressed below the python heap at n={n}: "
+        assert online_speedup >= 2.0, (
+            f"numpy online path fell below 2x the python heap at n={n}: "
             f"{online_speedup:.2f}x (python {python_run.seconds:.3f}s, "
             f"numpy {numpy_run.seconds:.3f}s)"
         )

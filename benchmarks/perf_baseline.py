@@ -83,7 +83,9 @@ def _pr1_heap_factory():
             self._heap = heap
 
         def __getattr__(self, name):
-            if name in ("stage_chunk", "insert_staged"):
+            if name in (
+                "stage_chunk", "insert_staged", "activate_staged_all"
+            ):
                 raise AttributeError(name)
             return getattr(self._heap, name)
 

@@ -19,16 +19,25 @@ Each :meth:`Compressor.summary` snapshot is **bit-identical** to running
 batch :func:`repro.compress` over the prefix pushed so far with the same
 parameters (asserted per prefix in ``tests/test_session.py``): the session
 holds the resumable :class:`~repro.core.greedy.OnlineReducer` state machine
-and finalises a clone of it, so the live online state is never disturbed.
-Snapshot cost is proportional to the *live heap size* (``c + β`` tuples),
-not to the stream length.
+and snapshots it non-destructively, so the live online state is never
+disturbed.
+
+Snapshots are **delta-based**: the reducer keeps a merge delta log of every
+committed insert/merge and patches a materialised mirror of the live
+relation, so a snapshot costs amortised O(changes since the last snapshot)
+plus the summary size — not O(live heap), let alone O(stream).  Snapshots
+are additionally cached per :attr:`Compressor.generation`, so repeated
+reads between pushes are free.  The clone-and-finalize path is retained as
+:meth:`Compressor.summary_oracle` — the reference the delta path is
+property-tested against (``tests/test_snapshot_delta.py``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Tuple, Union
 
 from ..core.greedy import GreedyResult, OnlineReducer
+from ..core.kernels import SnapshotColumns
 from ..core.merge import AggregateSegment
 from .plan import (
     Budget,
@@ -88,9 +97,18 @@ class Compressor:
             input_size_estimate=policy.input_size_estimate,
             max_error_estimate=policy.max_error_estimate,
             backend=policy.backend.value,
+            track_deltas=True,
         )
         self._final: Optional[Result] = None
         self._generation = 0
+        #: Per-generation snapshot cache: (generation, columns, stats,
+        #: lazily materialised Result).  Two reads at the same generation
+        #: share one snapshot; the Result's segment objects are only built
+        #: if summary() itself is called (the column-consuming serving
+        #: path never pays for them).
+        self._snapshot: Optional[
+            Tuple[int, SnapshotColumns, GreedyResult, Optional[Result]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Feeding
@@ -123,14 +141,73 @@ class Compressor:
         """Return the summary of everything pushed so far, non-destructively.
 
         Equivalent — bit for bit — to running batch ``compress`` over the
-        consumed prefix with the same parameters: the resumable online
-        state is cloned and the clone runs the end-of-input phase, so the
-        live session continues unaffected.  After :meth:`finalize` this
-        returns the final result.
+        consumed prefix with the same parameters, but computed on the
+        *delta path*: the reducer's merge delta log is replayed into a
+        materialised mirror of the live relation and the end-of-input phase
+        runs on the mirror, so the cost is amortised O(changes since the
+        last snapshot) plus the summary size.  Repeated calls at the same
+        :attr:`generation` return the cached result.  After
+        :meth:`finalize` this returns the final result.
+        """
+        if self._final is not None:
+            return self._final
+        generation, columns, stats, result = self._delta_snapshot()
+        if result is None:
+            if not stats.segments:
+                # Already populated on the tie-fallback oracle path.
+                stats.segments = columns.segments()
+            result = self._wrap(stats)
+            self._snapshot = (generation, columns, stats, result)
+        return result
+
+    def summary_columns(self) -> SnapshotColumns:
+        """The current summary in flat column form (the serving fast path).
+
+        Same snapshot as :meth:`summary` — same generation cache — but as
+        :class:`~repro.core.kernels.SnapshotColumns`, which the query layer
+        indexes directly; the per-segment objects of :meth:`summary` are
+        never materialised on this path.
+        """
+        if self._final is not None:
+            return self._final_columns()
+        return self._delta_snapshot()[1]
+
+    def summary_oracle(self) -> Result:
+        """The summary via the clone-and-finalize reference path.
+
+        Clones the resumable online state and runs the end-of-input phase
+        on the clone — O(live heap) per call.  This is the oracle the
+        delta-based :meth:`summary` is property-tested against; production
+        reads should use :meth:`summary`.
         """
         if self._final is not None:
             return self._final
         return self._wrap(self._reducer.clone().finalize())
+
+    def _delta_snapshot(
+        self,
+    ) -> Tuple[int, SnapshotColumns, GreedyResult, Optional[Result]]:
+        cached = self._snapshot
+        if cached is not None and cached[0] == self._generation:
+            return cached
+        stats, columns = self._reducer.snapshot(materialize=False)
+        snapshot = (self._generation, columns, stats, None)
+        self._snapshot = snapshot
+        return snapshot
+
+    def _final_columns(self) -> SnapshotColumns:
+        assert self._final is not None
+        cached = self._snapshot
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        columns = SnapshotColumns.from_segments(self._final.segments)
+        self._snapshot = (
+            self._generation,
+            columns,
+            GreedyResult(segments=self._final.segments),
+            self._final,
+        )
+        return columns
 
     def finalize(self) -> Result:
         """End the session and return the final summary.

@@ -24,6 +24,16 @@ heap smallest, ``δ = ∞`` makes the output identical to plain GMS
 The batch helpers :func:`gms_reduce_to_size` and :func:`gms_reduce_to_error`
 run GMS over a fully materialised segment list and are the reference the
 online algorithms are validated against.
+
+For sessions that snapshot mid-stream (``track_deltas=True``), the reducer
+additionally maintains a **merge delta log**: every committed insert and
+merge since the last snapshot is recorded in a compact column-oriented
+:class:`~repro.core.kernels.DeltaLog`, and :meth:`OnlineReducer.snapshot`
+patches a materialised :class:`~repro.core.kernels.SnapshotMirror` of the
+live relation with the log — amortised O(changes) per snapshot — before
+running the end-of-input phase on the mirror.  The clone-and-finalise path
+(:meth:`OnlineReducer.clone` + :meth:`OnlineReducer.finalize`) remains the
+oracle the delta path is property-tested against.
 """
 
 from __future__ import annotations
@@ -31,10 +41,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Iterable, List, Sequence
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import Weights, max_error, resolve_weights
-from .heap import make_merge_heap
+from .heap import Heap, make_merge_heap
+from .kernels import (
+    DeltaLog,
+    SnapshotColumns,
+    SnapshotMirror,
+    finalize_mirror,
+)
 from .merge import AggregateSegment, adjacent
 
 Delta = float  # non-negative int or math.inf
@@ -46,7 +62,7 @@ DELTA_INFINITY: Delta = math.inf
 #: chunked insertion (the array-backed heap).  A buffering knob only: the
 #: merge policy still observes every insertion individually, so results are
 #: identical for every value.
-ONLINE_CHUNK_SIZE = 256
+ONLINE_CHUNK_SIZE = 1024
 
 
 @dataclass
@@ -78,7 +94,7 @@ class GreedyResult:
     merges: int = 0
     input_size: int = 0
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[AggregateSegment]:
         return iter(self.segments)
 
 
@@ -151,21 +167,33 @@ class OnlineReducer:
     ``ε``, gPTAε) must be given.  The batch drivers
     :func:`greedy_reduce_to_size` / :func:`greedy_reduce_to_error` are thin
     loops over this class, and the push-based compression session
-    (:class:`repro.api.Compressor`) holds one instance across calls —
-    :meth:`clone` gives it a non-destructive way to finalise a snapshot
-    mid-stream with bit-identical results to a batch run over the same
-    prefix.
+    (:class:`repro.api.Compressor`) holds one instance across calls.
+
+    With ``track_deltas=True`` the reducer supports **delta-based
+    snapshots**: :meth:`snapshot` returns the summary of everything pushed
+    so far without consuming the reducer, in time amortised proportional to
+    the number of committed operations since the previous snapshot.  The
+    first snapshot materialises a :class:`~repro.core.kernels.SnapshotMirror`
+    of the live relation; from then on every committed insert/merge is also
+    appended to a :class:`~repro.core.kernels.DeltaLog` which the next
+    snapshot replays into the mirror.  If the log ever outgrows the live
+    heap (a long snapshot-free stretch), it is discarded and the mirror is
+    rebuilt from the heap, which bounds both memory and patch time.
+    :meth:`clone` + :meth:`finalize` remain the reference snapshot path —
+    bit-identical to :meth:`snapshot` up to the ordering of exactly equal
+    merge keys — and is what the delta path is property-tested against.
     """
 
     def __init__(
         self,
-        size: int | None = None,
-        max_error: float | None = None,
+        size: Optional[int] = None,
+        max_error: Optional[float] = None,
         delta: Delta = 1,
         weights: Weights | None = None,
-        input_size_estimate: int | None = None,
-        max_error_estimate: float | None = None,
+        input_size_estimate: Optional[int] = None,
+        max_error_estimate: Optional[float] = None,
         backend: str = "python",
+        track_deltas: bool = False,
     ) -> None:
         if (size is None) == (max_error is None):
             raise ValueError("provide exactly one of 'size' and 'max_error'")
@@ -180,8 +208,9 @@ class OnlineReducer:
         self._epsilon = max_error
         self._delta = delta
         self._weights = weights
-        self.heap = make_merge_heap(weights, backend)
-        self._tracker = (
+        self._backend = backend
+        self.heap: Heap = make_merge_heap(weights, backend)
+        self._tracker: Optional[_MaxErrorTracker] = (
             _MaxErrorTracker(weights) if max_error is not None else None
         )
         if (
@@ -201,6 +230,11 @@ class OnlineReducer:
         self.merges = 0
         self.consumed = 0
         self._finalized = False
+        self._track_deltas = track_deltas
+        #: Both are created together by the first :meth:`snapshot` call;
+        #: recording into the log only happens while a mirror exists.
+        self._log: Optional[DeltaLog] = None
+        self._mirror: Optional[SnapshotMirror] = None
 
     # ------------------------------------------------------------------
     # Feeding the stream
@@ -209,31 +243,85 @@ class OnlineReducer:
         """Consume one ITA tuple: insert it and drain eligible merges."""
         self._check_open()
         node = self.heap.insert(segment)
-        self._observe(node.id, node.key, segment)
+        key = node.key
+        if self._log is not None:
+            self._log.record_insert(
+                node.id,
+                segment.interval.start,
+                segment.interval.end,
+                segment.group,
+                segment.values,
+                key,
+            )
+        self._observe(node.id, key, segment)
+        if self._log is not None:
+            self._trim_log()
 
     def push_chunk(self, segments: Sequence[AggregateSegment]) -> None:
         """Consume a chunk of tuples through the staged-insert fast path.
 
-        On heaps exposing the staged-chunk protocol (the array-backed NumPy
-        heap) the chunk is bulk-written with its raw merge keys precomputed
-        vectorized (``stage_chunk``), then each tuple is activated
-        individually with ``insert_staged``.  Activations interleave with
-        the merge draining exactly like plain ``insert`` calls, so the
-        reduction is bit-identical to pushing tuple by tuple — only the
-        per-insert bookkeeping is amortised per chunk (the batched online
-        merge policy).
+        On the array-backed NumPy heap the chunk is bulk-written with its
+        raw merge keys precomputed vectorized (``stage_chunk``) and the
+        whole activation-plus-drain loop runs fused inside the heap
+        (``activate_staged_all``), bulk-activating the spans where the
+        merge policy provably cannot fire and interleaving activations
+        with merges tuple by tuple everywhere else — bit-identical to
+        pushing tuple by tuple, with the per-insert Python overhead
+        amortised per chunk (the batched online merge policy).  Heaps that
+        only expose the staged protocol activate one tuple at a time;
+        plain heaps fall back to per-tuple ``insert``.
         """
         self._check_open()
         heap = self.heap
-        if hasattr(heap, "stage_chunk"):
-            heap.stage_chunk(segments)
+        activate = getattr(heap, "activate_staged_all", None)
+        if activate is not None:
+            if not segments:
+                return
+            heap.stage_chunk(segments)  # type: ignore[attr-defined]
+            tracker = self._tracker
+            if tracker is not None:
+                for segment in segments:
+                    tracker.push(segment)
+            self.consumed += len(segments)
+            (
+                self._last_gap_id,
+                self._before_gap,
+                self._after_gap,
+                self.total_error,
+                self.merges,
+            ) = activate(
+                size=self._size,
+                step_threshold=self._step_threshold,
+                delta=self._delta,
+                last_gap_id=self._last_gap_id,
+                before_gap=self._before_gap,
+                after_gap=self._after_gap,
+                total_error=self.total_error,
+                merges=self.merges,
+                log=self._log,
+            )
+            if self._log is not None:
+                self._trim_log()
+        elif hasattr(heap, "stage_chunk"):
+            heap.stage_chunk(segments)  # type: ignore[attr-defined]
+            log = self._log
             for segment in segments:
-                node_id, key = heap.insert_staged()
+                node_id, key = heap.insert_staged()  # type: ignore[attr-defined]
+                if log is not None:
+                    log.record_insert(
+                        node_id,
+                        segment.interval.start,
+                        segment.interval.end,
+                        segment.group,
+                        segment.values,
+                        key,
+                    )
                 self._observe(node_id, key, segment)
+            if log is not None:
+                self._trim_log()
         else:
             for segment in segments:
-                node = heap.insert(segment)
-                self._observe(node.id, node.key, segment)
+                self.push(segment)
 
     def extend(self, source: Iterable[AggregateSegment]) -> None:
         """Drive an entire iterable through the reducer.
@@ -273,9 +361,16 @@ class OnlineReducer:
             self._drain_error_bounded()
 
     def _drain_size_bounded(self) -> None:
-        """Merge while over the size bound and a merge is safe (Fig. 11)."""
+        """Merge while over the size bound and a merge is safe (Fig. 11).
+
+        This policy loop and the fused chunk loop in
+        :meth:`repro.core.kernels.NumpyMergeHeap.activate_staged_all` must
+        be kept in lockstep; the parity suites compare the two paths on
+        randomized streams.
+        """
         heap = self.heap
         size = self._size
+        assert size is not None
         while len(heap) > size:
             top = heap.peek_entry()
             if top is None:
@@ -290,11 +385,15 @@ class OnlineReducer:
             else:
                 break
             self.total_error += top_key
-            heap.merge_top()
+            self._merge_top_logged(top_id)
             self.merges += 1
 
     def _drain_error_bounded(self) -> None:
-        """Merge while under the expected-average-error step (Fig. 13)."""
+        """Merge while under the expected-average-error step (Fig. 13).
+
+        Kept in lockstep with ``activate_staged_all`` exactly like
+        :meth:`_drain_size_bounded`.
+        """
         heap = self.heap
         while True:
             top = heap.peek_entry()
@@ -310,8 +409,52 @@ class OnlineReducer:
             else:
                 break
             self.total_error += top_key
-            heap.merge_top()
+            self._merge_top_logged(top_id)
             self.merges += 1
+
+    def _trim_log(self) -> None:
+        """Drop the delta state once the log outgrows the live relation.
+
+        A push-heavy stretch with no snapshots would otherwise grow the
+        log linearly in the stream length; once replaying it would cost
+        more than rebuilding the mirror from the heap, recording is
+        pointless — drop both and stop recording until the next snapshot
+        re-materialises them.  This bounds delta-log memory by the live
+        heap size at all times, not just at snapshot boundaries.
+        """
+        log = self._log
+        if log is not None and self._log_overflown(log):
+            self._log = None
+            self._mirror = None
+
+    def _log_overflown(self, log: DeltaLog) -> bool:
+        """Whether replaying ``log`` would cost more than a mirror rebuild.
+
+        The single definition of the overflow threshold, shared by the
+        mid-push trim and the snapshot-time rebuild decision so the two
+        guards cannot drift apart.
+        """
+        return len(log) > 2 * max(len(self.heap), 256)
+
+    def _merge_top_logged(self, absorbed_id: int) -> None:
+        """Perform one ``merge_top``, recording it in the delta log."""
+        heap = self.heap
+        survivor = heap.merge_top()
+        log = self._log
+        if log is not None:
+            successor = heap.successor_entry(survivor)
+            if successor is None:
+                successor_id, successor_key = -1, math.inf
+            else:
+                successor_id, successor_key = successor
+            log.record_merge(
+                absorbed_id,
+                survivor.id,
+                heap.values_entry(survivor),
+                survivor.key,
+                successor_id,
+                successor_key,
+            )
 
     # ------------------------------------------------------------------
     # End of input
@@ -323,11 +466,13 @@ class OnlineReducer:
         the exact ``SSE_max`` of the consumed input is now known, so plain
         greedy merging continues while the accumulated error stays within
         ``ε · SSE_max``.  The reducer is consumed — further ``push`` calls
-        raise :class:`RuntimeError`; take a :meth:`clone` first to keep the
-        live state (that is how ``Compressor.summary()`` snapshots work).
+        raise :class:`RuntimeError`; take a :meth:`clone` first (or use
+        :meth:`snapshot`) to keep the live state.
         """
         self._check_open()
         self._finalized = True
+        self._log = None
+        self._mirror = None
         heap = self.heap
         if self._size is not None:
             while len(heap) > self._size:
@@ -339,6 +484,7 @@ class OnlineReducer:
                 self.merges += 1
         else:
             assert self._tracker is not None
+            assert self._epsilon is not None
             threshold = self._epsilon * self._tracker.total()
             while True:
                 top = heap.peek_entry()
@@ -351,12 +497,81 @@ class OnlineReducer:
                 self.merges += 1
         return _result(heap, self.total_error, self.merges, self.consumed)
 
+    def snapshot(
+        self, materialize: bool = True
+    ) -> Tuple[GreedyResult, SnapshotColumns]:
+        """Summary of everything pushed so far, without consuming the state.
+
+        The delta path: the first call materialises a mirror of the live
+        intermediate relation (O(heap)); every later call replays the
+        delta log into the mirror (amortised O(changes since the last
+        snapshot)) and runs the end-of-input phase on the mirror —
+        bit-identical to ``clone().finalize()`` (the oracle path) up to
+        the ordering of exactly equal merge keys, at a cost proportional
+        to the delta plus the summary size instead of the whole heap.
+
+        Returns both the :class:`GreedyResult` and the snapshot in flat
+        column form (what the serving layer's query index consumes).
+        With ``materialize=False`` the result's ``segments`` list is left
+        empty — callers that only consume the columns (the serving layer)
+        skip the per-segment object construction entirely.
+        """
+        self._check_open()
+        if not self._track_deltas:
+            raise RuntimeError(
+                "snapshot() requires an OnlineReducer created with "
+                "track_deltas=True; use clone().finalize() otherwise"
+            )
+        heap = self.heap
+        mirror = self._mirror
+        log = self._log
+        if mirror is None or log is None or self._log_overflown(log):
+            # First snapshot, or the log outgrew the live relation (a long
+            # snapshot-free stretch): rebuilding is cheaper than patching.
+            self._mirror = mirror = SnapshotMirror.from_heap(heap)
+            self._log = DeltaLog()
+        else:
+            mirror.apply(log)
+            log.clear()
+        threshold: Optional[float] = None
+        if self._epsilon is not None:
+            assert self._tracker is not None
+            threshold = self._epsilon * self._tracker.clone().total()
+        tail = finalize_mirror(
+            mirror,
+            size=self._size,
+            error_threshold=threshold,
+            total_error=self.total_error,
+            backend=self._backend,
+            weights=self._weights,
+        )
+        if tail is None:
+            # The tail hit an exact merge-key tie, where the mirror's
+            # chronological tie-breaking could diverge from the oracle's
+            # historical counters: take the oracle path for this snapshot
+            # (the mirror and the emptied log remain valid for the next).
+            oracle = self.clone().finalize()
+            return oracle, SnapshotColumns.from_segments(oracle.segments)
+        columns, error, tail_merges = tail
+        result = GreedyResult(
+            segments=columns.segments() if materialize else [],
+            error=error,
+            size=len(columns),
+            max_heap_size=self.heap.max_size,
+            merges=self.merges + tail_merges,
+            input_size=self.consumed,
+        )
+        return result, columns
+
     def clone(self) -> "OnlineReducer":
         """Deep-copy the resumable state (heap, gap bookkeeping, tracker).
 
         The clone behaves bit-identically to the original under any further
         operation sequence, so finalising the clone yields exactly what
-        finalising the original would — without consuming it.
+        finalising the original would — without consuming it.  The clone
+        starts with a fresh (empty) snapshot mirror: its first
+        :meth:`snapshot` rebuilds from its own heap, so cloning mid-log
+        never aliases delta state with the original.
         """
         self._check_open()
         other = OnlineReducer.__new__(OnlineReducer)
@@ -364,6 +579,7 @@ class OnlineReducer:
         other._epsilon = self._epsilon
         other._delta = self._delta
         other._weights = self._weights
+        other._backend = self._backend
         other.heap = self.heap.clone()
         other._tracker = (
             self._tracker.clone() if self._tracker is not None else None
@@ -376,6 +592,9 @@ class OnlineReducer:
         other.merges = self.merges
         other.consumed = self.consumed
         other._finalized = False
+        other._track_deltas = self._track_deltas
+        other._log = None
+        other._mirror = None
         return other
 
     def _check_open(self) -> None:
@@ -426,8 +645,8 @@ def greedy_reduce_to_error(
     epsilon: float,
     delta: Delta = 1,
     weights: Weights | None = None,
-    input_size_estimate: int | None = None,
-    max_error_estimate: float | None = None,
+    input_size_estimate: Optional[int] = None,
+    max_error_estimate: Optional[float] = None,
     backend: str = "python",
 ) -> GreedyResult:
     """Online error-bounded greedy reduction (algorithm ``gPTAε``, Fig. 13).
@@ -471,10 +690,10 @@ def _build_heap(
     segments: Sequence[AggregateSegment],
     weights: Weights | None,
     backend: str = "python",
-):
+) -> Heap:
     heap = make_merge_heap(weights, backend)
     if hasattr(heap, "insert_batch"):
-        heap.insert_batch(list(segments))
+        heap.insert_batch(list(segments))  # type: ignore[attr-defined]
     else:
         for segment in segments:
             heap.insert(segment)
@@ -482,7 +701,7 @@ def _build_heap(
 
 
 def _result(
-    heap, error: float, merges: int, input_size: int
+    heap: Heap, error: float, merges: int, input_size: int
 ) -> GreedyResult:
     segments = heap.segments()
     return GreedyResult(
@@ -503,7 +722,7 @@ def _check_delta(delta: Delta) -> None:
         )
 
 
-def _has_read_ahead(heap, handle, delta: Delta) -> bool:
+def _has_read_ahead(heap: Heap, handle: Any, delta: Delta) -> bool:
     """Check the δ read-ahead heuristic for a merge candidate.
 
     ``handle`` is whatever the heap's ``peek_entry`` returned as its first
@@ -528,7 +747,7 @@ class _MaxErrorTracker:
 
     def __init__(self, weights: Weights | None) -> None:
         self._weights = weights
-        self._previous: AggregateSegment | None = None
+        self._previous: Optional[AggregateSegment] = None
         self._length = 0.0
         self._sums: List[float] = []
         self._square_sums: List[float] = []

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Iterator, List, Optional, Protocol, Tuple
+from typing import Any, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 from .errors import Weights, pairwise_merge_error
 from .merge import AggregateSegment, adjacent, merge
@@ -78,6 +78,10 @@ class Heap(Protocol):
     def merge_top(self) -> HeapNodeView: ...
 
     def adjacent_successor_count(self, node: Any, limit: int) -> int: ...
+
+    def successor_entry(self, node: Any) -> Optional[Tuple[int, float]]: ...
+
+    def values_entry(self, node: Any) -> Sequence[float]: ...
 
     def segments(self) -> List[AggregateSegment]: ...
 
@@ -287,6 +291,23 @@ class MergeHeap:
             count += 1
             current = current.next
         return count
+
+    def successor_entry(
+        self, node: HeapNode
+    ) -> Optional[Tuple[int, float]]:
+        """``(id, key)`` of the chronological successor, or ``None``.
+
+        Used by the merge delta log to record the successor's refreshed
+        key right after a merge, without materialising a node view.
+        """
+        successor = node.next
+        if successor is None:
+            return None
+        return successor.id, successor.key
+
+    def values_entry(self, node: HeapNode) -> Tuple[float, ...]:
+        """The node's aggregate value row (immutable, by reference)."""
+        return node.segment.values
 
     def __iter__(self) -> Iterator[HeapNode]:
         """Iterate over live nodes in chronological (list) order."""

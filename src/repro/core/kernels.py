@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -204,7 +204,10 @@ def pairwise_merge_keys(
     The vectorized pairwise form of Proposition 2 —
     ``l·r/(l+r) · Σ_d w²_d (v_l − v_r)²`` — with exactly the floating-point
     operation order of the scalar key refresh, so keys computed in batch are
-    bit-identical to keys computed one at a time.
+    bit-identical to keys computed one at a time.  The dimension sum is
+    accumulated sequentially (one fused pass per dimension) to mirror the
+    scalar loop of :meth:`NumpyMergeHeap._refresh_key`; only the rows are
+    vectorized.
     """
     if len(starts) < 2:
         return np.zeros(0, dtype=np.float64)
@@ -212,8 +215,10 @@ def pairwise_merge_keys(
     left_len = (ends[:-1] - starts[:-1] + 1).astype(np.float64)
     right_len = (ends[1:] - starts[1:] + 1).astype(np.float64)
     factor = left_len * right_len / (left_len + right_len)
-    diff = values[:-1] - values[1:]
-    pair = (w2 * factor[:, None] * diff * diff).sum(axis=1)
+    pair = np.zeros(len(factor), dtype=np.float64)
+    for d in range(values.shape[1]):
+        diff = values[:-1, d] - values[1:, d]
+        pair += (w2[d] * factor) * diff * diff
     return np.where(adjacent, pair, math.inf)
 
 
@@ -276,9 +281,11 @@ class NumpyMergeHeap:
     ``_start`` / ``_end``
         interval endpoints;
     ``_values``
-        length-weighted mean aggregate values, a ``float64`` array of shape
-        ``(capacity, p)`` — the only column that stays a NumPy array, so the
-        ``p``-dimensional merge arithmetic is vectorized per row;
+        length-weighted mean aggregate values, one immutable row (tuple or
+        list of ``p`` floats) per tuple.  Rows are *rebound*, never mutated
+        in place, so a row reference taken at any point stays valid forever
+        (the merge delta log exploits this to record merged values by
+        reference);
     ``_group``
         dense integer group ids (arbitrary group tuples are interned);
     ``_prev`` / ``_next``
@@ -286,11 +293,15 @@ class NumpyMergeHeap:
     ``_key`` / ``_version`` / ``_alive``
         merge-with-predecessor error, lazy-deletion stamp and liveness.
 
-    The scalar columns are Python lists rather than arrays: the online merge
-    loop is dominated by single-element reads and writes, where list indexing
-    is several times faster than NumPy scalar indexing, while every bulk
-    operation (batch key computation, staged chunks, compaction) still runs
-    on arrays built from whole columns at once.
+    All columns are Python lists rather than arrays: the online merge loop
+    is dominated by single-element reads and writes, where list indexing is
+    several times faster than NumPy scalar indexing, and at the typical
+    ``p ≤ 16`` even the per-row value arithmetic is faster as a scalar loop
+    than as NumPy row expressions (measured ~3× at ``p = 10``).  Bulk
+    operations (batch key computation, staged chunks) still run vectorized
+    on arrays built from the incoming segments, with the dimension sums
+    accumulated sequentially so batch keys stay bit-identical to scalar
+    keys.
 
     The priority queue is a :mod:`heapq` binary heap of
     ``(key, counter, index, version)`` entries; stale entries are skipped
@@ -336,9 +347,14 @@ class NumpyMergeHeap:
         self._w2 = (
             np.asarray(resolve_weights(self._weights, dimensions)) ** 2
         )
-        capacity = self._INITIAL_CAPACITY
-        self._capacity = capacity
-        self._values = np.zeros((capacity, dimensions), dtype=np.float64)
+        self._w2l: List[float] = self._w2.tolist()
+        self._capacity = self._INITIAL_CAPACITY
+        self._values: List[Sequence[float]] = []
+        #: Interval lengths as floats (exact — lengths are small integers),
+        #: maintained alongside the endpoints so the merge arithmetic never
+        #: recomputes ``end - start + 1``.  A merged row's length is the sum
+        #: of its parts, bit-identical to recomputing from the endpoints.
+        self._length: List[float] = []
         self._start: List[int] = []
         self._end: List[int] = []
         self._group: List[int] = []
@@ -362,6 +378,11 @@ class NumpyMergeHeap:
             return
         if self._size <= self._capacity // 2:
             self._compact()
+            # Leave headroom proportional to the live size after compacting
+            # (capacity ≥ 2× the post-compaction occupancy): steady-state
+            # streams then compact every ~live-size tuples instead of every
+            # few chunks, while memory stays bounded by the live heap.
+            self._grow(2 * (self._count + extra))
         if self._count + extra > self._capacity:
             self._grow(self._count + extra)
 
@@ -379,7 +400,8 @@ class NumpyMergeHeap:
             self._key = [self._key[i] for i in order]
             self._version = [self._version[i] for i in order]
             self._node_id = [self._node_id[i] for i in order]
-            self._values[:count] = self._values[np.asarray(order, np.int64)]
+            self._values = [self._values[i] for i in order]
+            self._length = [self._length[i] for i in order]
             self._prev = list(range(-1, count - 1))
             self._next = list(range(1, count + 1))
             self._next[-1] = -1
@@ -408,6 +430,8 @@ class NumpyMergeHeap:
             self._version = []
             self._alive = []
             self._node_id = []
+            self._values = []
+            self._length = []
             self._group_keys = []
             self._group_ids = {}
         self._head = 0 if count else -1
@@ -423,19 +447,25 @@ class NumpyMergeHeap:
         # surviving keys.  Re-pushing in chronological order can reorder
         # *exactly equal* keys relative to the reference heap's push order —
         # for such ties either merge is a valid greedy step of equal error.
-        self._entries = []
+        counter = self._entry_counter
+        key = self._key
+        version = self._version
+        entries = []
         for index in range(count):
-            if not math.isinf(self._key[index]):
-                self._push_entry(index)
+            entry_key = key[index]
+            if entry_key != math.inf:
+                counter += 1
+                entries.append((entry_key, counter, index, version[index]))
+        heapq.heapify(entries)
+        self._entry_counter = counter
+        self._entries = entries
 
     def _grow(self, needed: int) -> None:
+        # The columns are plain lists, so growing is just raising the
+        # capacity watermark that drives the compaction cadence.
         capacity = self._capacity
         while capacity < needed:
             capacity *= 2
-        extra = capacity - self._capacity
-        self._values = np.concatenate(
-            [self._values, np.zeros((extra, self._dimensions), np.float64)]
-        )
         self._capacity = capacity
 
     def _intern_group(self, group: tuple) -> int:
@@ -505,7 +535,7 @@ class NumpyMergeHeap:
         starts = np.asarray(self._start[first:last], dtype=np.int64)
         ends = np.asarray(self._end[first:last], dtype=np.int64)
         groups = np.asarray(self._group[first:last], dtype=np.int64)
-        values = self._values[first:last]
+        values = np.asarray(self._values[first:last], dtype=np.float64)
 
         # Rows after the first have their predecessor inside the batch; the
         # first row's predecessor is whatever the tail was before the batch.
@@ -514,13 +544,7 @@ class NumpyMergeHeap:
         key_list = keys.tolist()
         predecessor = self._prev[first]
         if predecessor >= 0 and self._is_adjacent(predecessor, first):
-            left_length = float(
-                self._end[predecessor] - self._start[predecessor] + 1
-            )
-            right_length = float(self._end[first] - self._start[first] + 1)
-            factor0 = left_length * right_length / (left_length + right_length)
-            diff0 = self._values[predecessor] - self._values[first]
-            key_list[0] = float((self._w2 * factor0 * diff0 * diff0).sum())
+            key_list[0] = self._pair_key(predecessor, first)
         for offset, key in enumerate(key_list):
             index = first + offset
             self._key[index] = key
@@ -565,9 +589,11 @@ class NumpyMergeHeap:
             (s.interval.start for s in segments), np.int64, count
         )
         ends = np.fromiter((s.interval.end for s in segments), np.int64, count)
+        rows = [s.values for s in segments]
         self._start.extend(starts.tolist())
         self._end.extend(ends.tolist())
-        self._values[base : base + count] = [s.values for s in segments]
+        self._length.extend((ends - starts + 1).astype(np.float64).tolist())
+        self._values.extend(rows)
         last_group: tuple | None = None
         last_group_id = -1
         for segment in segments:
@@ -592,8 +618,9 @@ class NumpyMergeHeap:
         if count > 1:
             groups = np.asarray(self._group[base : base + count], np.int64)
             keys[1:] = pairwise_merge_keys(
-                starts, ends, self._values[base : base + count], groups,
-                self._w2,
+                starts, ends,
+                np.asarray(rows, dtype=np.float64),
+                groups, self._w2,
             )
         self._staged_base = base
         self._staged_end = base + count
@@ -651,6 +678,402 @@ class NumpyMergeHeap:
                 "insert_staged() before inserting directly"
             )
 
+    def activate_staged_all(
+        self,
+        *,
+        size: Optional[int] = None,
+        step_threshold: float = 0.0,
+        delta: float = 1,
+        last_gap_id: int = 0,
+        before_gap: int = 0,
+        after_gap: int = 0,
+        total_error: float = 0.0,
+        merges: int = 0,
+        log: "Optional[DeltaLog]" = None,
+    ) -> Tuple[int, int, int, float, int]:
+        """Activate every pending staged tuple, draining merges in between.
+
+        The fused form of the online inner loop: activates the staged chunk
+        tuple by tuple and runs the merge policy of the paper's Fig. 11
+        (``size`` given, gPTAc) or Fig. 13 (``step_threshold``, gPTAε)
+        after each activation, exactly as
+        :class:`repro.core.greedy.OnlineReducer` does through the
+        ``insert_staged`` / ``peek_entry`` / ``merge_top`` protocol — but
+        with every column aliased to a local and the per-dimension
+        arithmetic inlined, which removes the per-tuple method-dispatch and
+        row-view overhead that dominated the staged path.  The observable
+        heap state, the gap bookkeeping and the accumulated error are
+        bit-identical to the per-tuple protocol (asserted by the session
+        and kernel parity suites); the policy logic here and in
+        ``OnlineReducer._drain_size_bounded`` / ``_drain_error_bounded``
+        must be kept in lockstep.
+
+        Two *no-interaction* fast paths activate tuples in bulk (slice
+        writes for the linking and liveness columns) because no merge can
+        possibly fire between their activations:
+
+        * size-bounded: the prefix that fits under the size budget — the
+          drain only runs while the heap exceeds ``size``;
+        * error-bounded: the whole chunk, when neither the current frontier
+          (top of the heap) nor any staged merge key can beat the
+          ``step_threshold`` — no key below the threshold can appear
+          without a merge happening first.
+
+        Returns the updated ``(last_gap_id, before_gap, after_gap,
+        total_error, merges)`` bookkeeping.  When ``log`` is given, every
+        committed insert and merge is appended to it in commit order.
+        """
+        first = self._count
+        stop = self._staged_end
+        if first >= stop:
+            return last_gap_id, before_gap, after_gap, total_error, merges
+        offset = self._staged_base
+        assert self._staged_keys is not None
+        skeys = self._staged_keys.tolist()
+
+        # Local aliases of every column touched by the hot loop.
+        start = self._start
+        end = self._end
+        group = self._group
+        prev_ = self._prev
+        next_ = self._next
+        key = self._key
+        version = self._version
+        alive = self._alive
+        node_id = self._node_id
+        values = self._values
+        length = self._length
+        w2l = self._w2l
+        entries = self._entries
+        push = heapq.heappush
+        pop = heapq.heappop
+        counter = self._entry_counter
+        live = self._size
+        max_size = self.max_size
+        head = self._head
+        tail = self._tail
+        inf = math.inf
+        size_bounded = size is not None
+        delta_is_inf = delta == math.inf
+        delta_is_one = delta == 1
+        delta_int = 0 if delta_is_inf else int(delta)
+        group_keys = self._group_keys
+        record_insert = log.record_insert if log is not None else None
+        record_merge = log.record_merge if log is not None else None
+
+        # Staged rows are fresh (version 0, unlinked, unreachable until
+        # activated), so liveness and the activation version bump can be
+        # written for the whole span up front with two slice assignments.
+        alive[first:stop] = [True] * (stop - first)
+        version[first:stop] = [1] * (stop - first)
+
+        # One-shot no-interaction detection for the error-bounded policy:
+        # when neither the current frontier nor any staged key can beat the
+        # step threshold, no merge can fire anywhere in this chunk (keys
+        # only change through merges), so the whole chunk bulk-activates.
+        error_bulk = False
+        if not size_bounded:
+            top_key = None
+            while entries:
+                entry_key, _, entry_index, entry_version = entries[0]
+                if (
+                    alive[entry_index]
+                    and version[entry_index] == entry_version
+                    and key[entry_index] == entry_key
+                ):
+                    top_key = entry_key
+                    break
+                pop(entries)
+            chunk_min = inf
+            for position in range(first, stop):
+                staged = skeys[position - offset]
+                if staged != staged:  # NaN = resolve against the predecessor
+                    predecessor = tail if position == first else position - 1
+                    if (
+                        predecessor >= 0
+                        and group[predecessor] == group[position]
+                        and end[predecessor] + 1 == start[position]
+                    ):
+                        staged = self._pair_key(predecessor, position)
+                    else:
+                        staged = inf
+                    skeys[position - offset] = staged
+                if staged < chunk_min:
+                    chunk_min = staged
+            error_bulk = (
+                top_key is None or top_key > step_threshold
+            ) and chunk_min > step_threshold
+
+        index = first
+        while index < stop:
+            # ----------------------------------------------------------
+            # Bulk-activate the no-interaction span starting here.
+            # ----------------------------------------------------------
+            if size_bounded:
+                bulk = min(stop - index, size - live) if live < size else 0
+            else:
+                bulk = stop - index if error_bulk else 0
+            if bulk:
+                span = range(index, index + bulk)
+                prev_[index : index + bulk] = range(
+                    index - 1, index + bulk - 1
+                )
+                previous_tail = tail
+                prev_[index] = previous_tail
+                next_[index : index + bulk] = range(index + 1, index + bulk + 1)
+                next_[index + bulk - 1] = -1
+                if previous_tail >= 0:
+                    next_[previous_tail] = index
+                else:
+                    head = index
+                tail = index + bulk - 1
+                live += bulk
+                if live > max_size:
+                    max_size = live
+                for position in span:
+                    activation_key = skeys[position - offset]
+                    if activation_key != activation_key:
+                        predecessor = (
+                            previous_tail if position == index else position - 1
+                        )
+                        if (
+                            predecessor >= 0
+                            and group[predecessor] == group[position]
+                            and end[predecessor] + 1 == start[position]
+                        ):
+                            activation_key = self._pair_key(
+                                predecessor, position
+                            )
+                        else:
+                            activation_key = inf
+                    key[position] = activation_key
+                    if activation_key != inf:
+                        counter += 1
+                        push(
+                            entries,
+                            (activation_key, counter, position, 1),
+                        )
+                        after_gap += 1
+                    else:
+                        last_gap_id = node_id[position]
+                        before_gap += after_gap
+                        after_gap = 1
+                    if record_insert is not None:
+                        record_insert(
+                            node_id[position],
+                            start[position],
+                            end[position],
+                            group_keys[group[position]],
+                            values[position],
+                            activation_key,
+                        )
+                index += bulk
+                continue
+
+            # ----------------------------------------------------------
+            # Interacting tuple: activate it, then drain eligible merges.
+            # ----------------------------------------------------------
+            previous = tail
+            prev_[index] = previous
+            if previous >= 0:
+                next_[previous] = index
+            else:
+                head = index
+            tail = index
+            live += 1
+            if live > max_size:
+                max_size = live
+            activation_key = skeys[index - offset]
+            if activation_key != activation_key or previous != index - 1:
+                # NaN sentinel, or the staged predecessor was disturbed by
+                # a merge: recompute against the live tail.
+                if (
+                    previous >= 0
+                    and group[previous] == group[index]
+                    and end[previous] + 1 == start[index]
+                ):
+                    activation_key = self._pair_key(previous, index)
+                else:
+                    activation_key = inf
+            key[index] = activation_key
+            if activation_key != inf:
+                counter += 1
+                push(entries, (activation_key, counter, index, 1))
+                after_gap += 1
+            else:
+                last_gap_id = node_id[index]
+                before_gap += after_gap
+                after_gap = 1
+            if record_insert is not None:
+                record_insert(
+                    node_id[index],
+                    start[index],
+                    end[index],
+                    group_keys[group[index]],
+                    values[index],
+                    activation_key,
+                )
+
+            # Drain: one iteration per committed merge.
+            while True:
+                if size_bounded and live <= size:
+                    break
+                top_index = -1
+                while entries:
+                    entry_key, _, entry_index, entry_version = entries[0]
+                    if (
+                        alive[entry_index]
+                        and version[entry_index] == entry_version
+                        and key[entry_index] == entry_key
+                    ):
+                        top_index = entry_index
+                        top_key = entry_key
+                        break
+                    pop(entries)
+                if top_index < 0:
+                    break
+                if not size_bounded and top_key > step_threshold:
+                    break
+                top_node = node_id[top_index]
+                if top_node < last_gap_id:
+                    if size_bounded and before_gap < size:
+                        break
+                    before_gap -= 1
+                elif top_node > last_gap_id:
+                    if delta_is_one:
+                        successor = next_[top_index]
+                        if (
+                            successor < 0
+                            or group[top_index] != group[successor]
+                            or end[top_index] + 1 != start[successor]
+                        ):
+                            break
+                    elif delta_is_inf:
+                        break
+                    elif delta_int:
+                        count = 0
+                        cursor = top_index
+                        while count < delta_int:
+                            successor = next_[cursor]
+                            if (
+                                successor < 0
+                                or group[cursor] != group[successor]
+                                or end[cursor] + 1 != start[successor]
+                            ):
+                                break
+                            count += 1
+                            cursor = successor
+                        if count < delta_int:
+                            break
+                    after_gap -= 1
+                else:
+                    break
+                total_error += top_key
+                merges += 1
+                # The winning entry is consumed by this merge: pop it now
+                # instead of leaving it to go stale (same heap contents,
+                # one fewer lazy validity round per merge).
+                pop(entries)
+
+                # Inline merge_top: fold the top into its predecessor.
+                predecessor = prev_[top_index]
+                left_length = length[predecessor]
+                right_length = length[top_index]
+                length_sum = left_length + right_length
+                merged_row = [
+                    (left_length * a + right_length * b) / length_sum
+                    for a, b in zip(values[predecessor], values[top_index])
+                ]
+                values[predecessor] = merged_row
+                end[predecessor] = end[top_index]
+                length[predecessor] = length_sum
+                successor = next_[top_index]
+                next_[predecessor] = successor
+                if successor >= 0:
+                    prev_[successor] = predecessor
+                else:
+                    tail = predecessor
+                alive[top_index] = False
+                live -= 1
+
+                # Refresh the predecessor's key, then the successor's —
+                # the same order (and entry-counter order) as merge_top.
+                before = prev_[predecessor]
+                if (
+                    before >= 0
+                    and group[before] == group[predecessor]
+                    and end[before] + 1 == start[predecessor]
+                ):
+                    left2 = length[before]
+                    factor = left2 * length_sum / (left2 + length_sum)
+                    refreshed = 0.0
+                    for w2, a, b in zip(w2l, values[before], merged_row):
+                        diff = a - b
+                        refreshed += (w2 * factor) * diff * diff
+                    key[predecessor] = refreshed
+                    version[predecessor] += 1
+                    counter += 1
+                    push(
+                        entries,
+                        (refreshed, counter, predecessor,
+                         version[predecessor]),
+                    )
+                else:
+                    key[predecessor] = inf
+                    version[predecessor] += 1
+                if successor >= 0:
+                    if (
+                        group[predecessor] == group[successor]
+                        and end[predecessor] + 1 == start[successor]
+                    ):
+                        right2 = length[successor]
+                        factor = (
+                            length_sum * right2 / (length_sum + right2)
+                        )
+                        refreshed = 0.0
+                        for w2, a, b in zip(
+                            w2l, merged_row, values[successor]
+                        ):
+                            diff = a - b
+                            refreshed += (w2 * factor) * diff * diff
+                        key[successor] = refreshed
+                        version[successor] += 1
+                        counter += 1
+                        push(
+                            entries,
+                            (refreshed, counter, successor,
+                             version[successor]),
+                        )
+                    else:
+                        key[successor] = inf
+                        version[successor] += 1
+                if record_merge is not None:
+                    record_merge(
+                        node_id[top_index],
+                        node_id[predecessor],
+                        merged_row,
+                        key[predecessor],
+                        node_id[successor] if successor >= 0 else -1,
+                        key[successor] if successor >= 0 else inf,
+                    )
+            index += 1
+
+        # Write the aliased scalars back.
+        self._count = stop
+        self._size = live
+        self.max_size = max_size
+        self._head = head
+        self._tail = tail
+        self._entry_counter = counter
+        # A chunk boundary is an insertion boundary, so compacting here is
+        # as safe as inside ``_ensure_capacity`` — and it is the only
+        # chance to reclaim the dead rows a single huge chunk leaves
+        # behind (one 200k-tuple push would otherwise pin 200k dead slots
+        # behind a 1k-row live heap for the session's lifetime).
+        if live <= self._count // 4 and self._count >= self._INITIAL_CAPACITY:
+            self._compact()
+        return last_gap_id, before_gap, after_gap, total_error, merges
+
     def peek(self) -> Optional[NumpyHeapNode]:
         """Return the node with the smallest key without removing it."""
         index = self._peek_index()
@@ -674,14 +1097,17 @@ class NumpyMergeHeap:
         if index is None or math.isinf(self._key[index]):
             raise ValueError("no adjacent pair available for merging")
         predecessor = self._prev[index]
-        left_length = float(self._end[predecessor] - self._start[predecessor] + 1)
-        right_length = float(self._end[index] - self._start[index] + 1)
+        left_length = self._length[predecessor]
+        right_length = self._length[index]
         total = left_length + right_length
-        self._values[predecessor] = (
-            left_length * self._values[predecessor]
-            + right_length * self._values[index]
-        ) / total
+        # Rebind, never mutate: outstanding row references (delta log) must
+        # keep seeing the pre-merge values.
+        self._values[predecessor] = [
+            (left_length * a + right_length * b) / total
+            for a, b in zip(self._values[predecessor], self._values[index])
+        ]
         self._end[predecessor] = self._end[index]
+        self._length[predecessor] = total
 
         successor = self._next[index]
         self._next[predecessor] = successor
@@ -714,7 +1140,8 @@ class NumpyMergeHeap:
         interval = segment.interval
         self._start.append(interval.start)
         self._end.append(interval.end)
-        self._values[index] = segment.values
+        self._length.append(float(interval.end - interval.start + 1))
+        self._values.append(segment.values)
         self._group.append(self._intern_group(segment.group))
         previous = self._tail
         self._prev.append(previous)
@@ -737,17 +1164,31 @@ class NumpyMergeHeap:
             and self._end[left] + 1 == self._start[right]
         )
 
+    def _pair_key(self, predecessor: int, index: int) -> float:
+        """Merge error of the (adjacent) pair ``predecessor`` / ``index``.
+
+        The scalar form of :func:`pairwise_merge_keys`: same per-element
+        operation order, dimensions accumulated sequentially, so scalar and
+        batch keys are bit-identical.
+        """
+        left_length = self._length[predecessor]
+        right_length = self._length[index]
+        factor = left_length * right_length / (left_length + right_length)
+        key = 0.0
+        for w2, a, b in zip(
+            self._w2l, self._values[predecessor], self._values[index]
+        ):
+            diff = a - b
+            key += (w2 * factor) * diff * diff
+        return key
+
     def _refresh_key(self, index: int) -> None:
         predecessor = self._prev[index]
         if predecessor < 0 or not self._is_adjacent(predecessor, index):
             self._key[index] = math.inf
             self._version[index] += 1
             return
-        left_length = float(self._end[predecessor] - self._start[predecessor] + 1)
-        right_length = float(self._end[index] - self._start[index] + 1)
-        factor = left_length * right_length / (left_length + right_length)
-        diff = self._values[predecessor] - self._values[index]
-        self._key[index] = float((self._w2 * factor * diff * diff).sum())
+        self._key[index] = self._pair_key(predecessor, index)
         self._version[index] += 1
         self._push_entry(index)
 
@@ -778,7 +1219,7 @@ class NumpyMergeHeap:
     def _segment_at(self, index: int) -> AggregateSegment:
         return AggregateSegment(
             self._group_keys[self._group[index]],
-            tuple(float(v) for v in self._values[index]),
+            tuple(self._values[index]),
             Interval(self._start[index], self._end[index]),
         )
 
@@ -796,6 +1237,29 @@ class NumpyMergeHeap:
             count += 1
             current = successor
         return count
+
+    def successor_entry(self, node) -> Optional[Tuple[int, float]]:
+        """``(id, key)`` of the chronological successor, or ``None``.
+
+        ``node`` is a :class:`NumpyHeapNode` or a raw row index, as for
+        :meth:`adjacent_successor_count`.
+        """
+        if isinstance(node, NumpyHeapNode):
+            index = node._checked_index()
+        else:
+            index = int(node)
+        successor = self._next[index]
+        if successor < 0:
+            return None
+        return self._node_id[successor], self._key[successor]
+
+    def values_entry(self, node) -> Sequence[float]:
+        """The node's aggregate value row (immutable, by reference)."""
+        if isinstance(node, NumpyHeapNode):
+            index = node._checked_index()
+        else:
+            index = int(node)
+        return self._values[index]
 
     def __iter__(self) -> Iterator[NumpyHeapNode]:
         """Iterate over live nodes in chronological (list) order."""
@@ -837,7 +1301,11 @@ class NumpyMergeHeap:
         other._staged_base = self._staged_base
         other._staged_end = self._staged_end
         if self._dimensions is not None:
-            other._values = self._values.copy()
+            other._w2l = self._w2l
+            # Rows are immutable by convention (rebound on merge, never
+            # mutated), so a shallow column copy suffices.
+            other._values = list(self._values)
+            other._length = list(self._length)
             other._start = list(self._start)
             other._end = list(self._end)
             other._group = list(self._group)
@@ -848,6 +1316,508 @@ class NumpyMergeHeap:
             other._alive = list(self._alive)
             other._node_id = list(self._node_id)
         return other
+
+
+# ----------------------------------------------------------------------
+# Delta-based incremental snapshots (merge delta log + mirror)
+# ----------------------------------------------------------------------
+class DeltaLog:
+    """Column-oriented record of committed heap operations.
+
+    The online state machine (:class:`repro.core.greedy.OnlineReducer`)
+    appends one entry per *committed* operation — an insert made visible to
+    the merge policy, or a merge folded into the relation — so a snapshot
+    consumer can bring a materialised image of the live intermediate
+    relation up to date in time proportional to the number of operations
+    since the last snapshot, instead of re-reading the whole heap.
+
+    Entries are stored as parallel columns per operation kind, with a
+    ``kinds`` sequence preserving the interleaving.  Merged value rows are
+    recorded *by reference*: both heap backends rebind a fresh immutable
+    row on every merge, so no copying is needed.
+    """
+
+    INSERT = 0
+    MERGE = 1
+
+    __slots__ = (
+        "kinds",
+        "insert_ids",
+        "insert_starts",
+        "insert_ends",
+        "insert_groups",
+        "insert_values",
+        "insert_keys",
+        "merge_absorbed",
+        "merge_survivors",
+        "merge_values",
+        "merge_survivor_keys",
+        "merge_successors",
+        "merge_successor_keys",
+    )
+
+    def __init__(self) -> None:
+        self.kinds: List[int] = []
+        self.insert_ids: List[int] = []
+        self.insert_starts: List[int] = []
+        self.insert_ends: List[int] = []
+        self.insert_groups: List[tuple] = []
+        self.insert_values: List[Sequence[float]] = []
+        self.insert_keys: List[float] = []
+        self.merge_absorbed: List[int] = []
+        self.merge_survivors: List[int] = []
+        self.merge_values: List[Sequence[float]] = []
+        self.merge_survivor_keys: List[float] = []
+        self.merge_successors: List[int] = []
+        self.merge_successor_keys: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def record_insert(
+        self,
+        node_id: int,
+        start: int,
+        end: int,
+        group: tuple,
+        values: Sequence[float],
+        key: float,
+    ) -> None:
+        """One tuple appended at the tail with its activation merge key."""
+        self.kinds.append(DeltaLog.INSERT)
+        self.insert_ids.append(node_id)
+        self.insert_starts.append(start)
+        self.insert_ends.append(end)
+        self.insert_groups.append(group)
+        self.insert_values.append(values)
+        self.insert_keys.append(key)
+
+    def record_merge(
+        self,
+        absorbed_id: int,
+        survivor_id: int,
+        values: Sequence[float],
+        survivor_key: float,
+        successor_id: int,
+        successor_key: float,
+    ) -> None:
+        """One committed merge: ``absorbed_id`` folded into ``survivor_id``.
+
+        ``values`` is the survivor's post-merge row (by reference) and the
+        two keys are the post-refresh merge keys of the survivor and of the
+        absorbed tuple's chronological successor (``-1`` / ``inf`` when it
+        has none) — everything a mirror needs to replay the merge without
+        redoing any floating-point work.
+        """
+        self.kinds.append(DeltaLog.MERGE)
+        self.merge_absorbed.append(absorbed_id)
+        self.merge_survivors.append(survivor_id)
+        self.merge_values.append(values)
+        self.merge_survivor_keys.append(survivor_key)
+        self.merge_successors.append(successor_id)
+        self.merge_successor_keys.append(successor_key)
+
+    def clear(self) -> None:
+        for column in self.__slots__:
+            getattr(self, column).clear()
+
+
+class SnapshotColumns:
+    """A summary snapshot as flat, query-ready columns.
+
+    The column twin of a segment list: time-ordered interval endpoints,
+    a dense ``(n, p)`` value matrix, interned group ids and the group-key
+    table.  This is what the serving layer's query index consumes directly,
+    skipping the per-segment object materialisation on the cold path.
+    """
+
+    __slots__ = ("starts", "ends", "values", "group_ids", "group_keys")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        values: np.ndarray,
+        group_ids: np.ndarray,
+        group_keys: List[tuple],
+    ) -> None:
+        self.starts = starts
+        self.ends = ends
+        self.values = values
+        self.group_ids = group_ids
+        self.group_keys = group_keys
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def segments(self) -> List[AggregateSegment]:
+        """Materialise the snapshot as a segment list (row order)."""
+        group_keys = self.group_keys
+        group_ids = self.group_ids.tolist()
+        starts = self.starts.tolist()
+        ends = self.ends.tolist()
+        return [
+            AggregateSegment(
+                group_keys[group_ids[i]],
+                tuple(row),
+                Interval(starts[i], ends[i]),
+            )
+            for i, row in enumerate(self.values.tolist())
+        ]
+
+    @classmethod
+    def from_segments(
+        cls, segments: Sequence[AggregateSegment]
+    ) -> "SnapshotColumns":
+        """Column form of an already-materialised segment list."""
+        count = len(segments)
+        starts = np.fromiter(
+            (s.interval.start for s in segments), np.int64, count
+        )
+        ends = np.fromiter(
+            (s.interval.end for s in segments), np.int64, count
+        )
+        dimensions = segments[0].dimensions if count else 0
+        values = np.array(
+            [s.values for s in segments], dtype=np.float64
+        ).reshape(count, dimensions)
+        group_keys: List[tuple] = []
+        interned: Dict[tuple, int] = {}
+        group_ids = np.zeros(count, dtype=np.int64)
+        for index, segment in enumerate(segments):
+            group_id = interned.get(segment.group)
+            if group_id is None:
+                group_id = len(group_keys)
+                interned[segment.group] = group_id
+                group_keys.append(segment.group)
+            group_ids[index] = group_id
+        return cls(starts, ends, values, group_ids, group_keys)
+
+    @classmethod
+    def concatenate(
+        cls, parts: Sequence["SnapshotColumns"]
+    ) -> "SnapshotColumns":
+        """Row-wise concatenation, re-interning group ids across parts."""
+        parts = [part for part in parts if len(part)]
+        if not parts:
+            return cls(
+                np.zeros(0, np.int64),
+                np.zeros(0, np.int64),
+                np.zeros((0, 0), np.float64),
+                np.zeros(0, np.int64),
+                [],
+            )
+        if len(parts) == 1:
+            return parts[0]
+        group_keys: List[tuple] = []
+        interned: Dict[tuple, int] = {}
+        remapped: List[np.ndarray] = []
+        for part in parts:
+            mapping = np.zeros(len(part.group_keys), dtype=np.int64)
+            for local_id, group in enumerate(part.group_keys):
+                global_id = interned.get(group)
+                if global_id is None:
+                    global_id = len(group_keys)
+                    interned[group] = global_id
+                    group_keys.append(group)
+                mapping[local_id] = global_id
+            remapped.append(mapping[part.group_ids])
+        return cls(
+            np.concatenate([p.starts for p in parts]),
+            np.concatenate([p.ends for p in parts]),
+            np.concatenate([p.values for p in parts]),
+            np.concatenate(remapped),
+            group_keys,
+        )
+
+
+class SnapshotMirror:
+    """Patchable column image of a live heap's intermediate relation.
+
+    Holds the same information as the merge heap's columns — ids, interval
+    endpoints, value rows, groups and the merge-with-predecessor keys — in
+    chronological row order, and stays in sync by replaying a
+    :class:`DeltaLog` (:meth:`apply`) instead of re-reading the heap.
+    Value rows and keys are *copied* from the log, never recomputed, so the
+    mirror is bit-exact with respect to the heap on either backend.
+
+    Merged-away rows become tombstones; the storage is compacted once dead
+    rows outnumber live ones, which keeps every operation amortised O(1)
+    and memory proportional to the live relation.
+    """
+
+    _COMPACT_FLOOR = 1024
+
+    def __init__(self) -> None:
+        self.starts: List[int] = []
+        self.ends: List[int] = []
+        self.values: List[Sequence[float]] = []
+        self.group_ids: List[int] = []
+        self.keys: List[float] = []
+        self.alive: List[bool] = []
+        self.group_keys: List[tuple] = []
+        self._interned: Dict[tuple, int] = {}
+        self._position: Dict[int, int] = {}
+        self.live = 0
+
+    @classmethod
+    def from_heap(cls, heap: Any) -> "SnapshotMirror":
+        """Build the initial mirror from a heap's live nodes (O(heap)).
+
+        Called once per session — every later snapshot patches this image
+        with the delta log instead.
+        """
+        mirror = cls()
+        for node in heap:
+            segment = node.segment
+            mirror._append(
+                node.id,
+                segment.interval.start,
+                segment.interval.end,
+                segment.group,
+                segment.values,
+                node.key,
+            )
+        return mirror
+
+    def _append(
+        self,
+        node_id: int,
+        start: int,
+        end: int,
+        group: tuple,
+        values: Sequence[float],
+        key: float,
+    ) -> None:
+        group_id = self._interned.get(group)
+        if group_id is None:
+            group_id = len(self.group_keys)
+            self._interned[group] = group_id
+            self.group_keys.append(group)
+        self._position[node_id] = len(self.starts)
+        self.starts.append(start)
+        self.ends.append(end)
+        self.values.append(values)
+        self.group_ids.append(group_id)
+        self.keys.append(key)
+        self.alive.append(True)
+        self.live += 1
+
+    def apply(self, log: DeltaLog) -> None:
+        """Replay a delta log, bringing the mirror up to the heap's state."""
+        position = self._position
+        insert_cursor = 0
+        merge_cursor = 0
+        for kind in log.kinds:
+            if kind == DeltaLog.INSERT:
+                self._append(
+                    log.insert_ids[insert_cursor],
+                    log.insert_starts[insert_cursor],
+                    log.insert_ends[insert_cursor],
+                    log.insert_groups[insert_cursor],
+                    log.insert_values[insert_cursor],
+                    log.insert_keys[insert_cursor],
+                )
+                insert_cursor += 1
+            else:
+                absorbed = position.pop(log.merge_absorbed[merge_cursor])
+                survivor = position[log.merge_survivors[merge_cursor]]
+                self.ends[survivor] = self.ends[absorbed]
+                self.values[survivor] = log.merge_values[merge_cursor]
+                self.keys[survivor] = log.merge_survivor_keys[merge_cursor]
+                successor_id = log.merge_successors[merge_cursor]
+                if successor_id >= 0:
+                    self.keys[position[successor_id]] = (
+                        log.merge_successor_keys[merge_cursor]
+                    )
+                self.alive[absorbed] = False
+                self.live -= 1
+                merge_cursor += 1
+        if (
+            len(self.starts) >= self._COMPACT_FLOOR
+            and len(self.starts) >= 2 * self.live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        alive = self.alive
+        order = [i for i in range(len(alive)) if alive[i]]
+        self.starts = [self.starts[i] for i in order]
+        self.ends = [self.ends[i] for i in order]
+        self.values = [self.values[i] for i in order]
+        self.group_ids = [self.group_ids[i] for i in order]
+        self.keys = [self.keys[i] for i in order]
+        self.alive = [True] * len(order)
+        ids = {pos: node_id for node_id, pos in self._position.items()}
+        self._position = {
+            ids[old]: new for new, old in enumerate(order)
+        }
+
+
+def finalize_mirror(
+    mirror: SnapshotMirror,
+    *,
+    size: Optional[int] = None,
+    error_threshold: Optional[float] = None,
+    total_error: float = 0.0,
+    backend: str = "numpy",
+    weights: Weights | None = None,
+) -> Optional[Tuple[SnapshotColumns, float, int]]:
+    """Run the end-of-input merge phase on a mirror, without touching it.
+
+    The delta-snapshot twin of ``OnlineReducer.finalize``: gathers the
+    mirror's live rows into working columns, replays the paper's
+    end-of-input greedy phase — size-bounded down to ``size``, or
+    error-bounded while ``total_error`` stays within ``error_threshold``
+    (with the same ``1e-9`` slack as the oracle) — and returns the final
+    snapshot as :class:`SnapshotColumns` together with the accumulated
+    error and the number of tail merges.
+
+    Starting keys are the mirror's (copied from the heap via the delta
+    log); refreshed keys and merged value rows are computed with exactly
+    the per-``backend`` floating-point formulae of the corresponding heap,
+    so the result is bit-identical to cloning and finalising the live heap
+    itself — with one guarded exception.  Tail entries are tie-broken in
+    chronological order, while the live heap's queue carries historical
+    insertion counters, so a pair of *exactly equal* winning keys could
+    merge in a different order than the oracle would (common on
+    integer-valued streams).  Rather than silently returning a different
+    — if equal-error — reduction, the tail detects the ambiguity the
+    moment a committed merge's key ties with any other queued key and
+    returns ``None``; the caller then falls back to the clone+finalize
+    oracle for that snapshot, keeping the bit-for-bit contract
+    unconditional.
+    """
+    alive = mirror.alive
+    live = [i for i in range(len(alive)) if alive[i]]
+    starts = [mirror.starts[i] for i in live]
+    ends = [mirror.ends[i] for i in live]
+    values = [mirror.values[i] for i in live]
+    group_ids = [mirror.group_ids[i] for i in live]
+    keys = [mirror.keys[i] for i in live]
+    count = len(live)
+    prev_ = list(range(-1, count - 1))
+    next_ = list(range(1, count + 1))
+    if count:
+        next_[-1] = -1
+    row_alive = [True] * count
+    version = [0] * count
+    inf = math.inf
+
+    entries = [
+        (keys[i], i, i, 0) for i in range(count) if keys[i] != inf
+    ]
+    heapq.heapify(entries)
+    counter = count  # refresh counters sort after every initial entry
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    if count:
+        dimensions = len(values[0])
+    else:
+        dimensions = 0
+    python_backend = backend == "python"
+    resolved = resolve_weights(weights, dimensions)
+    # Derive w² exactly as the corresponding heap does (`**` on Python
+    # floats versus NumPy array power) — the two can differ in the last
+    # ulp for non-trivial weights.
+    if python_backend:
+        w2l = [w ** 2 for w in resolved]
+    else:
+        w2l = (np.asarray(resolved, dtype=np.float64) ** 2).tolist()
+
+    merges = 0
+    remaining = count
+    while entries:
+        if size is not None and remaining <= size:
+            break
+        top_key, _, top, top_version = entries[0]
+        if (
+            not row_alive[top]
+            or version[top] != top_version
+            or keys[top] != top_key
+        ):
+            pop(entries)
+            continue
+        if error_threshold is not None:
+            if total_error + top_key > error_threshold + 1e-9:
+                break
+        # Tie guard: the second-smallest key of a binary heap sits in one
+        # of the root's children, so an equal key there (valid or stale —
+        # conservative either way) means the pop order is counter-
+        # dependent and could diverge from the oracle's historical
+        # counters.  Bail out; the caller re-runs via the oracle.
+        if (len(entries) > 1 and entries[1][0] == top_key) or (
+            len(entries) > 2 and entries[2][0] == top_key
+        ):
+            return None
+        total_error += top_key
+        merges += 1
+
+        predecessor = prev_[top]
+        if python_backend:
+            # The reference merge operator works on integer lengths.
+            left_length = ends[predecessor] - starts[predecessor] + 1
+            right_length = ends[top] - starts[top] + 1
+        else:
+            left_length = float(ends[predecessor] - starts[predecessor] + 1)
+            right_length = float(ends[top] - starts[top] + 1)
+        length_sum = left_length + right_length
+        values[predecessor] = [
+            (left_length * a + right_length * b) / length_sum
+            for a, b in zip(values[predecessor], values[top])
+        ]
+        ends[predecessor] = ends[top]
+        successor = next_[top]
+        next_[predecessor] = successor
+        if successor >= 0:
+            prev_[successor] = predecessor
+        row_alive[top] = False
+        remaining -= 1
+
+        for target in (predecessor, successor):
+            if target < 0:
+                continue
+            before = prev_[target]
+            if (
+                before < 0
+                or group_ids[before] != group_ids[target]
+                or ends[before] + 1 != starts[target]
+            ):
+                refreshed = inf
+            elif python_backend:
+                left2 = ends[before] - starts[before] + 1
+                right2 = ends[target] - starts[target] + 1
+                factor = left2 * right2 / (left2 + right2)
+                refreshed = 0.0
+                for w2, a, b in zip(w2l, values[before], values[target]):
+                    diff = a - b
+                    refreshed += w2 * factor * diff ** 2
+            else:
+                left2 = float(ends[before] - starts[before] + 1)
+                right2 = float(ends[target] - starts[target] + 1)
+                factor = left2 * right2 / (left2 + right2)
+                refreshed = 0.0
+                for w2, a, b in zip(w2l, values[before], values[target]):
+                    diff = a - b
+                    refreshed += (w2 * factor) * diff * diff
+            keys[target] = refreshed
+            version[target] += 1
+            if refreshed != inf:
+                counter += 1
+                push(entries, (refreshed, counter, target, version[target]))
+
+    survivors = [i for i in range(count) if row_alive[i]]
+    columns = SnapshotColumns(
+        np.asarray([starts[i] for i in survivors], dtype=np.int64),
+        np.asarray([ends[i] for i in survivors], dtype=np.int64),
+        np.asarray(
+            [values[i] for i in survivors], dtype=np.float64
+        ).reshape(len(survivors), dimensions),
+        np.asarray([group_ids[i] for i in survivors], dtype=np.int64),
+        list(mirror.group_keys),
+    )
+    return columns, total_error, merges
 
 
 # ----------------------------------------------------------------------
@@ -1133,12 +2103,16 @@ def range_weighted_sum(
 
 
 __all__ = [
+    "DeltaLog",
     "NumpyHeapNode",
     "NumpyMergeHeap",
     "NumpyPrefixSums",
+    "SnapshotColumns",
+    "SnapshotMirror",
     "adjacent_pair_mask",
     "dp_best_split",
     "dp_first_row",
+    "finalize_mirror",
     "greedy_merge_trajectory",
     "instant_index",
     "pairwise_merge_keys",

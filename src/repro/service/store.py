@@ -44,6 +44,7 @@ from typing import (
     Union,
 )
 
+from ..core.kernels import SnapshotColumns
 from ..core.merge import AggregateSegment
 from ..api.plan import Budget, ExecutionPolicy
 from ..api.result import Result
@@ -136,6 +137,10 @@ class _KeyState:
     generation: int = 0
     pushed: int = 0
     last_access: float = 0.0
+    #: Concatenated column form of the frozen epochs, built lazily and
+    #: invalidated whenever a new epoch freezes.  Frozen summaries never
+    #: change, so this is computed once per eviction, not per query.
+    frozen_columns: Optional[SnapshotColumns] = None
 
 
 class SessionStore:
@@ -275,8 +280,35 @@ class SessionStore:
             return combined
 
     def segments(self, key: Key) -> List[AggregateSegment]:
-        """The combined snapshot's segments (what the query engine reads)."""
+        """The combined snapshot's segments (materialised form)."""
         return self.snapshot(key).segments
+
+    def snapshot_columns(self, key: Key) -> SnapshotColumns:
+        """The combined snapshot in flat column form (the query fast path).
+
+        Frozen epochs contribute a column image cached per eviction; the
+        live part rides the session's delta-based, generation-cached
+        :meth:`~repro.api.Compressor.summary_columns`.  Between pushes this
+        is O(1); after ``k`` pushes it costs amortised O(k) plus the
+        summary size — the serving-layer face of the delta snapshot path.
+        """
+        with self._lock:
+            state = self._require(key)
+            parts: List[SnapshotColumns] = []
+            if state.frozen:
+                if state.frozen_columns is None:
+                    state.frozen_columns = SnapshotColumns.concatenate(
+                        [
+                            SnapshotColumns.from_segments(part.segments)
+                            for part in state.frozen
+                        ]
+                    )
+                parts.append(state.frozen_columns)
+            if state.session is not None:
+                parts.append(state.session.summary_columns())
+                state.last_access = self._clock()
+                self._states.move_to_end(key)
+            return SnapshotColumns.concatenate(parts)
 
     def generation(self, key: Key) -> int:
         """Cache-invalidation token: bumped by every push and eviction."""
@@ -366,6 +398,7 @@ class SessionStore:
         assert state.session is not None
         frozen = state.session.finalize()
         state.frozen.append(frozen)
+        state.frozen_columns = None  # rebuilt lazily on the next read
         state.session = None
         state.generation += 1
         self._evictions += 1
