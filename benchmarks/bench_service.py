@@ -20,7 +20,14 @@ and keeps it honest across PRs:
   binary search + prefix-sum arithmetic on the cached index;
 * **batch recompression** — ``compress`` over the same stream plus the
   same query, i.e. the no-serving-layer baseline;
-* **wire codec** — encode/decode throughput of the binary segment format.
+* **wire codec** — encode/decode throughput of the binary segment format;
+* **durable push** — the same chunked ingest against a ``data_dir=``
+  store (WAL append + fsync per push, periodic checkpoint demotion)
+  versus the in-memory store: the price of durability per acknowledged
+  push (must stay within 1.5x of memory);
+* **recovery** — time to boot a ready-to-serve store from the surviving
+  checkpoints + WAL (crash without ``close()``), versus batch
+  recompression of the same history.
 
 Ratios are persisted in ``BENCH_service.json`` (same machine-normalized
 scheme as ``BENCH_parallel.json``)::
@@ -52,9 +59,10 @@ BASELINE_PATH = REPO_ROOT / "BENCH_service.json"
 REGRESSION_TOLERANCE = 0.50
 
 SCALES = {
-    "smoke": {"stream": 20_000, "summary": 200, "queries": 200, "delta": 50},
+    "smoke": {"stream": 20_000, "summary": 200, "queries": 200, "delta": 50,
+              "push_chunk": 1024},
     "full": {"stream": 200_000, "summary": 1_000, "queries": 1_000,
-             "delta": 200},
+             "delta": 200, "push_chunk": 1024},
 }
 
 
@@ -166,7 +174,82 @@ def measure(scale: str) -> dict:
     encode_run = best_of(encode_segments, stream, repeats=3)
     decode_run = best_of(decode_segments, blob, repeats=3)
 
+    # Durable push overhead: the same chunked ingest against a durable
+    # store (WAL append + fsync per acknowledged push, checkpoint
+    # demotion every quarter of the stream) versus the in-memory store.
+    import shutil
+    import tempfile
+
+    push_chunk = config["push_chunk"]
+    chunks = [stream[i: i + push_chunk] for i in range(0, n, push_chunk)]
+    checkpoint_every = max(n // 4, push_chunk)
+
+    def memory_pushes():
+        memory_store = SessionStore(
+            size=summary_size, policy=ExecutionPolicy(backend="numpy")
+        )
+        for piece in chunks:
+            memory_store.push("k", piece)
+
+    memory_push = best_of(memory_pushes, repeats=5)
+
+    def durable_pushes():
+        data_dir = tempfile.mkdtemp(prefix="repro-bench-durable-")
+        try:
+            durable_store = SessionStore(
+                size=summary_size,
+                policy=ExecutionPolicy(backend="numpy"),
+                data_dir=data_dir,
+                checkpoint_every=checkpoint_every,
+            )
+            for piece in chunks:
+                durable_store.push("k", piece)
+            durable_store.close()
+        finally:
+            shutil.rmtree(data_dir)
+
+    durable_push = best_of(durable_pushes, repeats=5)
+
+    # Recovery: crash a durable store (no close()) and time how long a
+    # fresh store takes to become ready to serve from the surviving
+    # checkpoints + WAL — checkpoint mmap + torn-tail scan + replay +
+    # first query.  The no-durability alternative after a crash is batch
+    # recompression of the (re-sent) history, measured above.
+    crash_dir = tempfile.mkdtemp(prefix="repro-bench-recover-")
+    try:
+        crashed = SessionStore(
+            size=summary_size,
+            policy=ExecutionPolicy(backend="numpy"),
+            data_dir=crash_dir,
+            checkpoint_every=checkpoint_every,
+        )
+        for piece in chunks:
+            crashed.push("k", piece)
+        del crashed  # crash: the WAL writers are dropped without close()
+
+        recovery_seconds = []
+        for _ in range(3):
+            began = _time.perf_counter()
+            revived = SessionStore(
+                size=summary_size,
+                policy=ExecutionPolicy(backend="numpy"),
+                data_dir=crash_dir,
+                checkpoint_every=checkpoint_every,
+            )
+            QueryEngine(revived).range_agg("k", lo, hi, "avg")
+            recovery_seconds.append(_time.perf_counter() - began)
+            revived.close()
+        recovery_s = min(recovery_seconds)
+    finally:
+        shutil.rmtree(crash_dir)
+
     return {
+        "durable_push_vs_memory": speedup(
+            memory_push.seconds, durable_push.seconds
+        ),
+        "recovery_vs_batch_recompress": speedup(
+            batch.seconds, recovery_s
+        ),
         "warm_query_vs_batch_recompress": speedup(
             batch.seconds, warm_per_query
         ),
@@ -194,6 +277,11 @@ def measure(scale: str) -> dict:
             "wire_bytes": len(blob),
             "wire_encode_s": encode_run.seconds,
             "wire_decode_s": decode_run.seconds,
+            "push_chunk": push_chunk,
+            "checkpoint_every": checkpoint_every,
+            "memory_push_s": memory_push.seconds,
+            "durable_push_s": durable_push.seconds,
+            "recovery_s": recovery_s,
         },
     }
 
@@ -222,6 +310,11 @@ def bench_service(benchmark):
         f"  wire payload             : {raw['wire_bytes']:,} bytes "
         f"(encode {raw['wire_encode_s'] * 1e3:.1f} ms, "
         f"decode {raw['wire_decode_s'] * 1e3:.1f} ms)",
+        f"  durable chunked ingest   : {raw['durable_push_s'] * 1e3:9.2f} ms "
+        f"(memory {raw['memory_push_s'] * 1e3:.2f} ms, "
+        f"{raw['durable_push_s'] / raw['memory_push_s']:.2f}x)",
+        f"  crash recovery to serve  : {raw['recovery_s'] * 1e3:9.2f} ms "
+        f"({ratios['recovery_vs_batch_recompress']:.1f}x vs recompress)",
     ]
     publish("service", "\n".join(lines))
     # The serving layer must beat recompression by a wide margin even at
@@ -230,6 +323,9 @@ def bench_service(benchmark):
     # A genuinely cold snapshot at a fresh generation (the delta path)
     # must also stay far cheaper than recompressing the history.
     assert ratios["snapshot_delta_vs_batch_recompress"] >= 50.0
+    # Durability is a WAL append + fsync per acknowledged push; it must
+    # not cost more than 1.5x the in-memory ingest at smoke scale.
+    assert ratios["durable_push_vs_memory"] >= 1.0 / 1.5
 
     from repro.service import QueryEngine, SessionStore
     from repro.datasets import synthetic_sequential_segments

@@ -134,6 +134,22 @@ class Compressor:
         self._generation += 1
         return self
 
+    def replay(
+        self, chunks: Iterable[Iterable[AggregateSegment]]
+    ) -> "Compressor":
+        """Re-consume logged push chunks (the crash-recovery entry point).
+
+        Each chunk is fed as one :meth:`push` call, so the generation
+        counter advances exactly as it did live and every snapshot of the
+        replayed session is bit-identical to the uncrashed one — the
+        replay invariant of :meth:`repro.core.greedy.OnlineReducer.replay`
+        surfaced at the session level.  Used by
+        :mod:`repro.service.durability` to rebuild a store from its WAL.
+        """
+        self._check_open("replay")
+        self._generation += self._reducer.replay(chunks)
+        return self
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

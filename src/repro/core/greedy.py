@@ -323,6 +323,31 @@ class OnlineReducer:
             for segment in segments:
                 self.push(segment)
 
+    def replay(
+        self, chunks: Iterable[Sequence[AggregateSegment]]
+    ) -> int:
+        """Re-consume logged push chunks — the crash-recovery entry point.
+
+        The durability tier (:mod:`repro.service.durability`) records every
+        acknowledged push as one WAL frame holding exactly the chunk that
+        was pushed.  Recovery feeds those chunks back through this method,
+        one :meth:`push_chunk` per frame, which carries the **replay
+        invariant**: because pushing a chunk is bit-identical to the
+        original live push of the same tuples (the staged-insert contract
+        above), a reducer rebuilt by replay is *state-identical* to the
+        reducer that crashed — same heap contents, same merge history,
+        same running error — and every snapshot it serves is bit-identical
+        to what the uncrashed process would have served.  Returns the
+        number of chunks replayed.
+        """
+        count = 0
+        for chunk in chunks:
+            self.push_chunk(
+                chunk if isinstance(chunk, (list, tuple)) else list(chunk)
+            )
+            count += 1
+        return count
+
     def extend(self, source: Iterable[AggregateSegment]) -> None:
         """Drive an entire iterable through the reducer.
 

@@ -1335,6 +1335,16 @@ class DeltaLog:
     ``kinds`` sequence preserving the interleaving.  Merged value rows are
     recorded *by reference*: both heap backends rebind a fresh immutable
     row on every merge, so no copying is needed.
+
+    This same record is what makes the durability tier's write-ahead
+    logging sound (:mod:`repro.service.durability`): because the log
+    captures every committed operation deterministically, re-feeding the
+    logged input chunks through
+    :meth:`~repro.core.greedy.OnlineReducer.replay` reproduces the exact
+    operation sequence — the **replay invariant**: *WAL replay composed
+    over the last checkpoint equals the live reducer state,
+    bit-identically*, so a recovered store serves the same summary bytes
+    the uncrashed process would have.
     """
 
     INSERT = 0

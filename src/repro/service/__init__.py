@@ -16,7 +16,10 @@ concern:
   via binary search and the Proposition 1/2 prefix-sum identities, with a
   per-key snapshot cache invalidated by push generation;
 * :mod:`~repro.service.http` — the in-process :class:`Service` facade and
-  a dependency-free ``ThreadingHTTPServer`` JSON front end.
+  a dependency-free ``ThreadingHTTPServer`` JSON front end;
+* :mod:`~repro.service.durability` — the durability tier: per-key
+  write-ahead logs, frozen epochs demoted to mmap-backed checkpoint
+  files, and bit-identical crash recovery (enable with ``data_dir=``).
 
 Quickstart::
 
@@ -29,6 +32,12 @@ Quickstart::
     server, _ = start_in_background(service)   # JSON over HTTP
 """
 
+from .durability import (
+    Durability,
+    DurabilityError,
+    FrozenEpoch,
+    RecoveredKey,
+)
 from .http import (
     Service,
     ServiceHTTPServer,
@@ -59,8 +68,12 @@ from .wire import (
 )
 
 __all__ = [
+    "Durability",
+    "DurabilityError",
+    "FrozenEpoch",
     "Key",
     "LRUTTLEviction",
+    "RecoveredKey",
     "QueryEngine",
     "RANGE_FUNCTIONS",
     "RESULT_MAGIC",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
@@ -75,10 +76,14 @@ class Service:
         max_sessions: Optional[int] = None,
         ttl: Optional[float] = None,
         session_factory: Optional[Callable[[Key], Any]] = None,
+        data_dir: Optional[Union[str, "Path"]] = None,
+        fsync_every: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if store is not None:
             if (budget, size, max_error, policy, eviction, max_sessions,
-                    ttl, session_factory) != (None,) * 8:
+                    ttl, session_factory, data_dir, fsync_every,
+                    checkpoint_every) != (None,) * 11:
                 raise ServiceError(
                     "pass either a prebuilt store or store-construction "
                     "keywords, not both"
@@ -94,8 +99,15 @@ class Service:
                 max_sessions=max_sessions,
                 ttl=ttl,
                 session_factory=session_factory,
+                data_dir=data_dir,
+                fsync_every=1 if fsync_every is None else fsync_every,
+                checkpoint_every=checkpoint_every,
             )
         self.engine = QueryEngine(self.store)
+
+    def close(self) -> None:
+        """Flush and close the store's durability tier (no-op if absent)."""
+        self.store.close()
 
     # ------------------------------------------------------------------
     # Write path

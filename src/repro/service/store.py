@@ -14,7 +14,13 @@ segments as they arrive.  :class:`SessionStore` is that registry:
   epoch on its next push; snapshots concatenate the frozen epochs with the
   live summary in arrival order;
 * per-store counters (:class:`StoreStats`) expose live sessions, frozen
-  summaries, pushed tuples and evictions for monitoring.
+  summaries, pushed tuples and evictions for monitoring;
+* with ``data_dir=`` the store is **durable**
+  (:mod:`repro.service.durability`): every acknowledged push is appended
+  to a per-key write-ahead log, frozen epochs are *demoted* to
+  mmap-backed checkpoint files instead of staying resident, and
+  construction recovers whatever a previous process left on disk —
+  serving snapshots bit-identical to the uncrashed process.
 
 The store tracks a *generation* per key — bumped by every push and every
 eviction — which the :class:`~repro.service.query.QueryEngine` uses to
@@ -32,6 +38,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -49,6 +56,8 @@ from ..core.merge import AggregateSegment
 from ..api.plan import Budget, ExecutionPolicy
 from ..api.result import Result
 from ..api.session import Compressor
+from .durability import Durability, FrozenEpoch
+from .wire import encode_segments
 
 #: Stream keys are ordinary hashable identifiers (strings in the HTTP
 #: front end, but any hashable works in process).
@@ -133,7 +142,10 @@ class _KeyState:
     """Everything the store holds for one stream key."""
 
     session: Optional[Compressor] = None
-    frozen: List[Result] = field(default_factory=list)
+    frozen: List[FrozenEpoch] = field(default_factory=list)
+    #: Index of the current (or next) live epoch; bumped on every freeze.
+    #: In durable mode this names the key's WAL / checkpoint files.
+    epoch: int = 0
     generation: int = 0
     pushed: int = 0
     last_access: float = 0.0
@@ -165,6 +177,25 @@ class SessionStore:
         fallback and may be omitted entirely.
     clock:
         Monotonic time source (injectable for tests).
+    data_dir:
+        Enables the durability tier (:mod:`repro.service.durability`):
+        every acknowledged push is appended to a per-key write-ahead log
+        under this directory, frozen epochs are *demoted* to mmap-backed
+        checkpoint files instead of staying in RAM, and construction
+        **recovers** whatever a previous process left there — the
+        recovered store serves snapshots bit-identical to the uncrashed
+        one.  Durable stores require non-empty string keys (the key names
+        a directory).
+    fsync_every:
+        WAL fsync cadence in pushes (durable mode only).  ``1`` (default)
+        makes every acknowledged push durable; ``n`` batches fsyncs and
+        risks the last ``< n`` pushes on power loss; ``0`` leaves
+        flushing to the OS.
+    checkpoint_every:
+        Freeze-and-demote the live epoch after this many pushed tuples
+        (durable mode only).  Deterministic in the input, so crash and
+        no-crash runs place epoch boundaries identically; bounds WAL
+        replay length at recovery.  ``None`` disables the trigger.
     """
 
     def __init__(
@@ -179,6 +210,9 @@ class SessionStore:
         ttl: Optional[float] = None,
         session_factory: Optional[Callable[[Key], Compressor]] = None,
         clock: Callable[[], float] = time.monotonic,
+        data_dir: Optional[Union[str, Path]] = None,
+        fsync_every: int = 1,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if eviction is not None and (
             max_sessions is not None or ttl is not None
@@ -210,6 +244,19 @@ class SessionStore:
         self._lock = threading.RLock()
         self._pushed = 0
         self._evictions = 0
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ServiceError(
+                f"checkpoint_every must be at least 1, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and data_dir is None:
+            raise ServiceError(
+                "checkpoint_every requires durable mode (pass data_dir=)"
+            )
+        self._checkpoint_every = checkpoint_every
+        self._durability: Optional[Durability] = None
+        if data_dir is not None:
+            self._durability = Durability(data_dir, fsync_every=fsync_every)
+            self._recover()
 
     # ------------------------------------------------------------------
     # Feeding
@@ -224,8 +271,22 @@ class SessionStore:
         Creates the session on first touch (or a fresh epoch if the key's
         previous session was frozen), then runs the eviction policy over
         the live sessions.  Returns the number of segments consumed.
+
+        In durable mode the push is also appended to the key's
+        write-ahead log as one frame — *encoded before* the in-memory
+        push (so an invalid segment rejects without mutating anything)
+        and *appended after* it (so a crash mid-append loses only this
+        not-yet-acknowledged push); the fsync cadence is the store's
+        ``fsync_every``.
         """
         with self._lock:
+            if self._durability is not None and (
+                not isinstance(key, str) or not key
+            ):
+                raise ServiceError(
+                    f"durable stores require non-empty string keys, "
+                    f"got {key!r}"
+                )
             state = self._states.get(key)
             if state is None or state.session is None:
                 # Open the session *before* registering any state: a
@@ -236,14 +297,31 @@ class SessionStore:
                     state = _KeyState()
                     self._states[key] = state
                 state.session = session
+            chunk: List[AggregateSegment] = (
+                [segments]
+                if isinstance(segments, AggregateSegment)
+                else list(segments)
+            )
+            payload: Optional[bytes] = None
+            if self._durability is not None:
+                payload = encode_segments(chunk)  # validates before mutating
             before = state.session.pushed
-            state.session.push(segments)
+            state.session.push(chunk)
             consumed = state.session.pushed - before
+            if payload is not None:
+                assert self._durability is not None
+                self._durability.log_push(key, state.epoch, payload)
             state.pushed += consumed
             state.generation += 1
             state.last_access = self._clock()
             self._states.move_to_end(key)
             self._pushed += consumed
+            if (
+                self._checkpoint_every is not None
+                and state.session is not None
+                and state.session.pushed >= self._checkpoint_every
+            ):
+                self._freeze_state(key, state)
             self._run_eviction()
             return consumed
 
@@ -260,7 +338,7 @@ class SessionStore:
         """
         with self._lock:
             state = self._require(key)
-            parts = list(state.frozen)
+            parts = [epoch.result() for epoch in state.frozen]
             if state.session is not None:
                 parts.append(state.session.summary())
                 state.last_access = self._clock()
@@ -297,11 +375,11 @@ class SessionStore:
             parts: List[SnapshotColumns] = []
             if state.frozen:
                 if state.frozen_columns is None:
+                    # Demoted epochs contribute zero-copy views over their
+                    # mmap'd checkpoints here; resident epochs a one-time
+                    # column image of their segments.
                     state.frozen_columns = SnapshotColumns.concatenate(
-                        [
-                            SnapshotColumns.from_segments(part.segments)
-                            for part in state.frozen
-                        ]
+                        [epoch.columns() for epoch in state.frozen]
                     )
                 parts.append(state.frozen_columns)
             if state.session is not None:
@@ -316,7 +394,17 @@ class SessionStore:
             return self._require(key).generation
 
     def frozen(self, key: Key) -> List[Result]:
-        """The frozen summaries of ``key``'s evicted epochs (oldest first)."""
+        """The frozen summaries of ``key``'s evicted epochs (oldest first).
+
+        Materialises demoted epochs into full :class:`Result` objects —
+        an introspection path; serving reads go through
+        :meth:`snapshot_columns`, which keeps demoted epochs mmap-backed.
+        """
+        with self._lock:
+            return [epoch.result() for epoch in self._require(key).frozen]
+
+    def frozen_epochs(self, key: Key) -> List[FrozenEpoch]:
+        """The frozen epochs themselves (resident or demoted), oldest first."""
         with self._lock:
             return list(self._require(key).frozen)
 
@@ -374,7 +462,7 @@ class SessionStore:
             state = self._require(key)
             if state.session is None:
                 raise ServiceError(f"key {key!r} has no live session")
-            return self._freeze_state(state)
+            return self._freeze_state(key, state)
 
     def evict_idle(self) -> List[Key]:
         """Run the eviction policy now (it also runs after every push)."""
@@ -391,18 +479,91 @@ class SessionStore:
         for key in victims:
             state = self._states.get(key)
             if state is not None and state.session is not None:
-                self._freeze_state(state)
+                self._freeze_state(key, state)
         return victims
 
-    def _freeze_state(self, state: _KeyState) -> Result:
+    def _freeze_state(self, key: Key, state: _KeyState) -> Result:
+        """Finalize the live session into a frozen epoch.
+
+        In durable mode this is *demotion*: the finalized summary is
+        written as an atomic checkpoint, the epoch's WAL is deleted, and
+        only an mmap-backed :class:`FrozenEpoch` stays behind — the RAM
+        copy is dropped, so eviction now bounds memory without bounding
+        the number of queryable keys.
+        """
         assert state.session is not None
         frozen = state.session.finalize()
-        state.frozen.append(frozen)
+        if self._durability is not None:
+            epoch = self._durability.demote(key, state.epoch, frozen)
+        else:
+            epoch = FrozenEpoch.from_result(frozen)
+        state.frozen.append(epoch)
         state.frozen_columns = None  # rebuilt lazily on the next read
         state.session = None
+        state.epoch += 1
         state.generation += 1
         self._evictions += 1
         return frozen
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the durability tier's open WAL files.
+
+        Safe on a non-durable store (no-op).  The store stays usable for
+        reads; the next durable push reopens its key's WAL.
+        """
+        with self._lock:
+            if self._durability is not None:
+                self._durability.close()
+
+    def _recover(self) -> None:
+        """Rebuild every key a previous process left under ``data_dir``.
+
+        For each key: checkpointed epochs come back as mmap-backed
+        :class:`FrozenEpoch` objects; epochs whose demotion was
+        interrupted (WAL without checkpoint, not the newest) are replayed
+        and re-finalized, completing the demotion; the newest epoch's WAL
+        tail — torn final frame already truncated — is replayed through a
+        fresh session (:meth:`Compressor.replay`), which by the replay
+        invariant reproduces the crashed session's state bit-identically.
+        Store-wide counters resume from what disk proves was pushed.
+        """
+        assert self._durability is not None
+        for record in self._durability.recover():
+            state = _KeyState()
+            self._states[record.key] = state
+            entries = list(record.frozen)
+            for epoch_index, chunks in record.orphans:
+                session = self._open_session(record.key)
+                session.replay(chunks)
+                entries.append(
+                    (
+                        epoch_index,
+                        self._durability.demote(
+                            record.key, epoch_index, session.finalize()
+                        ),
+                    )
+                )
+            entries.sort(key=lambda pair: pair[0])
+            state.frozen = [epoch for _, epoch in entries]
+            state.epoch = record.live_epoch
+            live_tuples = 0
+            if record.live is not None:
+                session = self._open_session(record.key)
+                session.replay(record.live[1])
+                state.session = session
+                live_tuples = session.pushed
+            state.pushed = (
+                sum(epoch.input_size for epoch in state.frozen) + live_tuples
+            )
+            state.generation = len(state.frozen) + (
+                len(record.live[1]) if record.live is not None else 0
+            )
+            state.last_access = self._clock()
+            self._pushed += state.pushed
+            self._evictions += len(state.frozen)
 
     # ------------------------------------------------------------------
     # Internals

@@ -153,6 +153,17 @@ def decode_segments(data: bytes) -> List[AggregateSegment]:
 # ----------------------------------------------------------------------
 def encode_result(result: Any) -> bytes:
     """Encode a :class:`repro.api.Result` (summary + stats) into wire bytes."""
+    return pack_columns(result_columns(result), RESULT_MAGIC, WIRE_VERSION)
+
+
+def result_columns(result: Any) -> Dict[str, np.ndarray]:
+    """The column image of a :class:`~repro.api.result.Result`.
+
+    The segment columns of :func:`encode_segments` plus a JSON ``meta``
+    side column carrying the reduction statistics — the payload both the
+    ``PTAR`` wire format and the durability tier's ``PTAC`` checkpoint
+    files (:mod:`repro.storage.wal`) pack; they differ only in magic tag.
+    """
     encoded = _to_columns(result.segments)
     _require_finite(encoded.values)
     meta = {
@@ -167,32 +178,38 @@ def encode_result(result: Any) -> bytes:
         "value_columns": list(result.value_columns),
         "timestamp_name": result.timestamp_name,
     }
-    return pack_columns(
-        {
-            "starts": np.asarray(encoded.starts, dtype=np.int64),
-            "ends": np.asarray(encoded.ends, dtype=np.int64),
-            "values": np.asarray(encoded.values, dtype=np.float64),
-            "groups": np.asarray(encoded.groups, dtype=np.int64),
-            "group_keys": _json_column(
-                [list(key) for key in encoded.group_keys], "group values"
-            ),
-            "meta": _json_column(meta, "result metadata"),
-        },
-        RESULT_MAGIC,
-        WIRE_VERSION,
-    )
+    return {
+        "starts": np.asarray(encoded.starts, dtype=np.int64),
+        "ends": np.asarray(encoded.ends, dtype=np.int64),
+        "values": np.asarray(encoded.values, dtype=np.float64),
+        "groups": np.asarray(encoded.groups, dtype=np.int64),
+        "group_keys": _json_column(
+            [list(key) for key in encoded.group_keys], "group values"
+        ),
+        "meta": _json_column(meta, "result metadata"),
+    }
 
 
 def decode_result(data: bytes) -> Any:
     """Decode wire bytes produced by :func:`encode_result`."""
-    from ..api.result import Result
+    return result_from_columns(_unpack(data, RESULT_MAGIC))
 
-    columns = _unpack(data, RESULT_MAGIC)
+
+def result_meta(columns: Mapping[str, np.ndarray]) -> Dict[str, Any]:
+    """Parse and validate the ``meta`` side column of a result payload."""
     if "meta" not in columns:
         raise WireError("result payload is missing the meta column")
     meta = _json_value(columns["meta"], "meta")
     if not isinstance(meta, dict):
         raise WireError("meta column must decode to a JSON object")
+    return meta
+
+
+def result_from_columns(columns: Dict[str, np.ndarray]) -> Any:
+    """Rebuild a :class:`~repro.api.result.Result` from its column image."""
+    from ..api.result import Result
+
+    meta = result_meta(columns)
     segments = _materialise(_columns_to_encoded(columns))
     try:
         return Result(
@@ -339,6 +356,9 @@ __all__ = [
     "decode_segments",
     "encode_result",
     "encode_segments",
+    "result_columns",
+    "result_from_columns",
+    "result_meta",
     "segment_from_obj",
     "segment_to_obj",
     "segments_from_jsonl",

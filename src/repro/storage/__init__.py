@@ -1,14 +1,34 @@
-"""Storage substrate: tables, CSV persistence, binary column buffers."""
+"""Storage substrate: tables, CSV, column buffers, WAL + checkpoints."""
 
 from .columns import ColumnCodecError, pack_columns, unpack_columns
 from .csv_io import read_relation, write_relation
 from .table import Table
+from .wal import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    WAL_MAGIC,
+    WAL_VERSION,
+    WalError,
+    WalWriter,
+    load_checkpoint,
+    read_wal,
+    write_checkpoint,
+)
 
 __all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
     "ColumnCodecError",
     "Table",
+    "WAL_MAGIC",
+    "WAL_VERSION",
+    "WalError",
+    "WalWriter",
+    "load_checkpoint",
     "pack_columns",
     "read_relation",
+    "read_wal",
     "unpack_columns",
+    "write_checkpoint",
     "write_relation",
 ]

@@ -77,13 +77,21 @@ def pack_columns(
 
 
 def unpack_columns(
-    data: bytes, magic: bytes, version: int
+    data: "bytes | memoryview", magic: bytes, version: int, copy: bool = True
 ) -> Dict[str, np.ndarray]:
     """Restore the named arrays packed by :func:`pack_columns`.
 
     The caller states which ``magic`` tag and ``version`` it understands;
     buffers carrying anything else are rejected (that is how a future
     format revision keeps old readers from misinterpreting new bytes).
+
+    With ``copy=False`` the returned arrays are *views* into ``data``
+    instead of owning copies: zero deserialisation cost, but the arrays
+    are read-only whenever the buffer is (and they keep ``data`` alive).
+    This is what lets the durability tier serve frozen-epoch checkpoints
+    straight out of an ``mmap`` of the file — the OS pages columns in on
+    demand and they never occupy private process memory
+    (:func:`repro.storage.wal.load_checkpoint`).
     """
     if len(data) < _HEADER.size:
         raise ColumnCodecError(
@@ -130,7 +138,9 @@ def unpack_columns(
             data, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)),
             offset=offset - nbytes,
         ).reshape(tuple(int(extent) for extent in shape))
-        columns[name.decode("utf-8")] = array.copy()  # writable, owns data
+        if copy:
+            array = array.copy()  # writable, owns its data
+        columns[name.decode("utf-8")] = array
     if offset != len(data):
         raise ColumnCodecError(
             f"{len(data) - offset} trailing bytes after the last column"
@@ -138,14 +148,16 @@ def unpack_columns(
     return columns
 
 
-def _read_sized(data: bytes, offset: int, what: str) -> tuple:
+def _read_sized(data: "bytes | memoryview", offset: int, what: str) -> tuple:
     offset = _check_room(data, offset, _U16.size, f"{what} length")
     (length,) = _U16.unpack_from(data, offset - _U16.size)
     offset = _check_room(data, offset, length, what)
-    return data[offset - length : offset], offset
+    return bytes(data[offset - length : offset]), offset
 
 
-def _check_room(data: bytes, offset: int, need: int, what: str) -> int:
+def _check_room(
+    data: "bytes | memoryview", offset: int, need: int, what: str
+) -> int:
     if offset + need > len(data):
         raise ColumnCodecError(
             f"truncated buffer: expected {need} more bytes for {what} at "
