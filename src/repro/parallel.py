@@ -50,9 +50,11 @@ from __future__ import annotations
 
 import heapq
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,6 +67,7 @@ from .core.kernels import (
 )
 from .core.merge import AggregateSegment
 from .temporal import Interval
+from .util import failpoints
 
 #: Default number of segments per shard.  A function of the input only —
 #: never of the worker count — so that the shard plan (and with it the
@@ -72,6 +75,14 @@ from .temporal import Interval
 #: shard a 100k-segment input yields ~12 shards, enough to keep 4–16 cores
 #: busy while keeping the per-task serialisation overhead negligible.
 DEFAULT_SHARD_SIZE = 8192
+
+#: Pool rebuilds attempted after worker deaths before the engine gives up
+#: on multiprocessing and finishes the remaining shards in-process.
+SHARD_RETRIES = 2
+
+#: Base of the linear backoff between pool rebuilds, in seconds (the
+#: ``n``-th rebuild waits ``n * RETRY_BACKOFF_S``).
+RETRY_BACKOFF_S = 0.05
 
 
 @dataclass
@@ -178,9 +189,57 @@ def plan_shards(
 
 def _reduce_shard(payload) -> Tuple[np.ndarray, np.ndarray, float]:
     """Worker task: complete merge schedule plus ``SSE_max`` of one shard."""
+    failpoints.fail("parallel.worker")
     starts, ends, values, groups, w2 = payload
     boundaries, keys = greedy_merge_trajectory(starts, ends, values, groups, w2)
     return boundaries, keys, shard_sse_max(starts, ends, values, groups, w2)
+
+
+def _reduce_shards_pooled(
+    payloads: Sequence[tuple],
+    pool_width: int,
+    retries: int,
+    backoff: float,
+) -> List[Tuple[np.ndarray, np.ndarray, float]]:
+    """Run every shard on a process pool, surviving worker deaths.
+
+    Shards that completed before a :class:`BrokenProcessPool` keep their
+    results; the pool is rebuilt (after a linear backoff) and only the
+    missing shards are resubmitted, up to ``retries`` rebuilds.  After
+    that the remaining shards run in-process — slower, never wrong.
+    Results are indexed by shard, so the reconciliation order (and with
+    it the output) is bit-identical to the fault-free run no matter
+    which workers died when.
+    """
+    results: List[Optional[Tuple[np.ndarray, np.ndarray, float]]] = [
+        None
+    ] * len(payloads)
+    pending = list(range(len(payloads)))
+    rebuilds = 0
+    while pending:
+        try:
+            width = min(pool_width, len(pending))
+            with ProcessPoolExecutor(max_workers=width) as pool:
+                futures = {
+                    pool.submit(_reduce_shard, payloads[index]): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    results[futures[future]] = future.result()
+            pending = []
+        except BrokenProcessPool:
+            pending = [
+                index for index in pending if results[index] is None
+            ]
+            rebuilds += 1
+            if rebuilds > retries:
+                for index in pending:
+                    results[index] = _reduce_shard(payloads[index])
+                pending = []
+            else:
+                time.sleep(backoff * rebuilds)
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]
 
 
 def reduce_segments_parallel(
@@ -234,12 +293,22 @@ def run_sharded(
     weights: Weights | None = None,
     workers: int = 1,
     shard_size: int | None = None,
+    shard_retries: int | None = None,
+    retry_backoff: float | None = None,
 ) -> GreedyResult:
     """The sharded engine proper (encode → shard → reduce → reconcile).
 
     This is the raw engine invoked by :func:`repro.api.execute`; its
     defensive validation mirrors the build-time checks of
     :mod:`repro.api.plan` for direct callers.
+
+    Worker deaths (``BrokenProcessPool``) are survived: completed shards
+    keep their results, the pool is rebuilt with linear backoff up to
+    ``shard_retries`` times (default :data:`SHARD_RETRIES`), and the
+    remaining shards then fall back to in-process execution — the output
+    is bit-identical to the fault-free run in every case, because the
+    shard plan and the reconciliation consume results by shard index,
+    never by completion order.
     """
     if (size is None) == (max_error is None):
         raise ValueError("provide exactly one of 'size' and 'max_error'")
@@ -253,6 +322,18 @@ def run_sharded(
         shard_size = DEFAULT_SHARD_SIZE
     elif shard_size < 1:
         raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+    if shard_retries is None:
+        shard_retries = SHARD_RETRIES
+    elif shard_retries < 0:
+        raise ValueError(
+            f"shard_retries must be non-negative, got {shard_retries}"
+        )
+    if retry_backoff is None:
+        retry_backoff = RETRY_BACKOFF_S
+    elif retry_backoff < 0:
+        raise ValueError(
+            f"retry_backoff must be non-negative, got {retry_backoff}"
+        )
 
     encoded = (
         segments
@@ -283,11 +364,9 @@ def run_sharded(
     pool_width = workers if workers else (os.cpu_count() or 1)
     if pool_width > 1 and len(payloads) > 1:
         pool_width = min(pool_width, len(payloads))
-        with ProcessPoolExecutor(max_workers=pool_width) as pool:
-            chunksize = max(1, len(payloads) // (4 * pool_width))
-            trajectories = list(
-                pool.map(_reduce_shard, payloads, chunksize=chunksize)
-            )
+        trajectories = _reduce_shards_pooled(
+            payloads, pool_width, shard_retries, retry_backoff
+        )
     else:
         trajectories = [_reduce_shard(payload) for payload in payloads]
 
@@ -415,6 +494,8 @@ def _rebuild_shard(
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
+    "RETRY_BACKOFF_S",
+    "SHARD_RETRIES",
     "EncodedSegments",
     "encode_segments",
     "plan_shards",

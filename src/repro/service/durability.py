@@ -53,10 +53,11 @@ File formats are specified normatively in ``docs/FORMATS.md``.
 
 from __future__ import annotations
 
+import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from urllib.parse import quote, unquote
 
 import numpy as np
@@ -64,6 +65,7 @@ import numpy as np
 from ..api.result import Result
 from ..core.kernels import SnapshotColumns
 from ..core.merge import AggregateSegment
+from ..util import failpoints
 from ..storage.wal import (
     WalError,
     WalWriter,
@@ -85,7 +87,14 @@ _EPOCH_FILE = re.compile(r"^epoch-(\d{8})\.(wal|ckpt)$")
 
 
 class DurabilityError(ValueError):
-    """An invalid durability configuration or an unrecoverable layout."""
+    """A durability-tier failure: a disk fault on the WAL or checkpoint
+    path (wrapped ``OSError``), an invalid configuration, or an
+    unrecoverable on-disk layout.
+
+    The serving layer maps this to HTTP 503 — a push that raises it was
+    **not acknowledged** and did not mutate the in-memory state (the
+    store appends WAL-first), so the client may safely retry.
+    """
 
 
 def encode_key(key: str) -> str:
@@ -272,13 +281,33 @@ class RecoveredKey:
     live_epoch: int = 0
 
 
+@dataclass(frozen=True)
+class PushToken:
+    """Handle for one WAL-appended push, used to roll it back.
+
+    :meth:`Durability.log_push` appends the frame *before* the store
+    mutates memory; if the in-memory application then fails, the store
+    hands the token back to :meth:`Durability.rollback`, which truncates
+    the frame off the log — the two sides never diverge.
+    """
+
+    key: str
+    writer: WalWriter
+    offset: int
+
+
 class Durability:
     """Filesystem manager for one store's WAL segments and checkpoints.
 
     One instance per :class:`~repro.service.store.SessionStore`; the
-    store calls :meth:`log_push` after every acknowledged push,
-    :meth:`demote` when an epoch freezes, and :meth:`recover` once at
-    boot.  All methods are called under the store's lock.
+    store calls :meth:`log_push` *before* each in-memory push (WAL
+    first), :meth:`commit` after the push is applied (which advances
+    the **group-commit clock** — ``fsync_every`` is counted in
+    acknowledged pushes across every key, and on each cadence boundary
+    all dirty writers are fsynced in one sweep), :meth:`demote` when an
+    epoch freezes, and :meth:`recover` once at boot.  Every disk fault
+    surfaces as :class:`DurabilityError`.  All methods are called under
+    the store's lock.
     """
 
     def __init__(
@@ -293,6 +322,10 @@ class Durability:
         self.fsync_every = fsync_every
         #: One open writer per key — the live epoch's WAL.
         self._writers: Dict[str, Tuple[int, WalWriter]] = {}
+        #: Keys with appended-but-not-yet-fsynced frames (group commit).
+        self._dirty: Set[str] = set()
+        #: Acknowledged pushes since the last group fsync.
+        self._since_sync = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -309,47 +342,200 @@ class Durability:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def log_push(self, key: str, epoch: int, payload: bytes) -> None:
-        """Append one acknowledged push (``PTAS`` bytes) to the live WAL."""
+    def log_push(self, key: str, epoch: int, payload: bytes) -> PushToken:
+        """Append one push (``PTAS`` bytes) to the live WAL — *before*
+        the in-memory application.
+
+        Returns a :class:`PushToken` the store can hand to
+        :meth:`rollback` if applying the chunk in memory fails.  Any
+        disk fault raises :class:`DurabilityError` and leaves the log
+        byte-clean (a failed append truncates itself back, see
+        :class:`repro.storage.wal.WalWriter`); a writer whose rollback
+        failed earlier is refused until the epoch rotates, because
+        appending after a torn tail would hide every later frame from
+        recovery.
+        """
         cached = self._writers.get(key)
-        if cached is None or cached[0] != epoch:
-            if cached is not None:
-                cached[1].close()
-            directory = self.key_dir(key)
-            directory.mkdir(parents=True, exist_ok=True)
-            writer = WalWriter(
-                self.wal_path(key, epoch), fsync_every=self.fsync_every
+        if cached is not None and cached[0] == epoch and cached[1].broken:
+            raise DurabilityError(
+                f"WAL for key {key!r} epoch {epoch} is unusable after a "
+                f"failed rollback; awaiting epoch rotation"
             )
-            self._writers[key] = (epoch, writer)
-        else:
-            writer = cached[1]
-        writer.append(payload)
+        try:
+            if cached is None or cached[0] != epoch:
+                if cached is not None:
+                    self._close_quietly(cached[1])
+                    del self._writers[key]
+                directory = self.key_dir(key)
+                directory.mkdir(parents=True, exist_ok=True)
+                writer = WalWriter(self.wal_path(key, epoch), fsync_every=0)
+                self._writers[key] = (epoch, writer)
+            else:
+                writer = cached[1]
+            offset = writer.tell()
+            writer.append(payload)
+        except OSError as error:
+            raise DurabilityError(
+                f"WAL append failed for key {key!r}: {error}"
+            ) from error
+        self._dirty.add(key)
+        return PushToken(key, writer, offset)
+
+    def writer_broken(self, key: str, epoch: int) -> bool:
+        """Whether the key's live writer refuses appends (torn tail).
+
+        ``True`` only after a rollback failed — the store reacts by
+        rotating the key's epoch, which gets a fresh segment file.
+        """
+        cached = self._writers.get(key)
+        return cached is not None and cached[0] == epoch and cached[1].broken
+
+    def rollback(self, token: PushToken) -> None:
+        """Truncate the frame appended by :meth:`log_push` off the log.
+
+        Raises :class:`DurabilityError` if the truncation fails — in
+        which case the writer has marked itself broken and the epoch
+        must rotate before the key can log again.
+        """
+        try:
+            token.writer.truncate_to(token.offset)
+        except OSError as error:
+            raise DurabilityError(
+                f"WAL rollback failed for key {token.key!r}: {error}"
+            ) from error
+
+    def commit(self) -> None:
+        """Advance the group-commit clock by one acknowledged push.
+
+        With ``fsync_every=n`` every ``n``-th acknowledged push — counted
+        across all keys, *not* per WAL file — fsyncs every dirty writer
+        in one sweep, so the acked-but-unsynced window is bounded by
+        ``n`` pushes store-wide however the keys interleave.
+        ``fsync_every=0`` leaves flushing to the OS entirely.
+        """
+        if not self.fsync_every:
+            return
+        self._since_sync += 1
+        if self._since_sync >= self.fsync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Fsync every dirty writer now, regardless of the cadence.
+
+        Writers that sync cleanly leave the dirty set even if a later
+        one fails, so a retry only re-syncs what still needs it; the
+        first failure is wrapped and raised after the sweep stops.
+        """
+        self._since_sync = 0
+        for key in sorted(self._dirty):
+            cached = self._writers.get(key)
+            if cached is None:
+                self._dirty.discard(key)
+                continue
+            try:
+                cached[1].sync()
+            except OSError as error:
+                raise DurabilityError(
+                    f"WAL fsync failed for key {key!r}: {error}"
+                ) from error
+            self._dirty.discard(key)
+
+    def probe(self) -> None:
+        """Verify ``data_dir`` accepts durable writes (degraded re-probe).
+
+        Writes, fsyncs and unlinks a scratch file; any fault raises
+        :class:`DurabilityError`.  The store calls this while degraded
+        to decide whether the disk came back.
+        """
+        path = self.root / ".probe"
+        try:
+            failpoints.fail("durability.probe")
+            with open(path, "wb") as file:
+                file.write(b"pta-probe")
+                file.flush()
+                os.fsync(file.fileno())
+            path.unlink()
+        except OSError as error:
+            raise DurabilityError(
+                f"durability probe failed under {self.root}: {error}"
+            ) from error
+
+    def suspend(self) -> None:
+        """Drop every writer without raising (degraded-mode entry).
+
+        Close errors are swallowed — the store is abandoning the disk,
+        not depending on it; :meth:`log_push` lazily reopens writers
+        after a successful re-attach.
+        """
+        for _, writer in list(self._writers.values()):
+            self._close_quietly(writer)
+        self._writers.clear()
+        self._dirty.clear()
+        self._since_sync = 0
 
     def demote(self, key: str, epoch: int, result: Result) -> FrozenEpoch:
         """Persist a finalized epoch and drop its WAL (memory → disk).
 
         Writes the ``PTAC`` checkpoint atomically *before* deleting the
         WAL, so a crash anywhere in between leaves a recoverable state
-        (checkpoint wins; see the module docstring's crash windows).
+        (checkpoint wins; see the module docstring's crash windows).  A
+        checkpoint-write fault raises :class:`DurabilityError` with the
+        WAL intact — the epoch is still fully recoverable from its
+        frames; a WAL-unlink fault after the checkpoint is durable is
+        swallowed (recovery resolves it: checkpoint wins).
         """
         directory = self.key_dir(key)
-        directory.mkdir(parents=True, exist_ok=True)
-        target = self.checkpoint_path(key, epoch)
-        write_checkpoint(target, result_columns(result))
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            target = self.checkpoint_path(key, epoch)
+            write_checkpoint(target, result_columns(result))
+        except OSError as error:
+            raise DurabilityError(
+                f"checkpoint write failed for key {key!r} epoch "
+                f"{epoch}: {error}"
+            ) from error
         cached = self._writers.get(key)
         if cached is not None and cached[0] == epoch:
-            cached[1].close()
+            self._close_quietly(cached[1])
             del self._writers[key]
-        wal = self.wal_path(key, epoch)
-        if wal.exists():
-            wal.unlink()
+            self._dirty.discard(key)
+        try:
+            wal = self.wal_path(key, epoch)
+            if wal.exists():
+                wal.unlink()
+        except OSError:
+            pass  # the checkpoint is durable; recovery deletes the WAL
         return FrozenEpoch.from_checkpoint(target)
 
     def close(self) -> None:
-        """Flush and close every open WAL writer."""
+        """Flush and close every open WAL writer.
+
+        The first close/fsync fault is wrapped in
+        :class:`DurabilityError` and raised after every writer has been
+        attempted — no writer is left open because an earlier one
+        failed.
+        """
+        first_error: Optional[OSError] = None
         for _, writer in self._writers.values():
-            writer.close()
+            try:
+                writer.close()
+            except OSError as error:
+                if first_error is None:
+                    first_error = error
         self._writers.clear()
+        self._dirty.clear()
+        self._since_sync = 0
+        if first_error is not None:
+            raise DurabilityError(
+                f"closing WAL writers failed: {first_error}"
+            ) from first_error
+
+    @staticmethod
+    def _close_quietly(writer: WalWriter) -> None:
+        try:
+            writer.close()
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # Recovery
@@ -420,6 +606,7 @@ __all__ = [
     "Durability",
     "DurabilityError",
     "FrozenEpoch",
+    "PushToken",
     "RecoveredKey",
     "decode_key",
     "encode_key",

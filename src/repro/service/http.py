@@ -25,9 +25,24 @@ Endpoints::
 
 A segment object is ``{"group": [...], "values": [...], "start": int,
 "end": int}`` (``group`` may be omitted for ungrouped streams); ``group=``
-query parameters take the same JSON array form.  Errors come back as
-``{"error": message}`` with status 400 (bad request / unknown key) or 404
-(unknown route).
+query parameters take the same JSON array form.
+
+**Errors are always structured JSON** — ``{"error": message, "code":
+slug}`` — and the front end is hardened against abuse and faults
+(``docs/ARCHITECTURE.md`` § Operating under failure):
+
+========  =====================  ==========================================
+status    code                   meaning
+========  =====================  ==========================================
+400       ``bad_request``        invalid body, query, or unknown key
+400       ``deadline_exceeded``  the per-request socket deadline expired
+404       ``not_found``          unknown route
+413       ``payload_too_large``  ``Content-Length`` above ``max_body``
+429       ``backpressure``       too many in-flight pushes (``Retry-After``)
+500       ``internal``           unexpected handler exception (logged)
+503       ``durability``         durable push failed; safe to retry
+503       ``degraded``           ``/healthz`` while the store is degraded
+========  =====================  ==========================================
 """
 
 from __future__ import annotations
@@ -42,6 +57,7 @@ from urllib.parse import parse_qs, urlsplit
 from ..core.merge import AggregateSegment
 from ..api.plan import Budget, ExecutionPolicy
 from ..api.result import Result
+from .durability import DurabilityError
 from .query import QueryEngine, WindowBucket
 from .store import Key, LRUTTLEviction, ServiceError, SessionStore, StoreStats
 from .wire import (
@@ -54,6 +70,15 @@ from .wire import (
 
 #: Content type of binary wire payloads on the HTTP surface.
 WIRE_CONTENT_TYPE = "application/x-pta-wire"
+
+#: Largest accepted request body in bytes (413 above this).
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+#: Concurrent in-flight pushes before the server answers 429.
+DEFAULT_MAX_IN_FLIGHT = 64
+
+#: Per-request socket deadline in seconds (slow clients get 400).
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class Service:
@@ -79,11 +104,14 @@ class Service:
         data_dir: Optional[Union[str, "Path"]] = None,
         fsync_every: Optional[int] = None,
         checkpoint_every: Optional[int] = None,
+        degrade_after: Optional[int] = None,
+        reprobe_every: Optional[int] = None,
     ) -> None:
         if store is not None:
             if (budget, size, max_error, policy, eviction, max_sessions,
                     ttl, session_factory, data_dir, fsync_every,
-                    checkpoint_every) != (None,) * 11:
+                    checkpoint_every, degrade_after,
+                    reprobe_every) != (None,) * 13:
                 raise ServiceError(
                     "pass either a prebuilt store or store-construction "
                     "keywords, not both"
@@ -102,6 +130,8 @@ class Service:
                 data_dir=data_dir,
                 fsync_every=1 if fsync_every is None else fsync_every,
                 checkpoint_every=checkpoint_every,
+                degrade_after=3 if degrade_after is None else degrade_after,
+                reprobe_every=8 if reprobe_every is None else reprobe_every,
             )
         self.engine = QueryEngine(self.store)
 
@@ -162,7 +192,15 @@ class Service:
 # HTTP front end
 # ----------------------------------------------------------------------
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`Service` instance."""
+    """A threading HTTP server bound to one :class:`Service` instance.
+
+    The front-end protection knobs live here: ``max_body`` bounds the
+    accepted ``Content-Length`` (413 above it), ``max_in_flight`` bounds
+    concurrent pushes (429 + ``Retry-After`` beyond it — queries are
+    never shed), and ``request_timeout`` is the per-request socket
+    deadline in seconds (``None`` disables it; slow clients get 400
+    ``deadline_exceeded``).
+    """
 
     daemon_threads = True
 
@@ -171,10 +209,28 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         service: Service,
         quiet: bool = True,
+        max_body: int = DEFAULT_MAX_BODY,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
+        if max_body < 1:
+            raise ServiceError(
+                f"max_body must be at least 1 byte, got {max_body}"
+            )
+        if max_in_flight < 1:
+            raise ServiceError(
+                f"max_in_flight must be at least 1, got {max_in_flight}"
+            )
+        if request_timeout is not None and request_timeout <= 0:
+            raise ServiceError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        self.max_body = max_body
+        self.request_timeout = request_timeout
+        self.push_slots = threading.BoundedSemaphore(max_in_flight)
 
     @property
     def port(self) -> int:
@@ -185,61 +241,156 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer  # narrowed for the route handlers
 
+    def setup(self) -> None:
+        # StreamRequestHandler applies self.timeout as the socket
+        # deadline — every blocking read/write on this request is
+        # bounded, so one slow client cannot pin a handler thread.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
-        url = urlsplit(self.path)
-        query = parse_qs(url.query)
-        try:
-            if url.path == "/healthz":
-                self._send_json(200, {"status": "ok"})
-            elif url.path == "/stats":
-                self._send_json(
-                    200, self.server.service.stats().as_dict()
-                )
-            elif url.path == "/value_at":
-                self._handle_value_at(query)
-            elif url.path == "/range_agg":
-                self._handle_range_agg(query)
-            elif url.path == "/window":
-                self._handle_window(query)
-            elif url.path == "/summary":
-                self._handle_summary(query)
-            else:
-                self._send_json(
-                    404, {"error": f"unknown route {url.path!r}"}
-                )
-        except (ServiceError, WireError, ValueError) as error:
-            self._send_json(400, {"error": str(error)})
+        self._guarded(self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
-        url = urlsplit(self.path)
+        self._guarded(self._route_post)
+
+    def _guarded(self, route: Callable[[], None]) -> None:
+        """Run a route; every failure becomes a structured JSON error.
+
+        Order matters: :class:`DurabilityError` subclasses
+        :class:`ValueError`, so the 503 arm must come before the generic
+        400 arm.  Anything unexpected is logged server-side and answered
+        with an opaque 500 — never a stack trace to the client.
+        """
         try:
-            if url.path.startswith("/push/"):
-                key = url.path[len("/push/"):]
-                if not key:
-                    raise ServiceError("push requires a non-empty key")
-                self._handle_push(key)
-            else:
-                self._send_json(
-                    404, {"error": f"unknown route {url.path!r}"}
-                )
+            route()
+        except DurabilityError as error:
+            self._send_error(503, str(error), "durability")
         except (ServiceError, WireError, ValueError) as error:
-            self._send_json(400, {"error": str(error)})
+            self._send_error(400, str(error), "bad_request")
+        except TimeoutError:
+            self.close_connection = True
+            self._send_error(
+                400, "request deadline exceeded", "deadline_exceeded"
+            )
+        except Exception as error:  # noqa: BLE001 — the 500 catch-all
+            self.log_error(
+                "unhandled %s: %s", type(error).__name__, error
+            )
+            try:
+                self._send_error(500, "internal server error", "internal")
+            except OSError:
+                self.close_connection = True
+
+    def _route_get(self) -> None:
+        url = urlsplit(self.path)
+        query = parse_qs(url.query)
+        if url.path == "/healthz":
+            self._handle_healthz()
+        elif url.path == "/stats":
+            self._send_json(200, self.server.service.stats().as_dict())
+        elif url.path == "/value_at":
+            self._handle_value_at(query)
+        elif url.path == "/range_agg":
+            self._handle_range_agg(query)
+        elif url.path == "/window":
+            self._handle_window(query)
+        elif url.path == "/summary":
+            self._handle_summary(query)
+        else:
+            self._send_error(404, f"unknown route {url.path!r}", "not_found")
+
+    def _route_post(self) -> None:
+        url = urlsplit(self.path)
+        if url.path.startswith("/push/"):
+            key = url.path[len("/push/"):]
+            if not key:
+                raise ServiceError("push requires a non-empty key")
+            self._handle_push(key)
+        else:
+            self._send_error(404, f"unknown route {url.path!r}", "not_found")
 
     # ------------------------------------------------------------------
     # Route handlers
     # ------------------------------------------------------------------
-    def _handle_push(self, key: str) -> None:
-        length = int(self.headers.get("Content-Length", "0"))
-        body = self.rfile.read(length)
-        content_type = (self.headers.get("Content-Type") or "").split(";")[0]
-        if content_type == WIRE_CONTENT_TYPE:
-            segments = decode_segments(body)
+    def _handle_healthz(self) -> None:
+        stats = self.server.service.stats()
+        if stats.degraded:
+            self._send_json(
+                503,
+                {
+                    "status": "degraded",
+                    "error": "durable store is in memory-only degraded "
+                    "mode (disk faults); pushes are not being logged",
+                    "code": "degraded",
+                },
+            )
         else:
-            segments = _segments_from_json_body(body)
-        self._send_json(200, self.server.service.push(key, segments))
+            self._send_json(200, {"status": "ok"})
+
+    def _read_push_body(self) -> bytes:
+        """Read the request body, refusing abusive ``Content-Length``.
+
+        The header is attacker-controlled: non-integers and negatives
+        are 400, anything above the server's ``max_body`` is 413 —
+        *before* a single body byte is read, so an oversized request
+        never costs more than its headers.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            raise ServiceError("push requires a Content-Length header")
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ServiceError(
+                f"invalid Content-Length {raw!r}"
+            ) from None
+        if length < 0:
+            raise ServiceError(f"invalid Content-Length {length}")
+        if length > self.server.max_body:
+            self.close_connection = True  # don't drain an oversized body
+            self._send_error(
+                413,
+                f"request body of {length} bytes exceeds the limit of "
+                f"{self.server.max_body}",
+                "payload_too_large",
+            )
+            raise _Responded()
+        body = self.rfile.read(length)
+        if len(body) < length:
+            raise ServiceError(
+                f"request body truncated: Content-Length promised "
+                f"{length} bytes, got {len(body)}"
+            )
+        return body
+
+    def _handle_push(self, key: str) -> None:
+        if not self.server.push_slots.acquire(blocking=False):
+            self._send_error(
+                429,
+                "too many in-flight pushes; retry shortly",
+                "backpressure",
+                headers={"Retry-After": "1"},
+            )
+            return
+        try:
+            try:
+                body = self._read_push_body()
+            except _Responded:
+                return
+            content_type = (
+                self.headers.get("Content-Type") or ""
+            ).split(";")[0]
+            if content_type == WIRE_CONTENT_TYPE:
+                segments = decode_segments(body)
+            else:
+                segments = _segments_from_json_body(body)
+            self._send_json(200, self.server.service.push(key, segments))
+        finally:
+            self.server.push_slots.release()
 
     def _handle_value_at(self, query: Dict[str, List[str]]) -> None:
         key = _param(query, "key")
@@ -316,23 +467,58 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._send_bytes(
             status,
             json.dumps(payload).encode("utf-8"),
             "application/json",
+            headers,
         )
 
-    def _send_bytes(self, status: int, body: bytes, ctype: str) -> None:
+    def _send_error(
+        self,
+        status: int,
+        message: str,
+        code: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """The one error shape every failure path uses:
+        ``{"error": message, "code": slug}``."""
+        self._send_json(
+            status, {"error": message, "code": code}, headers
+        )
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        ctype: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def log_message(self, format: str, *args: Any) -> None:
         if not self.server.quiet:
             super().log_message(format, *args)
+
+    def log_error(self, format: str, *args: Any) -> None:
+        # Server-side faults are logged even when access logs are quiet.
+        BaseHTTPRequestHandler.log_message(self, format, *args)
+
+
+class _Responded(Exception):
+    """Control flow marker: the handler already wrote a response."""
 
 
 def _param(
@@ -389,9 +575,19 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
+    max_body: int = DEFAULT_MAX_BODY,
+    max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
 ) -> ServiceHTTPServer:
     """Bind the HTTP front end; call ``serve_forever()`` on the result."""
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    return ServiceHTTPServer(
+        (host, port),
+        service,
+        quiet=quiet,
+        max_body=max_body,
+        max_in_flight=max_in_flight,
+        request_timeout=request_timeout,
+    )
 
 
 def start_in_background(
@@ -399,13 +595,24 @@ def start_in_background(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    max_body: int = DEFAULT_MAX_BODY,
+    max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
 ) -> Tuple[ServiceHTTPServer, threading.Thread]:
     """Start the front end on a daemon thread (``port=0`` = ephemeral).
 
     Returns the bound server (``server.port`` tells the chosen port) and
     the serving thread; ``server.shutdown()`` stops it.
     """
-    server = serve(service, host, port, quiet=quiet)
+    server = serve(
+        service,
+        host,
+        port,
+        quiet=quiet,
+        max_body=max_body,
+        max_in_flight=max_in_flight,
+        request_timeout=request_timeout,
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="pta-service-http", daemon=True
     )
@@ -414,6 +621,9 @@ def start_in_background(
 
 
 __all__ = [
+    "DEFAULT_MAX_BODY",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_REQUEST_TIMEOUT",
     "Service",
     "ServiceHTTPServer",
     "WIRE_CONTENT_TYPE",

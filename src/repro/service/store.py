@@ -56,7 +56,7 @@ from ..core.merge import AggregateSegment
 from ..api.plan import Budget, ExecutionPolicy
 from ..api.result import Result
 from ..api.session import Compressor
-from .durability import Durability, FrozenEpoch
+from .durability import Durability, DurabilityError, FrozenEpoch, PushToken
 from .wire import encode_segments
 
 #: Stream keys are ordinary hashable identifiers (strings in the HTTP
@@ -70,12 +70,22 @@ class ServiceError(ValueError):
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Point-in-time counters of a :class:`SessionStore`."""
+    """Point-in-time counters of a :class:`SessionStore`.
+
+    ``durable`` says whether the store was built with a ``data_dir``;
+    ``degraded`` whether it is currently in memory-only degraded mode
+    (disk faults exceeded the ``degrade_after`` streak and the periodic
+    re-probe has not yet re-attached the WAL); ``disk_errors`` counts
+    every durability-tier fault ever observed, monotonically.
+    """
 
     live_sessions: int
     frozen_summaries: int
     pushed_segments: int
     evictions: int
+    durable: bool = False
+    degraded: bool = False
+    disk_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The stats as a plain mapping (the HTTP ``/stats`` shape)."""
@@ -84,6 +94,9 @@ class StoreStats:
             "frozen_summaries": self.frozen_summaries,
             "pushed_segments": self.pushed_segments,
             "evictions": self.evictions,
+            "durable": int(self.durable),
+            "degraded": int(self.degraded),
+            "disk_errors": self.disk_errors,
         }
 
 
@@ -153,6 +166,15 @@ class _KeyState:
     #: invalidated whenever a new epoch freezes.  Frozen summaries never
     #: change, so this is computed once per eviction, not per query.
     frozen_columns: Optional[SnapshotColumns] = None
+    #: Consecutive durable-write failures for this key alone; at the
+    #: ``degrade_after`` threshold (or immediately on a torn WAL tail)
+    #: the store rotates the key's epoch so a single poisoned segment
+    #: file cannot wedge the key forever.
+    disk_streak: int = 0
+    #: Set when a push was acknowledged without reaching the WAL
+    #: (degraded mode); re-attach demotes dirty keys so disk catches
+    #: back up with memory.
+    dirty: bool = False
 
 
 class SessionStore:
@@ -196,6 +218,20 @@ class SessionStore:
         (durable mode only).  Deterministic in the input, so crash and
         no-crash runs place epoch boundaries identically; bounds WAL
         replay length at recovery.  ``None`` disables the trigger.
+    degrade_after:
+        Consecutive durability faults before the store gives up on the
+        disk and enters **degraded** (memory-only) mode: pushes keep
+        being acknowledged but are no longer logged, ``/healthz`` and
+        :meth:`stats` report ``degraded``, and the store periodically
+        re-probes the data directory.  The same threshold applies
+        per-key: a key whose own writes keep failing has its epoch
+        rotated onto a fresh segment file.
+    reprobe_every:
+        While degraded, re-probe the data directory every this many
+        acknowledged pushes and re-attach (demoting every key that
+        accumulated memory-only state) as soon as a probe succeeds.
+        ``0`` disables automatic re-probing; :meth:`reprobe` always
+        works manually.
     """
 
     def __init__(
@@ -213,6 +249,8 @@ class SessionStore:
         data_dir: Optional[Union[str, Path]] = None,
         fsync_every: int = 1,
         checkpoint_every: Optional[int] = None,
+        degrade_after: int = 3,
+        reprobe_every: int = 8,
     ) -> None:
         if eviction is not None and (
             max_sessions is not None or ttl is not None
@@ -253,6 +291,25 @@ class SessionStore:
                 "checkpoint_every requires durable mode (pass data_dir=)"
             )
         self._checkpoint_every = checkpoint_every
+        if degrade_after < 1:
+            raise ServiceError(
+                f"degrade_after must be at least 1, got {degrade_after}"
+            )
+        if reprobe_every < 0:
+            raise ServiceError(
+                f"reprobe_every must be non-negative, got {reprobe_every}"
+            )
+        self._degrade_after = degrade_after
+        self._reprobe_every = reprobe_every
+        self._degraded = False
+        self._disk_errors = 0
+        self._error_streak = 0
+        self._since_probe = 0
+        #: Resident frozen epochs awaiting a checkpoint write that failed
+        #: or was skipped while degraded: (key, epoch index, position in
+        #: the key's frozen list).  Retried after every fully-durable
+        #: push and at re-attach.
+        self._pending_demote: List[Tuple[Key, int, int]] = []
         self._durability: Optional[Durability] = None
         if data_dir is not None:
             self._durability = Durability(data_dir, fsync_every=fsync_every)
@@ -272,12 +329,18 @@ class SessionStore:
         previous session was frozen), then runs the eviction policy over
         the live sessions.  Returns the number of segments consumed.
 
-        In durable mode the push is also appended to the key's
-        write-ahead log as one frame — *encoded before* the in-memory
-        push (so an invalid segment rejects without mutating anything)
-        and *appended after* it (so a crash mid-append loses only this
-        not-yet-acknowledged push); the fsync cadence is the store's
-        ``fsync_every``.
+        In durable mode the push is **atomic with respect to disk
+        faults**: the chunk is encoded (validating it), appended to the
+        key's write-ahead log as one frame *first*, and only then
+        applied in memory — a disk fault raises
+        :class:`~repro.service.durability.DurabilityError` with the
+        in-memory state untouched (safe to retry), and a failed
+        in-memory application truncates the frame back off the log, so
+        memory and log never diverge.  After ``degrade_after``
+        consecutive disk faults the store drops to **degraded**
+        memory-only mode: pushes are acknowledged without logging until
+        a periodic re-probe (every ``reprobe_every`` pushes, or a manual
+        :meth:`reprobe`) re-attaches the data directory.
         """
         with self._lock:
             if self._durability is not None and (
@@ -288,7 +351,9 @@ class SessionStore:
                     f"got {key!r}"
                 )
             state = self._states.get(key)
-            if state is None or state.session is None:
+            created = state is None
+            opened = created or state.session is None
+            if opened:
                 # Open the session *before* registering any state: a
                 # failing session_factory must not leave a phantom key
                 # behind (its snapshot would have nothing to serve).
@@ -297,25 +362,72 @@ class SessionStore:
                     state = _KeyState()
                     self._states[key] = state
                 state.session = session
+            assert state.session is not None
             chunk: List[AggregateSegment] = (
                 [segments]
                 if isinstance(segments, AggregateSegment)
                 else list(segments)
             )
-            payload: Optional[bytes] = None
-            if self._durability is not None:
-                payload = encode_segments(chunk)  # validates before mutating
-            before = state.session.pushed
-            state.session.push(chunk)
-            consumed = state.session.pushed - before
-            if payload is not None:
+            logging = self._durability is not None and not self._degraded
+            token: Optional[PushToken] = None
+            if logging:
                 assert self._durability is not None
-                self._durability.log_push(key, state.epoch, payload)
+                payload = encode_segments(chunk)  # validates before any I/O
+                try:
+                    token = self._durability.log_push(
+                        key, state.epoch, payload
+                    )
+                except DurabilityError:
+                    # Not acknowledged, memory untouched — unregister a
+                    # session this very call opened so the failed push
+                    # leaves no phantom key behind.
+                    self._note_disk_error(key, state)
+                    if opened:
+                        state.session = None
+                        if created:
+                            del self._states[key]
+                    raise
+            before = state.session.pushed
+            try:
+                state.session.push(chunk)
+            except Exception:
+                if token is not None:
+                    assert self._durability is not None
+                    try:
+                        self._durability.rollback(token)
+                    except DurabilityError:
+                        # The writer marked itself broken; the next push
+                        # for this key rotates its epoch.
+                        self._note_disk_error(key, state)
+                raise
+            consumed = state.session.pushed - before
             state.pushed += consumed
             state.generation += 1
             state.last_access = self._clock()
             self._states.move_to_end(key)
             self._pushed += consumed
+            if token is not None:
+                assert self._durability is not None
+                try:
+                    self._durability.commit()
+                except DurabilityError:
+                    # Appended and applied, so the push stays acked; the
+                    # fsync fault only widens the power-loss window,
+                    # which is what the error streak tracks.
+                    self._note_disk_error(key, state)
+                else:
+                    self._error_streak = 0
+                    state.disk_streak = 0
+                    if self._pending_demote:
+                        self._retry_pending_demotes()
+            elif self._durability is not None:
+                state.dirty = True  # acknowledged memory-only (degraded)
+                self._since_probe += 1
+                if (
+                    self._reprobe_every
+                    and self._since_probe >= self._reprobe_every
+                ):
+                    self._try_reattach()
             if (
                 self._checkpoint_every is not None
                 and state.session is not None
@@ -446,7 +558,16 @@ class SessionStore:
                 ),
                 pushed_segments=self._pushed,
                 evictions=self._evictions,
+                durable=self._durability is not None,
+                degraded=self._degraded,
+                disk_errors=self._disk_errors,
             )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the store is in memory-only degraded mode."""
+        with self._lock:
+            return self._degraded
 
     # ------------------------------------------------------------------
     # Eviction
@@ -489,12 +610,26 @@ class SessionStore:
         written as an atomic checkpoint, the epoch's WAL is deleted, and
         only an mmap-backed :class:`FrozenEpoch` stays behind — the RAM
         copy is dropped, so eviction now bounds memory without bounding
-        the number of queryable keys.
+        the number of queryable keys.  If the checkpoint write fails —
+        or the store is degraded — the epoch stays resident and is
+        queued for demotion (:attr:`_pending_demote`); freezing never
+        loses state to a disk fault.
         """
         assert state.session is not None
         frozen = state.session.finalize()
-        if self._durability is not None:
-            epoch = self._durability.demote(key, state.epoch, frozen)
+        epoch: FrozenEpoch
+        if self._durability is not None and not self._degraded:
+            try:
+                epoch = self._durability.demote(key, state.epoch, frozen)
+            except DurabilityError:
+                epoch = FrozenEpoch.from_result(frozen)
+                self._pending_demote.append(
+                    (key, state.epoch, len(state.frozen))
+                )
+                self._note_demote_error()
+        elif self._durability is not None:
+            epoch = FrozenEpoch.from_result(frozen)
+            self._pending_demote.append((key, state.epoch, len(state.frozen)))
         else:
             epoch = FrozenEpoch.from_result(frozen)
         state.frozen.append(epoch)
@@ -504,6 +639,137 @@ class SessionStore:
         state.generation += 1
         self._evictions += 1
         return frozen
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+    def reprobe(self) -> bool:
+        """Probe the data directory now; re-attach if it accepts writes.
+
+        While degraded the store also calls this automatically every
+        ``reprobe_every`` acknowledged pushes.  Re-attaching demotes
+        every key that accumulated memory-only state (so disk is again
+        consistent with memory) and retries pending demotions.  Returns
+        ``True`` when the store is durable and attached after the call;
+        always ``False`` for a memory-only store.
+        """
+        with self._lock:
+            if self._durability is None:
+                return False
+            if not self._degraded:
+                return True
+            return self._try_reattach()
+
+    def _note_disk_error(self, key: Key, state: _KeyState) -> None:
+        """Record a failed durable write for ``key`` and react.
+
+        A store-wide streak of ``degrade_after`` consecutive faults
+        enters degraded mode; a per-key streak (or a torn WAL tail,
+        immediately) rotates just that key's epoch so one poisoned
+        segment file cannot wedge the key while the rest of the store
+        stays healthy.
+        """
+        assert self._durability is not None
+        self._disk_errors += 1
+        self._error_streak += 1
+        state.disk_streak += 1
+        if self._error_streak >= self._degrade_after:
+            self._enter_degraded()
+            return
+        if state.disk_streak >= self._degrade_after or (
+            isinstance(key, str)
+            and self._durability.writer_broken(key, state.epoch)
+        ):
+            state.disk_streak = 0
+            self._rotate_epoch(key, state)
+
+    def _note_demote_error(self) -> None:
+        """A checkpoint write failed (no key rotation — the freeze that
+        triggered it already rotated the epoch)."""
+        self._disk_errors += 1
+        self._error_streak += 1
+        if self._error_streak >= self._degrade_after:
+            self._enter_degraded()
+
+    def _rotate_epoch(self, key: Key, state: _KeyState) -> None:
+        """Abandon the key's current WAL epoch for a fresh segment file.
+
+        A session with data is frozen (falling back to a resident epoch
+        if its checkpoint fails too); an empty one just skips to the
+        next epoch index.
+        """
+        if state.session is not None and state.session.pushed > 0:
+            self._freeze_state(key, state)
+        else:
+            state.epoch += 1
+            state.generation += 1
+
+    def _enter_degraded(self) -> None:
+        """Give up on the disk: close writers, serve from memory only."""
+        if self._degraded:
+            return
+        assert self._durability is not None
+        self._degraded = True
+        self._error_streak = 0
+        self._since_probe = 0
+        self._durability.suspend()
+
+    def _try_reattach(self) -> bool:
+        """One degraded-mode probe; on success, resynchronise the disk.
+
+        Every dirty key (acknowledged memory-only pushes) is demoted —
+        its full state checkpointed — so recovery from the re-attached
+        directory is again bit-identical to memory; then pending
+        demotions are retried.  A fault anywhere along the way re-enters
+        degraded mode and the remaining work stays queued.
+        """
+        assert self._durability is not None
+        self._since_probe = 0
+        try:
+            self._durability.probe()
+        except DurabilityError:
+            self._disk_errors += 1
+            return False
+        self._degraded = False
+        self._error_streak = 0
+        for key, state in list(self._states.items()):
+            if self._degraded:
+                return False  # a demotion fault sent us straight back
+            if not state.dirty:
+                continue
+            if state.session is not None and state.session.pushed > 0:
+                self._freeze_state(key, state)
+            state.dirty = False
+        self._retry_pending_demotes()
+        return not self._degraded
+
+    def _retry_pending_demotes(self) -> None:
+        """Checkpoint resident frozen epochs that are still queued."""
+        assert self._durability is not None
+        pending, self._pending_demote = self._pending_demote, []
+        kept: List[Tuple[Key, int, int]] = []
+        for index, entry in enumerate(pending):
+            if self._degraded:
+                kept.extend(pending[index:])
+                break
+            key, epoch_index, position = entry
+            state = self._states.get(key)
+            if state is None or position >= len(state.frozen):
+                continue
+            epoch = state.frozen[position]
+            if not epoch.resident:
+                continue
+            try:
+                demoted = self._durability.demote(
+                    key, epoch_index, epoch.result()
+                )
+            except DurabilityError:
+                kept.append(entry)
+                self._note_demote_error()
+            else:
+                state.frozen[position] = demoted
+                state.frozen_columns = None
+        self._pending_demote = kept + self._pending_demote
 
     # ------------------------------------------------------------------
     # Durability

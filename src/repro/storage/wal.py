@@ -61,6 +61,7 @@ from typing import Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
+from ..util import failpoints
 from .columns import ColumnCodecError, pack_columns, unpack_columns
 
 #: Magic tag and version of WAL segment files.  Bump the version on any
@@ -99,6 +100,15 @@ class WalWriter:
     ``n``-th frame (``1`` — the default — makes every acknowledged append
     durable; ``0`` leaves flushing to the OS, trading the tail of the log
     on power loss for append latency).  Usable as a context manager.
+
+    **Failed appends never poison the tail.**  If the frame write raises
+    (``ENOSPC``, ``EIO``, an injected fault), the writer truncates the
+    file back to the end of the last complete frame before re-raising,
+    so the log stays byte-clean and later appends stay readable.  Only
+    if that rollback truncation *itself* fails does the writer mark
+    itself :attr:`broken` and refuse further appends — a torn tail must
+    never be appended after, because readers stop at the first torn
+    frame and would silently drop everything behind it.
     """
 
     def __init__(self, path: PathLike, fsync_every: int = 1) -> None:
@@ -109,6 +119,9 @@ class WalWriter:
         self.path = Path(path)
         self.fsync_every = fsync_every
         self._since_sync = 0
+        #: Set when a failed append could not be rolled back: the file may
+        #: end in a torn frame, so appending after it would hide data.
+        self.broken = False
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         # Unbuffered: each frame is handed to the kernel as ONE write, so
         # there is no buffered copy to flush before the datasync and a
@@ -117,21 +130,60 @@ class WalWriter:
         if fresh:
             self._file.write(_FILE_HEADER.pack(WAL_MAGIC, WAL_VERSION))
             _datasync(self._file.fileno())
+        self._offset = os.fstat(self._file.fileno()).st_size
+
+    def tell(self) -> int:
+        """Byte offset of the end of the last complete frame."""
+        return self._offset
 
     def append(self, payload: bytes) -> None:
-        """Append one frame; durable per the ``fsync_every`` cadence."""
+        """Append one frame; durable per the ``fsync_every`` cadence.
+
+        On a write error the file is truncated back to :meth:`tell`
+        (see the class docstring) and the error propagates.
+        """
+        if self.broken:
+            raise WalError(
+                f"{self.path}: writer is broken (an earlier failed append "
+                f"could not be rolled back); rotate the epoch"
+            )
         file = self._file
-        file.write(
-            _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-        )
+        begin = self._offset
+        try:
+            failpoints.fail("wal.append")
+            file.write(
+                _FRAME_HEADER.pack(len(payload), zlib.crc32(payload))
+                + payload
+            )
+        except OSError:
+            self.truncate_to(begin)
+            raise
+        self._offset = begin + _FRAME_HEADER.size + len(payload)
         if self.fsync_every:
             self._since_sync += 1
             if self._since_sync >= self.fsync_every:
-                _datasync(file.fileno())
-                self._since_sync = 0
+                self.sync()
+
+    def truncate_to(self, offset: int) -> None:
+        """Truncate the file back to ``offset`` (a frame boundary).
+
+        The rollback half of the append contract — also used by the
+        store to undo a durably-appended frame whose in-memory
+        application failed.  Failure marks the writer :attr:`broken`
+        and re-raises.
+        """
+        try:
+            failpoints.fail("wal.rollback")
+            os.ftruncate(self._file.fileno(), offset)
+            _datasync(self._file.fileno())
+        except OSError:
+            self.broken = True
+            raise
+        self._offset = offset
 
     def sync(self) -> None:
         """Force an fsync now, regardless of the cadence."""
+        failpoints.fail("wal.fsync")
         _datasync(self._file.fileno())
         self._since_sync = 0
 
@@ -227,10 +279,12 @@ def write_checkpoint(
     target = Path(path)
     payload = pack_columns(columns, magic, version)
     temp = target.with_name(target.name + ".tmp")
+    failpoints.fail("checkpoint.write")
     with open(temp, "wb") as file:
         file.write(payload)
         file.flush()
         os.fsync(file.fileno())
+    failpoints.fail("checkpoint.rename")
     os.replace(temp, target)
     directory_fd = os.open(target.parent, os.O_RDONLY)
     try:

@@ -1,0 +1,10 @@
+"""Cross-cutting utilities shared by every layer.
+
+Currently one module: :mod:`repro.util.failpoints`, the deterministic
+fault-injection framework the robustness test suites drive the storage,
+serving and parallel layers with.
+"""
+
+from . import failpoints
+
+__all__ = ["failpoints"]

@@ -1,0 +1,232 @@
+"""Seeded chaos: random operation schedules under probabilistic faults.
+
+The capstone of ISSUE 7.  Each test drives a long, seed-determined
+schedule of operations (pushes, queries, freezes, reprobes; HTTP
+requests; sharded computes) while disk faults and worker kills fire
+probabilistically, then checks the system-level invariants:
+
+* the store never wedges — after the disk heals, every key accepts
+  pushes again and pending checkpoint demotions drain;
+* every acknowledged push is recoverable bit-identically after a crash
+  (frozen + live, via :func:`encode_result` over :meth:`snapshot`);
+* the HTTP surface only ever answers with structured JSON errors from
+  the documented set (400/404/413/429/500/503), never a hung socket or
+  an unframed traceback;
+* ``compress(..., workers=N)`` stays bit-identical to the fault-free
+  run under injected worker crashes.
+
+Seeds come from ``REPRO_CHAOS_SEED`` (comma-separated) so CI can fan a
+matrix of schedules across jobs; the default keeps local runs fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import compress
+from repro.service import (
+    DurabilityError,
+    Service,
+    SessionStore,
+    encode_result,
+    start_in_background,
+)
+from repro.util.failpoints import Exit, Raise, activated
+
+from test_fault_injection import SEGMENT_JSON, stream
+
+SEEDS = [
+    int(raw)
+    for raw in os.environ.get("REPRO_CHAOS_SEED", "0,7").split(",")
+    if raw.strip()
+]
+
+KEYS = ["alpha", "beta", "gamma"]
+
+
+def disk_faults() -> dict:
+    """Every durability failpoint, firing with moderate probability.
+
+    Exceptions are factories, not shared instances, so concurrent
+    firings never race on one object's traceback.
+    """
+    enospc = lambda: OSError(28, "No space left on device")  # noqa: E731
+    eio = lambda: OSError(5, "Input/output error")  # noqa: E731
+    return {
+        "wal.append": Raise(enospc, probability=0.15),
+        "wal.fsync": Raise(eio, probability=0.10),
+        "wal.rollback": Raise(eio, probability=0.05),
+        "checkpoint.write": Raise(enospc, probability=0.20),
+        "checkpoint.rename": Raise(eio, probability=0.20),
+        "durability.probe": Raise(eio, probability=0.30),
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestStoreChaos:
+    OPS = 80
+
+    def test_acked_pushes_survive_chaos_then_crash(self, tmp_path, seed):
+        rng = random.Random(seed)
+        data_dir = tmp_path / "d"
+        store = SessionStore(
+            size=12,
+            data_dir=data_dir,
+            fsync_every=3,
+            degrade_after=3,
+            reprobe_every=5,
+        )
+        feed = iter(range(10_000))
+        with activated(disk_faults(), seed=seed):
+            for _ in range(self.OPS):
+                key = rng.choice(KEYS)
+                op = rng.random()
+                if op < 0.70:
+                    chunk = stream(rng.randint(1, 6), seed=next(feed))
+                    try:
+                        store.push(key, chunk)
+                    except DurabilityError:
+                        pass  # not acknowledged; memory unchanged
+                elif op < 0.85:
+                    if key in store:
+                        encode_result(store.snapshot(key))  # never raises
+                elif op < 0.95:
+                    if key in store and store.is_live(key):
+                        store.freeze(key)  # demote faults are absorbed
+                else:
+                    store.reprobe()  # probe faults just report False
+
+        # Heal: faults are gone.  One durable push per key proves the
+        # store never wedged and drains any pending demotions; a reprobe
+        # re-attaches if the schedule ended degraded.
+        if store.degraded:
+            assert store.reprobe()
+        for key in KEYS:
+            store.push(key, stream(2, seed=next(feed)))
+        assert not store.degraded
+        assert store._pending_demote == []  # every epoch is on disk
+
+        live = {key: encode_result(store.snapshot(key)) for key in KEYS}
+        pushed = {key: store.pushed(key) for key in KEYS}
+        del store  # crash without close(): only acked frames are on disk
+
+        recovered = SessionStore(size=12, data_dir=data_dir)
+        for key in KEYS:
+            assert recovered.pushed(key) == pushed[key]
+            assert encode_result(recovered.snapshot(key)) == live[key]
+        recovered.close()
+
+
+ALLOWED_HTTP_ERRORS = {400, 404, 413, 429, 503}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestHTTPChaos:
+    REQUESTS = 60
+
+    def test_only_structured_errors_ever_escape(self, tmp_path, seed):
+        rng = random.Random(seed)
+        service = Service(
+            size=10,
+            data_dir=tmp_path / "d",
+            degrade_after=2,
+            reprobe_every=4,
+        )
+        server, _ = start_in_background(
+            service, max_body=4096, request_timeout=5.0
+        )
+        statuses: list[int] = []
+        try:
+            with activated(disk_faults(), seed=seed):
+                for _ in range(self.REQUESTS):
+                    statuses.append(self._request(server.port, rng))
+            # Heal and re-attach; the service must come back clean.
+            if service.store.degraded:
+                assert service.store.reprobe()
+            reply = self._get(server.port, "/healthz")
+            assert reply == (200, {"status": "ok"})
+            assert self._post(server.port, "/push/alpha", SEGMENT_JSON)[0] == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        assert statuses.count(200) > 0  # chaos did not refuse everything
+        errors = {code for code in statuses if code != 200}
+        assert errors <= ALLOWED_HTTP_ERRORS, statuses
+
+    def _request(self, port: int, rng: random.Random) -> int:
+        choice = rng.random()
+        if choice < 0.50:
+            key = rng.choice(KEYS)
+            return self._post(port, f"/push/{key}", SEGMENT_JSON)[0]
+        if choice < 0.65:
+            key = rng.choice(KEYS)
+            return self._get(port, f"/summary?key={key}")[0]
+        if choice < 0.75:
+            return self._get(port, "/stats")[0]
+        if choice < 0.82:
+            return self._get(port, "/healthz")[0]
+        if choice < 0.90:
+            return self._post(port, "/push/alpha", b"not json at all")[0]
+        if choice < 0.96:
+            huge = {"Content-Length": str(64 * 1024 * 1024)}
+            return self._post(port, "/push/alpha", SEGMENT_JSON, huge)[0]
+        return self._get(port, f"/nowhere/{rng.randint(0, 9)}")[0]
+
+    @staticmethod
+    def _open(request) -> tuple:
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            body = json.load(error)
+            # Structured error contract: JSON carrying "error" + "code"
+            # (degraded /healthz adds a "status" field on top).
+            assert "error" in body and "code" in body, body
+            return error.code, body
+
+    def _get(self, port: int, path: str) -> tuple:
+        return self._open(
+            urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+        )
+
+    def _post(self, port, path, body, headers=None) -> tuple:
+        return self._open(
+            urllib.request.Request(
+                f"http://127.0.0.1:{port}{path}",
+                data=body,
+                method="POST",
+                headers=headers or {},
+            )
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestComputeChaos:
+    def test_sharded_compress_is_bit_identical_under_kills(
+        self, tmp_path, seed
+    ):
+        rng = random.Random(seed)
+        segments = stream(150, seed=seed)
+        baseline = compress(segments, size=15, workers=1, shard_size=25)
+        with activated(
+            {
+                "parallel.worker": Exit(
+                    code=9,
+                    limit=rng.randint(1, 3),
+                    limit_dir=str(tmp_path),
+                )
+            },
+            seed=seed,
+            propagate=True,
+        ):
+            survived = compress(segments, size=15, workers=2, shard_size=25)
+        assert survived.segments == baseline.segments
+        assert survived.error == baseline.error
+        assert survived.merges == baseline.merges

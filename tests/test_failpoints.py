@@ -1,0 +1,218 @@
+"""The failpoint framework itself: arming, budgets, seeds, propagation.
+
+The fault-injection suites (``test_fault_injection.py``,
+``test_chaos.py``) lean entirely on these semantics, so they are pinned
+here first: zero-cost when disabled, deterministic under a seed, bounded
+by ``times=``, owner-safe for :class:`Exit`, and re-armable from the
+environment in spawned children.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.util import failpoints
+from repro.util.failpoints import (
+    Delay,
+    ENV_VAR,
+    Exit,
+    FailpointError,
+    Raise,
+    Return,
+    activated,
+)
+
+
+class TestDisabled:
+    def test_fail_is_a_noop_without_activation(self):
+        assert not failpoints.is_active()
+        assert failpoints.fail("anything.at.all") is None
+
+    def test_counters_read_zero_without_activation(self):
+        assert failpoints.evaluations("x") == 0
+        assert failpoints.firings("x") == 0
+
+    def test_unarmed_site_inside_activation_is_a_noop(self):
+        with activated({"a": Raise()}):
+            assert failpoints.fail("b") is None
+            assert failpoints.evaluations("b") == 1
+            assert failpoints.firings("b") == 0
+
+
+class TestActions:
+    def test_raise_defaults_to_failpoint_error_naming_the_site(self):
+        with activated({"s": Raise()}):
+            with pytest.raises(FailpointError, match="'s'"):
+                failpoints.fail("s")
+
+    def test_raise_rethrows_the_given_instance(self):
+        error = OSError(28, "No space left on device")
+        with activated({"s": Raise(error)}):
+            with pytest.raises(OSError) as excinfo:
+                failpoints.fail("s")
+            assert excinfo.value is error
+
+    def test_raise_calls_a_factory_per_firing(self):
+        with activated({"s": Raise(lambda: OSError(5, "I/O error"))}):
+            first = pytest.raises(OSError, failpoints.fail, "s")
+            second = pytest.raises(OSError, failpoints.fail, "s")
+            assert first.value is not second.value
+
+    def test_return_hands_back_the_injected_value(self):
+        with activated({"s": Return({"injected": True})}):
+            assert failpoints.fail("s") == {"injected": True}
+
+    def test_delay_sleeps_roughly_the_requested_time(self):
+        with activated({"s": Delay(0.05)}):
+            begin = time.monotonic()
+            failpoints.fail("s")
+            assert time.monotonic() - begin >= 0.04
+
+    def test_exit_never_fires_in_the_owner_process(self):
+        with activated({"s": Exit(code=7)}):
+            assert failpoints.fail("s") is None  # still alive
+            assert failpoints.firings("s") == 0
+
+
+class TestBudgetsAndSeeds:
+    def test_times_caps_firings(self):
+        with activated({"s": Raise(times=2)}):
+            for _ in range(2):
+                with pytest.raises(FailpointError):
+                    failpoints.fail("s")
+            assert failpoints.fail("s") is None  # budget spent → heal
+            assert failpoints.firings("s") == 2
+            assert failpoints.evaluations("s") == 3
+
+    def test_times_zero_never_fires(self):
+        with activated({"s": Raise(times=0)}):
+            assert failpoints.fail("s") is None
+
+    def test_probability_draws_are_a_pure_function_of_the_seed(self):
+        def schedule(seed: int) -> list[bool]:
+            fired = []
+            with activated({"s": Raise(probability=0.5)}, seed=seed):
+                for _ in range(32):
+                    try:
+                        failpoints.fail("s")
+                        fired.append(False)
+                    except FailpointError:
+                        fired.append(True)
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        assert any(schedule(7)) and not all(schedule(7))
+
+    def test_nested_activation_is_refused(self):
+        with activated({"s": Raise()}):
+            with pytest.raises(RuntimeError, match="already active"):
+                with activated({"t": Raise()}):
+                    pass  # pragma: no cover
+
+    def test_activation_is_disarmed_on_exit_even_after_errors(self):
+        with pytest.raises(ZeroDivisionError):
+            with activated({"s": Raise()}):
+                1 / 0
+        assert not failpoints.is_active()
+        assert failpoints.fail("s") is None
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ValueError):
+            Raise(probability=1.5)
+        with pytest.raises(ValueError):
+            Raise(times=-1)
+        with pytest.raises(ValueError):
+            Delay(-0.1)
+        with pytest.raises(ValueError):
+            Exit(limit=-1)
+
+
+class TestPropagation:
+    def test_propagate_mirrors_and_restores_the_environment(self):
+        assert os.environ.get(ENV_VAR) is None
+        with activated(
+            {"s": Raise(OSError(28, "No space left on device"), times=3)},
+            seed=5,
+            propagate=True,
+        ):
+            payload = json.loads(os.environ[ENV_VAR])
+            assert payload["owner_pid"] == os.getpid()
+            assert payload["seed"] == 5
+            assert payload["sites"]["s"]["mode"] == "raise"
+            assert payload["sites"]["s"]["exception"] == "OSError"
+        assert os.environ.get(ENV_VAR) is None
+
+    def test_non_builtin_exceptions_refuse_to_propagate(self):
+        class Custom(Exception):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            with activated({"s": Raise(Custom())}, propagate=True):
+                pass  # pragma: no cover
+
+    def test_spawned_child_rearms_from_the_environment(self):
+        """A fresh interpreter with ENV_VAR set fires the armed site."""
+        spec = json.dumps(
+            {
+                "owner_pid": 999999999,  # not us: the child must re-arm
+                "seed": 0,
+                "sites": {
+                    "child.site": {
+                        "mode": "raise",
+                        "probability": 1.0,
+                        "times": None,
+                        "exception": "OSError",
+                        "args": [28, "No space left on device"],
+                    }
+                },
+            }
+        )
+        env = dict(os.environ)
+        env[ENV_VAR] = spec
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        code = (
+            "from repro.util import failpoints\n"
+            "assert failpoints.is_active()\n"
+            "try:\n"
+            "    failpoints.fail('child.site')\n"
+            "except OSError as error:\n"
+            "    print('fired', error.errno)\n"
+        )
+        done = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert done.returncode == 0, done.stderr
+        assert "fired 28" in done.stdout
+
+    def test_owner_process_ignores_its_own_environment_spec(self):
+        """_activate_from_env is a no-op when the pid matches the owner."""
+        raw = json.dumps(
+            {"owner_pid": os.getpid(), "seed": 0, "sites": {}}
+        )
+        os.environ[ENV_VAR] = raw
+        try:
+            failpoints._activate_from_env()
+            assert not failpoints.is_active()
+        finally:
+            os.environ.pop(ENV_VAR, None)
+
+    def test_malformed_environment_spec_never_raises(self):
+        os.environ[ENV_VAR] = "{not json"
+        try:
+            failpoints._activate_from_env()
+            assert not failpoints.is_active()
+        finally:
+            os.environ.pop(ENV_VAR, None)

@@ -181,6 +181,9 @@ class TestHTTPEndpoints:
             "frozen_summaries": 0,
             "pushed_segments": 0,
             "evictions": 0,
+            "durable": 0,
+            "degraded": 0,
+            "disk_errors": 0,
         }
 
 
