@@ -20,7 +20,10 @@ and keeps it honest across PRs:
   binary search + prefix-sum arithmetic on the cached index;
 * **batch recompression** — ``compress`` over the same stream plus the
   same query, i.e. the no-serving-layer baseline;
-* **wire codec** — encode/decode throughput of the binary segment format;
+* **wire codec** — encode/decode throughput of the binary segment
+  format, plus the zero-copy column decode (``copy=False`` views over
+  the payload, the cluster tier's receive path) against the copying
+  decode;
 * **durable push** — the same chunked ingest against a ``data_dir=``
   store (WAL append + fsync per push, periodic checkpoint demotion)
   versus the in-memory store: the price of durability per acknowledged
@@ -178,6 +181,27 @@ def measure(scale: str) -> dict:
     encode_run = best_of(encode_segments, stream, repeats=3)
     decode_run = best_of(decode_segments, blob, repeats=3)
 
+    # Zero-copy column decode: the receive path of the cluster tier
+    # (`decode_encoded(copy=False)`) aliases the payload buffer instead
+    # of copying every column — what a reducer worker pays per shard
+    # before the kernels run.
+    from repro.service.wire import decode_encoded
+
+    # Single decodes are sub-millisecond at smoke scale; amortise the
+    # timer jitter over a batch of decodes per repeat.
+    decode_batch = 10
+
+    def decode_copying():
+        for _ in range(decode_batch):
+            decode_encoded(blob)
+
+    def decode_zero_copy():
+        for _ in range(decode_batch):
+            decode_encoded(blob, copy=False)
+
+    decode_copy_run = best_of(decode_copying, repeats=5)
+    decode_zero_run = best_of(decode_zero_copy, repeats=5)
+
     # Durable push overhead: the same chunked ingest against a durable
     # store (WAL append + fsync per acknowledged push, checkpoint
     # demotion every quarter of the stream) versus the in-memory store.
@@ -299,6 +323,9 @@ def measure(scale: str) -> dict:
         "wire_decode_vs_encode": speedup(
             encode_run.seconds, decode_run.seconds
         ),
+        "wire_decode_zero_copy": speedup(
+            decode_copy_run.seconds, decode_zero_run.seconds
+        ),
         "raw": {
             "stream": n,
             "summary": summary_size,
@@ -311,6 +338,8 @@ def measure(scale: str) -> dict:
             "wire_bytes": len(blob),
             "wire_encode_s": encode_run.seconds,
             "wire_decode_s": decode_run.seconds,
+            "wire_decode_copy_s": decode_copy_run.seconds / decode_batch,
+            "wire_decode_zero_copy_s": decode_zero_run.seconds / decode_batch,
             "push_chunk": push_chunk,
             "checkpoint_every": checkpoint_every,
             "memory_push_s": memory_push.seconds,
@@ -347,6 +376,10 @@ def bench_service(benchmark):
         f"  wire payload             : {raw['wire_bytes']:,} bytes "
         f"(encode {raw['wire_encode_s'] * 1e3:.1f} ms, "
         f"decode {raw['wire_decode_s'] * 1e3:.1f} ms)",
+        f"  zero-copy column decode  : "
+        f"{raw['wire_decode_zero_copy_s'] * 1e3:9.2f} ms "
+        f"(copying {raw['wire_decode_copy_s'] * 1e3:.2f} ms, "
+        f"{ratios['wire_decode_zero_copy']:.1f}x)",
         f"  durable chunked ingest   : {raw['durable_push_s'] * 1e3:9.2f} ms "
         f"(memory {raw['memory_push_s'] * 1e3:.2f} ms, "
         f"{raw['durable_push_s'] / raw['memory_push_s']:.2f}x)",
@@ -370,6 +403,10 @@ def bench_service(benchmark):
     # Group commit amortises the fsync; it must never make ingest slower
     # than per-push fsync (wide band: fsync cost varies across CI disks).
     assert ratios["group_commit_vs_per_push_fsync"] >= 0.8
+    # Zero-copy decode aliases the payload instead of copying every
+    # column; if it stops being cheaper, copy=False has silently started
+    # copying (measured ~2.8x at smoke scale; wide band for CI noise).
+    assert ratios["wire_decode_zero_copy"] >= 1.2
 
     from repro.service import QueryEngine, SessionStore
     from repro.datasets import synthetic_sequential_segments

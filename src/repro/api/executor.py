@@ -56,10 +56,12 @@ def execute(plan: Plan, policy: ExecutionPolicy | None = None) -> Result:
             "plan has no reduction step; call Plan.reduce() with exactly "
             "one budget"
         )
-    validate_workers_method(policy.workers, plan.method)
+    validate_workers_method(policy.workers, plan.method, policy.cluster)
     size = budget.size if isinstance(budget, SizeBudget) else None
     epsilon = budget.epsilon if isinstance(budget, ErrorBudget) else None
 
+    if policy.cluster is not None:
+        return _run_cluster(plan, policy, size, epsilon)
     if policy.workers is not None:
         return _run_sharded(plan, policy, size, epsilon)
     if plan.method is Method.DP:
@@ -94,6 +96,40 @@ def _run_sharded(
         shard_size=policy.shard_size,
     )
     # The sharded engine always runs on the array kernels.
+    return _wrap(plan, greedy_result, backend="numpy")
+
+
+def _run_cluster(
+    plan: Plan,
+    policy: ExecutionPolicy,
+    size: Optional[int],
+    epsilon: Optional[float],
+) -> Result:
+    """The distributed engine: same shard plan, remote reducers.
+
+    Workers that die, time out or garble answers are retried across the
+    cluster and finally reduced in-process, so the result is always the
+    bit-identical plain-GMS reduction (``docs/ARCHITECTURE.md``,
+    Cluster tier).
+    """
+    from ..cluster import reduce_cluster
+
+    source: Any = plan.source
+    if isinstance(source, TemporalRelation):
+        _require_aggregates(plan)
+        source = iter_ita_segments(
+            source, plan.group_columns, plan.aggregates
+        )
+    assert policy.cluster is not None  # execute() dispatches here only then
+    greedy_result = reduce_cluster(
+        source,
+        size=size,
+        max_error=epsilon,
+        weights=policy.weights,
+        cluster=policy.cluster,
+        shard_size=policy.shard_size,
+    )
+    # Remote reducers run the same array kernels as the pool engine.
     return _wrap(plan, greedy_result, backend="numpy")
 
 

@@ -217,11 +217,20 @@ def validate_delta(delta: float) -> None:
         )
 
 
-def validate_workers_method(workers: int | None, method: Method) -> None:
+def validate_workers_method(
+    workers: int | None,
+    method: Method,
+    cluster: "Tuple[str, ...] | None" = None,
+) -> None:
     """The sharded engine computes plain GMS; exact DP cannot be sharded."""
     if workers is not None and method is not Method.GREEDY:
         raise PlanError(
             "workers is only supported for method='greedy'; the exact DP "
+            "optimum couples the shards through the global output budget"
+        )
+    if cluster is not None and method is not Method.GREEDY:
+        raise PlanError(
+            "cluster is only supported for method='greedy'; the exact DP "
             "optimum couples the shards through the global output budget"
         )
 
@@ -250,6 +259,14 @@ class ExecutionPolicy:
         every core, ``1`` runs the shards in-process); requires the greedy
         method, computes plain GMS (``δ = ∞`` semantics) and is
         bit-identical for every worker count.
+    cluster:
+        ``"host:port"`` addresses of remote reducer workers
+        (:mod:`repro.cluster`).  Switches to the distributed engine:
+        same shard plan and reconciliation as ``workers``, with shards
+        shipped over the wire instead of a process pool — and the same
+        guarantee: bit-identical to every ``workers`` value regardless
+        of placement, cluster size or mid-job worker death.  Mutually
+        exclusive with ``workers``; requires the greedy method.
     shard_size:
         Segments per shard for the sharded engine (default
         :data:`repro.parallel.DEFAULT_SHARD_SIZE`); a work-distribution
@@ -270,6 +287,7 @@ class ExecutionPolicy:
 
     backend: Backend = Backend.PYTHON
     workers: Optional[int] = None
+    cluster: Optional[Tuple[str, ...]] = None
     shard_size: Optional[int] = None
     chunk_size: int = DEFAULT_CHUNK_SIZE
     delta: float = 1
@@ -285,6 +303,29 @@ class ExecutionPolicy:
             raise PlanError(
                 f"workers must be non-negative, got {self.workers}"
             )
+        if self.cluster is not None:
+            if isinstance(self.cluster, str):
+                raise PlanError(
+                    "cluster must be a sequence of 'host:port' addresses, "
+                    "not a single string"
+                )
+            object.__setattr__(self, "cluster", tuple(self.cluster))
+            assert self.cluster is not None
+            if not self.cluster:
+                raise PlanError("cluster must name at least one address")
+            if not all(
+                isinstance(address, str) for address in self.cluster
+            ):
+                raise PlanError(
+                    f"cluster addresses must be strings, got "
+                    f"{list(self.cluster)!r}"
+                )
+            if self.workers is not None:
+                raise PlanError(
+                    "workers and cluster are mutually exclusive: the "
+                    "reduction runs either on a local process pool or "
+                    "on remote reducer workers"
+                )
         if self.shard_size is not None and self.shard_size < 1:
             raise PlanError(
                 f"shard_size must be at least 1, got {self.shard_size}"

@@ -1,0 +1,58 @@
+"""Cluster tier: remote shard reduction and warm-standby replication.
+
+Two independent distributed capabilities, both built on one socket
+transport (:mod:`repro.cluster.transport` — length-prefixed,
+CRC-checked ``PTAF`` frames nesting the existing ``PTAS``/``PTAR`` wire
+codecs):
+
+* **Distributed reduction** — :func:`reduce_cluster`
+  (:mod:`repro.cluster.coordinator`) cuts an encoded stream into the
+  same workers-independent shard plan as :mod:`repro.parallel`, ships
+  each shard to a remote :class:`ReducerWorker`
+  (:mod:`repro.cluster.worker`), and k-way-merges the returned
+  trajectory frontiers centrally under the global budget.  The output
+  is bit-identical to ``workers=N`` and ``workers=1`` regardless of
+  worker placement, count, or mid-job worker death (retry across
+  peers, then local fallback).  Reachable from the top-level API as
+  ``compress(..., cluster=["host:port", ...])``.
+* **Warm-standby replication** — :class:`ReplicationLink` streams the
+  primary store's per-push delta log (the same ``PTAS`` frames its WAL
+  holds) to a :class:`StandbyServer`, which applies them through the
+  ordinary session machinery; :meth:`StandbyServer.promote` turns the
+  standby into a serving primary whose query answers are bit-identical
+  to the failed primary's at every acknowledged push generation.
+
+See ``docs/ARCHITECTURE.md`` (Cluster tier) for the role/frame-flow/
+failover state machine and ``docs/FORMATS.md`` § 8 for the normative
+transport framing spec.
+"""
+
+from .coordinator import reduce_cluster
+from .replica import ReplicationLink, StandbyServer, standby_store, start_standby
+from .transport import (
+    Connection,
+    RemoteError,
+    TransportError,
+    parse_address,
+    recv_frame,
+    request_with_retries,
+    send_frame,
+)
+from .worker import ReducerWorker, start_worker
+
+__all__ = [
+    "Connection",
+    "ReducerWorker",
+    "RemoteError",
+    "ReplicationLink",
+    "StandbyServer",
+    "TransportError",
+    "parse_address",
+    "recv_frame",
+    "reduce_cluster",
+    "request_with_retries",
+    "send_frame",
+    "standby_store",
+    "start_standby",
+    "start_worker",
+]

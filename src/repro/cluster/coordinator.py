@@ -1,0 +1,214 @@
+"""Cluster coordinator: ship shards to remote reducers, merge centrally.
+
+The distributed engine is the sharded engine of :mod:`repro.parallel`
+with the process pool swapped for sockets — every determinism property
+carries over because the *plan* and the *reconciliation* are byte-for-byte
+the same code:
+
+1. **Encode + shard** — :func:`repro.parallel.encode_segments` and
+   :func:`repro.parallel.plan_shards`.  The shard plan depends only on
+   the input and ``shard_size``, never on the cluster membership, so the
+   same cuts are made whether the job runs on one worker, five, or none.
+2. **Ship** — each shard travels as a ``KIND_REDUCE`` frame: a JSON
+   envelope with the squared weights, then the shard columns as verbatim
+   ``PTAS`` bytes (:func:`repro.service.wire.encode_segments` over an
+   :class:`~repro.parallel.EncodedSegments` slice carrying the full
+   interned group-key table, so the payload is self-contained).
+3. **Reduce remotely** — a :class:`repro.cluster.worker.ReducerWorker`
+   answers with the shard's complete merge schedule (``KIND_TRAJECTORY``).
+   Shards are dispatched concurrently, one thread per cluster address.
+4. **Survive faults** — a shard whose worker dies, times out, or answers
+   garbage is retried across the remaining addresses with linear backoff
+   (:func:`repro.cluster.transport.request_with_retries`); when every
+   address fails, the shard runs **in-process** — the same fallback
+   ladder as the pool engine's ``BrokenProcessPool`` handling.  Requests
+   the workers themselves reject as malformed (``bad_request``) are not
+   retried: resending identical bytes cannot succeed.
+5. **Reconcile + rebuild** — :func:`repro.parallel.assemble_result`
+   consumes trajectories by shard index, never completion order, so the
+   output is bit-identical to ``workers=1`` / ``workers=N`` no matter
+   which worker computed which shard, in what order, or how many died.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.errors import Weights, resolve_weights
+from ..core.greedy import GreedyResult
+from ..core.merge import AggregateSegment
+from ..parallel import (
+    DEFAULT_SHARD_SIZE,
+    RETRY_BACKOFF_S,
+    SHARD_RETRIES,
+    EncodedSegments,
+    ShardTrajectory,
+    assemble_result,
+    encode_segments,
+    plan_shards,
+    reduce_shard,
+    shard_payloads,
+    validate_budget,
+)
+from ..service import wire
+from .transport import (
+    DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_READ_TIMEOUT,
+    KIND_REDUCE,
+    KIND_TRAJECTORY,
+    RemoteError,
+    TransportError,
+    decode_trajectory,
+    pack_envelope,
+    parse_address,
+    request_with_retries,
+)
+
+__all__ = ["encode_shard_request", "reduce_cluster"]
+
+
+def encode_shard_request(
+    encoded: EncodedSegments, lo: int, hi: int, w2: np.ndarray
+) -> bytes:
+    """One shard as a self-contained ``KIND_REDUCE`` payload.
+
+    The body is the shard's column slice as verbatim ``PTAS`` bytes; the
+    full interned group-key table rides along so the slice's global group
+    ids resolve on the worker.  The weights travel in the JSON envelope —
+    floats survive a JSON roundtrip bit-exactly (``repr`` semantics), so
+    remote and local reductions use identical ``w2``.
+    """
+    body = wire.encode_segments(
+        EncodedSegments(
+            encoded.starts[lo:hi],
+            encoded.ends[lo:hi],
+            encoded.values[lo:hi],
+            encoded.groups[lo:hi],
+            encoded.group_keys,
+        )
+    )
+    return pack_envelope({"w2": w2.tolist(), "shard": [lo, hi]}, body)
+
+
+def reduce_cluster(
+    segments: Union[Iterable[AggregateSegment], EncodedSegments],
+    size: Optional[int] = None,
+    max_error: Optional[float] = None,
+    weights: Optional[Weights] = None,
+    cluster: Sequence[str] = (),
+    shard_size: Optional[int] = None,
+    shard_retries: Optional[int] = None,
+    retry_backoff: Optional[float] = None,
+    connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    read_timeout: float = DEFAULT_READ_TIMEOUT,
+) -> GreedyResult:
+    """Sharded greedy reduction over remote reducer workers.
+
+    ``cluster`` is a non-empty sequence of ``"host:port"`` reducer
+    addresses.  Exactly one of ``size`` / ``max_error`` must be given
+    (same semantics as :func:`repro.parallel.run_sharded`); the result is
+    bit-identical to the in-process and pool engines for every cluster
+    size, worker placement, or mid-job worker death.  Each shard tries
+    every address up to ``1 + shard_retries`` rounds before falling back
+    to an in-process reduction of that shard.
+    """
+    validate_budget(size, max_error)
+    addresses = list(cluster)
+    if not addresses:
+        raise ValueError("cluster must name at least one worker address")
+    for address in addresses:
+        parse_address(address)  # fail fast on malformed addresses
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    elif shard_size < 1:
+        raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+    if shard_retries is None:
+        shard_retries = SHARD_RETRIES
+    elif shard_retries < 0:
+        raise ValueError(
+            f"shard_retries must be non-negative, got {shard_retries}"
+        )
+    if retry_backoff is None:
+        retry_backoff = RETRY_BACKOFF_S
+    elif retry_backoff < 0:
+        raise ValueError(
+            f"retry_backoff must be non-negative, got {retry_backoff}"
+        )
+
+    encoded = (
+        segments
+        if isinstance(segments, EncodedSegments)
+        else encode_segments(segments)
+    )
+    if len(encoded) == 0:
+        return GreedyResult()
+
+    w2 = (
+        np.asarray(
+            resolve_weights(weights, encoded.dimensions), dtype=np.float64
+        )
+        ** 2
+    )
+    shards = plan_shards(encoded, shard_size)
+
+    # Rotate each shard's starting address so concurrent shards spread
+    # across the cluster instead of all hammering addresses[0]; the
+    # rotation only changes *where* a schedule is computed, never what it
+    # contains, so placement cannot perturb the output.
+    def _reduce_remote(index: int, lo: int, hi: int) -> ShardTrajectory:
+        payload = encode_shard_request(encoded, lo, hi, w2)
+        rotated = [
+            addresses[(index + step) % len(addresses)]
+            for step in range(len(addresses))
+        ]
+        try:
+            answer = request_with_retries(
+                rotated,
+                KIND_REDUCE,
+                payload,
+                expect=KIND_TRAJECTORY,
+                retries=shard_retries,
+                backoff=retry_backoff,
+                connect_timeout=connect_timeout,
+                read_timeout=read_timeout,
+            )
+        except RemoteError as error:
+            if error.code == "bad_request":
+                raise  # resending identical bytes cannot succeed
+            return _reduce_local(index)
+        except TransportError:
+            return _reduce_local(index)
+        return decode_trajectory(answer)
+
+    local_lock = threading.Lock()
+    local_payloads: List[Optional[tuple]] = [None]
+
+    def _reduce_local(index: int) -> ShardTrajectory:
+        with local_lock:  # materialise the payload list once, lazily
+            if local_payloads[0] is None:
+                local_payloads[0] = shard_payloads(encoded, shards, w2)
+        return reduce_shard(local_payloads[0][index])
+
+    trajectories: List[ShardTrajectory]
+    if len(shards) == 1 or len(addresses) == 1:
+        trajectories = [
+            _reduce_remote(index, lo, hi)
+            for index, (lo, hi) in enumerate(shards)
+        ]
+    else:
+        width = min(len(addresses), len(shards))
+        with ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="pta-cluster"
+        ) as pool:
+            trajectories = list(
+                pool.map(
+                    lambda task: _reduce_remote(task[0], *task[1]),
+                    list(enumerate(shards)),
+                )
+            )
+
+    return assemble_result(encoded, shards, trajectories, size, max_error)

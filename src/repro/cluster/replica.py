@@ -1,0 +1,372 @@
+"""Delta-log replication to a warm standby, and its promotion to primary.
+
+The durability tier already reduced every acknowledged push to one WAL
+frame of ``PTAS`` bytes whose replay is bit-identical (the replay
+invariant of :mod:`repro.service.durability`).  Replication is therefore
+just *shipping that same delta log over a socket as it is written*:
+
+* :class:`ReplicationLink` is the primary-side
+  :class:`~repro.service.store.ReplicationSink`.  :meth:`attach` catches
+  the standby up under the store lock — frozen epochs as ``KIND_FROZEN``
+  frames (``PTAR`` bytes, installed verbatim), the live epochs'
+  acknowledged pushes as ``KIND_PUSH`` frames tailed straight from the
+  primary's WAL files — then registers itself, after which every
+  acknowledged push and every freeze streams synchronously: the link
+  sends the frame, waits for the standby's ``KIND_ACK`` and records the
+  acknowledged sequence number (the store's replication-lag metric).  A
+  socket fault disconnects the link (``connected = False``) without
+  failing the primary's push; lag then grows until an operator attaches
+  a fresh link.  The replicated push body is **byte-identical to the
+  primary's WAL frame payload** — no re-encoding on the hot path.
+* :class:`StandbyServer` owns its own
+  :class:`~repro.service.store.SessionStore` (``role = "standby"``) and
+  applies the frames in arrival order: ``PUSH`` through ``store.push``
+  (the same staged-insert path the primary ran, hence bit-identical
+  state), ``FREEZE`` through ``store.freeze`` (finalize is
+  deterministic, so the standby's frozen summary equals the primary's),
+  ``FROZEN`` through ``store.install_frozen``.  Acks are sent only
+  *after* the frame is applied, so an acknowledged generation is never
+  lost by a primary failure.
+* :meth:`StandbyServer.promote` is failover: frame application stops,
+  the store's role flips to ``"primary"``, and the returned store serves
+  — through its own :class:`~repro.service.query.QueryEngine` —
+  answers bit-identical to the failed primary's at every acknowledged
+  push generation.
+
+The standby's store must be configured like the primary's (same budget,
+policy and backend) but with **no eviction bounds and no checkpoint/
+compaction triggers** — epoch boundaries come exclusively from the
+primary's replicated freeze events, never from local policy, or the two
+stores' epoch structure would diverge.  :func:`standby_store` builds a
+correctly-restricted store.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..api.plan import Budget, ExecutionPolicy
+from ..service.store import ServiceError, SessionStore
+from ..service.wire import WireError, decode_result, decode_segments
+from .transport import (
+    DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_READ_TIMEOUT,
+    KIND_ACK,
+    KIND_ERROR,
+    KIND_FREEZE,
+    KIND_FROZEN,
+    KIND_HELLO,
+    KIND_OK,
+    KIND_PUSH,
+    Connection,
+    TransportError,
+    decode_json,
+    error_payload,
+    pack_envelope,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "ReplicationLink",
+    "StandbyServer",
+    "standby_store",
+    "start_standby",
+]
+
+
+def standby_store(
+    budget: Optional[Budget] = None,
+    *,
+    size: Optional[int] = None,
+    max_error: Optional[float] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    data_dir: Optional[Union[str, Path]] = None,
+    fsync_every: int = 1,
+) -> SessionStore:
+    """A store configured to mirror a primary: same budget and policy,
+    no local eviction/checkpoint/compaction triggers (epoch boundaries
+    come only from replicated freeze events), ``role = "standby"``."""
+    store = SessionStore(
+        budget,
+        size=size,
+        max_error=max_error,
+        policy=policy,
+        data_dir=data_dir,
+        fsync_every=fsync_every,
+    )
+    store.role = "standby"
+    return store
+
+
+class ReplicationLink:
+    """Primary-side sink streaming the delta log to one standby.
+
+    Implements the :class:`~repro.service.store.ReplicationSink`
+    protocol; :meth:`attach` performs catch-up and registration in one
+    atomic step.  All ``on_*`` hooks run under the store's lock, so
+    frames hit the wire in apply order with no interleaving.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+    ) -> None:
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.connected = False
+        self.acked_seq = -1
+        self._conn: Optional[Connection] = None
+        self._store: Optional[SessionStore] = None
+
+    def attach(self, store: SessionStore) -> None:
+        """Connect, catch the standby up, and start streaming.
+
+        Raises :class:`TransportError` if the standby is unreachable and
+        :class:`~repro.service.store.ServiceError` if the primary's live
+        state cannot be caught up from its WAL (memory-only primary with
+        live pushes, or a degraded one) — in both cases nothing is
+        registered.  The standby must be empty (freshly started): catch-up
+        replays the full history, so a second attach to the same standby
+        would double-apply it.
+        """
+        conn = Connection(
+            self.address, self.connect_timeout, self.read_timeout
+        )
+        try:
+            kind, answer = conn.request(KIND_HELLO, b"{}")
+            if kind != KIND_OK:
+                raise TransportError(
+                    f"standby {self.address} answered frame kind {kind} "
+                    f"to HELLO, expected OK"
+                )
+        except TransportError:
+            conn.close()
+            raise
+        self._conn = conn
+        self._store = store
+        self.connected = True
+        try:
+            store.replicate_to(self)  # atomic catch-up + registration
+        except ServiceError:
+            self.detach()
+            raise
+
+    def detach(self) -> None:
+        """Stop streaming and deregister from the store."""
+        self.connected = False
+        if self._store is not None:
+            self._store.remove_replication_sink(self)
+            self._store = None
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # ------------------------------------------------------------------
+    # ReplicationSink hooks (called under the store lock; never raise)
+    # ------------------------------------------------------------------
+    def on_push(self, key: str, payload: bytes, seq: int) -> None:
+        self._ship(KIND_PUSH, pack_envelope({"key": key, "seq": seq}, payload))
+
+    def on_freeze(self, key: str, seq: int) -> None:
+        self._ship(KIND_FREEZE, pack_envelope({"key": key, "seq": seq}, b""))
+
+    def on_frozen(self, key: str, payload: bytes, seq: int) -> None:
+        self._ship(
+            KIND_FROZEN, pack_envelope({"key": key, "seq": seq}, payload)
+        )
+
+    def _ship(self, kind: int, frame_payload: bytes) -> None:
+        """Send one frame and wait for its ack; disconnect on any fault.
+
+        Never raises — a lost standby must not fail the primary's push;
+        it only stops the stream (the lag metric shows the damage).
+        """
+        if not self.connected or self._conn is None:
+            return
+        try:
+            answer_kind, answer = self._conn.request(kind, frame_payload)
+            if answer_kind != KIND_ACK:
+                raise TransportError(
+                    f"standby {self.address} answered frame kind "
+                    f"{answer_kind}, expected ACK"
+                )
+            self.acked_seq = int(decode_json(answer, "ack")["seq"])
+        except (TransportError, OSError, KeyError, TypeError, ValueError):
+            self.connected = False
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+
+class _StandbyHandler(socketserver.BaseRequestHandler):
+    server: "StandbyServer"
+
+    def handle(self) -> None:
+        sock: socket.socket = self.request
+        sock.settimeout(self.server.read_timeout)
+        while True:
+            try:
+                kind, payload = recv_frame(sock)
+            except (TransportError, OSError):
+                return  # peer gone or torn frame: drop the connection
+            try:
+                self._handle_frame(sock, kind, payload)
+            except OSError:
+                return  # the answer could not be written; drop the peer
+            except (ServiceError, WireError, TransportError) as error:
+                if not self._answer_error(sock, str(error), "bad_request"):
+                    return
+            except Exception as error:  # noqa: BLE001 — the internal arm
+                if not self._answer_error(
+                    sock, f"{type(error).__name__}: {error}", "internal"
+                ):
+                    return
+
+    def _handle_frame(
+        self, sock: socket.socket, kind: int, payload: bytes
+    ) -> None:
+        server = self.server
+        if kind == KIND_HELLO:
+            send_frame(sock, KIND_OK, b"{}")
+            return
+        if kind not in (KIND_PUSH, KIND_FREEZE, KIND_FROZEN):
+            send_frame(
+                sock,
+                KIND_ERROR,
+                error_payload(
+                    f"unsupported frame kind {kind}", "bad_request"
+                ),
+            )
+            return
+        meta, body = _split(kind, payload)
+        key = meta.get("key")
+        seq = meta.get("seq")
+        if not isinstance(key, str) or not isinstance(seq, int):
+            raise TransportError(
+                "replication frame envelope must carry a string key "
+                "and an integer seq"
+            )
+        # Apply-then-ack under the apply lock: an acked sequence number
+        # is always durable in the standby's store, and promotion (which
+        # takes the same lock) can never interleave with a half-applied
+        # frame.
+        with server.apply_lock:
+            if server.promoted:
+                send_frame(
+                    sock,
+                    KIND_ERROR,
+                    error_payload(
+                        "this replica was promoted to primary and no "
+                        "longer applies replication frames",
+                        "not_standby",
+                    ),
+                )
+                return
+            if kind == KIND_PUSH:
+                server.store.push(key, decode_segments(body))
+            elif kind == KIND_FREEZE:
+                server.store.freeze(key)
+            else:
+                server.store.install_frozen(key, decode_result(body))
+            server.applied_seq = max(server.applied_seq, seq)
+        send_frame(sock, KIND_ACK, b'{"seq": %d}' % seq)
+
+    @staticmethod
+    def _answer_error(sock: socket.socket, message: str, code: str) -> bool:
+        try:
+            send_frame(sock, KIND_ERROR, error_payload(message, code))
+            return True
+        except OSError:
+            return False
+
+
+def _split(kind: int, payload: bytes) -> Tuple[dict, bytes]:
+    from .transport import unpack_envelope
+
+    what = {
+        KIND_PUSH: "replicated push",
+        KIND_FREEZE: "replicated freeze",
+        KIND_FROZEN: "replicated frozen epoch",
+    }[kind]
+    meta, body = unpack_envelope(payload, what)
+    if kind in (KIND_PUSH, KIND_FROZEN) and not body:
+        raise TransportError(f"{what} frame carries no payload body")
+    return meta, body
+
+
+class StandbyServer(socketserver.ThreadingTCPServer):
+    """A warm standby: applies replicated frames until promoted.
+
+    Owns (or is handed) a standby-configured :class:`SessionStore` and
+    listens for :class:`ReplicationLink` frames; ``server.address`` is
+    what the link's constructor takes.  Queries may be served from the
+    standby at any time (its store trails the primary by exactly the
+    un-acked frames); pushes must not go to it until :meth:`promote`.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        store: SessionStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+    ) -> None:
+        super().__init__((host, port), _StandbyHandler)
+        store.role = "standby"
+        self.store = store
+        self.read_timeout = read_timeout
+        self.apply_lock = threading.Lock()
+        self.promoted = False
+        #: Highest replication sequence number applied and acked.
+        self.applied_seq = -1
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def address(self) -> str:
+        return f"{self.server_address[0]}:{self.port}"
+
+    def promote(self) -> SessionStore:
+        """Failover: stop applying frames, serve as primary.
+
+        Every frame acked before this call is applied (acks are sent
+        after application, under the same lock promotion takes), so the
+        returned store answers queries bit-identically to the failed
+        primary at every acknowledged push generation.  The socket
+        server keeps listening only to answer late frames with a
+        ``not_standby`` error; call :meth:`shutdown` to stop it.
+        """
+        with self.apply_lock:
+            self.promoted = True
+            self.store.role = "primary"
+        return self.store
+
+
+def start_standby(
+    store: SessionStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+) -> Tuple[StandbyServer, threading.Thread]:
+    """Start a standby server on a daemon thread; returns (server, thread)."""
+    server = StandbyServer(store, host, port, read_timeout)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name=f"pta-standby-{server.port}",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread

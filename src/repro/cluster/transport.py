@@ -1,0 +1,447 @@
+"""Length-prefixed, CRC-checked socket transport of the cluster tier.
+
+Every byte that crosses a host boundary in :mod:`repro.cluster` travels
+in one **frame**::
+
+    magic    4 bytes  b"PTAF"
+    version  u16      1
+    kind     u8       frame kind (the KIND_* constants below)
+    reserved u8       0
+    length   u32      payload byte count
+    crc32    u32      zlib.crc32 of the payload
+    payload  ...      kind-specific bytes
+
+The framing deliberately mirrors the WAL frame layout of
+:mod:`repro.storage.wal` — length prefix + CRC — because the failure
+modes are the same: a peer can die mid-write, so the reader must detect
+a torn or corrupt frame instead of deserialising garbage.  Payloads are
+not a new format either: data frames nest the existing ``PTAS``/``PTAR``
+column codecs of :mod:`repro.service.wire` (a shard request is a
+``PTAS`` container with a ``w2`` side column, a shipped frozen epoch is
+a ``PTAR`` container with routing side columns), control frames carry
+UTF-8 JSON, and **error frames** carry the same structured
+``{"error": message, "code": slug}`` shape as the HTTP front end.
+
+Client plumbing: :class:`Connection` wraps a socket with a connect
+timeout, a per-read deadline, and a ``request()`` round trip that raises
+:class:`RemoteError` when the peer answers with an error frame;
+:func:`request_with_retries` adds the bounded linear-backoff retry
+ladder (the network face of ``parallel.py``'s pool-rebuild ladder).
+
+Failpoints (``repro.util.failpoints``): ``transport.connect``,
+``transport.send`` and ``transport.recv`` sit on the three fragile
+operations, so the fault suites can tear a frame, time out a connect or
+kill a peer at exactly one deterministic point.  The normative framing
+spec with per-rule test citations lives in ``docs/FORMATS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+import zlib
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..util import failpoints
+
+#: Magic tag and version of transport frames.  Bump the version on any
+#: layout change; readers reject every other version.
+FRAME_MAGIC = b"PTAF"
+FRAME_VERSION = 1
+
+_FRAME_HEADER = struct.Struct("<4sHBBII")
+
+#: Frame kinds.  Adding a kind is backwards compatible (unknown kinds
+#: are answered with an error frame); changing the layout of an existing
+#: kind requires a version bump.
+KIND_ERROR = 0       #: JSON ``{"error": message, "code": slug}``
+KIND_PING = 1        #: empty payload (liveness probe)
+KIND_PONG = 2        #: empty payload (liveness answer)
+KIND_REDUCE = 3      #: PTAS container + ``w2`` side column (one shard)
+KIND_TRAJECTORY = 4  #: PTAT container (the shard's merge schedule)
+KIND_HELLO = 5       #: JSON (replication stream header)
+KIND_PUSH = 6        #: PTAS container + ``key``/``seq`` side columns
+KIND_FREEZE = 7      #: JSON ``{"key": ..., "seq": ...}``
+KIND_FROZEN = 8      #: PTAR container + ``key``/``epoch``/``seq`` columns
+KIND_ACK = 9         #: JSON ``{"seq": ...}``
+KIND_OK = 10         #: JSON (generic success answer)
+
+#: Largest accepted frame payload.  The length field is peer-controlled,
+#: so the reader bounds it before allocating anything.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Client-side defaults: TCP connect deadline, per-read deadline, retry
+#: attempts and the base of the linear backoff between attempts.
+DEFAULT_CONNECT_TIMEOUT = 2.0
+DEFAULT_READ_TIMEOUT = 30.0
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.05
+
+
+class TransportError(RuntimeError):
+    """A transport-level failure: torn/corrupt frame, timeout, refused
+    or dropped connection, or a malformed peer address."""
+
+
+class RemoteError(TransportError):
+    """The peer answered with a structured error frame.
+
+    ``code`` carries the same slug vocabulary as the HTTP front end
+    (``bad_request``, ``internal``, ...) so a caller can tell a payload
+    it must not retry (``bad_request``) from a peer fault it may.
+    """
+
+    def __init__(self, message: str, code: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Parse ``"host:port"`` into a socket address tuple."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not host:
+        raise TransportError(
+            f"worker address must be 'host:port', got {address!r}"
+        )
+    try:
+        number = int(port)
+    except ValueError:
+        raise TransportError(
+            f"invalid port in worker address {address!r}"
+        ) from None
+    if not 0 < number < 65536:
+        raise TransportError(f"port out of range in address {address!r}")
+    return host, number
+
+
+# ----------------------------------------------------------------------
+# Frame I/O
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, kind: int, payload: bytes = b"") -> None:
+    """Write one frame; any socket fault surfaces as the raw ``OSError``."""
+    failpoints.fail("transport.send")
+    header = _FRAME_HEADER.pack(
+        FRAME_MAGIC, FRAME_VERSION, kind, 0, len(payload), zlib.crc32(payload)
+    )
+    sock.sendall(header + payload)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Read one frame, validating magic, version, bounds and CRC.
+
+    Raises :class:`TransportError` for a torn header/payload (the peer
+    died mid-write), a CRC mismatch, an oversized length field, or a
+    wrong magic/version — malformed bytes are never deserialised.
+    """
+    failpoints.fail("transport.recv")
+    header = _recv_exact(sock, _FRAME_HEADER.size, "frame header")
+    magic, version, kind, _, length, crc = _FRAME_HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise TransportError(
+            f"wrong frame magic {magic!r} (expected {FRAME_MAGIC!r})"
+        )
+    if version != FRAME_VERSION:
+        raise TransportError(
+            f"unsupported frame version {version}; this peer understands "
+            f"version {FRAME_VERSION}"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    payload = _recv_exact(sock, length, "frame payload")
+    if zlib.crc32(payload) != crc:
+        raise TransportError("frame payload failed its CRC check")
+    return kind, payload
+
+
+def _recv_exact(sock: socket.socket, count: int, what: str) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout as error:
+            raise TransportError(
+                f"read timed out awaiting {what} "
+                f"({count - remaining}/{count} bytes)"
+            ) from error
+        if not chunk:
+            raise TransportError(
+                f"connection closed mid-{what}: expected {count} bytes, "
+                f"got {count - remaining}"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def error_payload(message: str, code: str) -> bytes:
+    """Encode a structured error frame payload (the HTTP error shape)."""
+    return json.dumps({"error": message, "code": code}).encode("utf-8")
+
+
+def decode_json(payload: bytes, what: str) -> Dict[str, Any]:
+    """Parse a JSON control payload into a dict, loudly."""
+    try:
+        value = json.loads(payload.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise TransportError(f"malformed {what} payload: {error}") from error
+    if not isinstance(value, dict):
+        raise TransportError(f"{what} payload must be a JSON object")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Payload envelopes and the trajectory codec
+# ----------------------------------------------------------------------
+#: Magic tag and version of trajectory payloads (a worker's answer to a
+#: shard request): one column container with ``boundaries`` (int64),
+#: ``keys`` (float64) and ``sse_max`` (float64, shape ``(1,)``).
+TRAJECTORY_MAGIC = b"PTAT"
+TRAJECTORY_VERSION = 1
+
+_ENVELOPE_LEN = struct.Struct("<I")
+
+
+def pack_envelope(meta: Dict[str, Any], body: bytes) -> bytes:
+    """Prefix opaque codec bytes with a small JSON routing header.
+
+    Data frames ship existing ``PTAS``/``PTAR`` payloads **verbatim** —
+    a replicated push frame's body is byte-identical to the primary's
+    WAL frame payload — so the routing information (key, sequence
+    number, shard weights) travels in a length-prefixed JSON envelope
+    in front of the body instead of being repacked into it.
+    """
+    blob = json.dumps(meta, allow_nan=False).encode("utf-8")
+    return _ENVELOPE_LEN.pack(len(blob)) + blob + body
+
+
+def unpack_envelope(payload: bytes, what: str) -> Tuple[Dict[str, Any], bytes]:
+    """Split an enveloped payload back into (meta, body), loudly."""
+    if len(payload) < _ENVELOPE_LEN.size:
+        raise TransportError(f"{what} payload too short for an envelope")
+    (length,) = _ENVELOPE_LEN.unpack_from(payload, 0)
+    begin = _ENVELOPE_LEN.size
+    if begin + length > len(payload):
+        raise TransportError(
+            f"{what} envelope promises {length} header bytes, "
+            f"{len(payload) - begin} remain"
+        )
+    meta = decode_json(payload[begin:begin + length], what)
+    return meta, payload[begin + length:]
+
+
+def encode_trajectory(trajectory: Tuple[Any, Any, float]) -> bytes:
+    """Pack one shard's merge schedule into a ``PTAT`` payload."""
+    import numpy as np
+
+    from ..storage.columns import pack_columns
+
+    boundaries, keys, sse_max = trajectory
+    return pack_columns(
+        {
+            "boundaries": np.asarray(boundaries, dtype=np.int64),
+            "keys": np.asarray(keys, dtype=np.float64),
+            "sse_max": np.asarray([sse_max], dtype=np.float64),
+        },
+        TRAJECTORY_MAGIC,
+        TRAJECTORY_VERSION,
+    )
+
+
+def decode_trajectory(payload: bytes) -> Tuple[Any, Any, float]:
+    """Unpack a ``PTAT`` payload back into ``(boundaries, keys, sse_max)``."""
+    from ..storage.columns import ColumnCodecError, unpack_columns
+
+    try:
+        columns = unpack_columns(
+            payload, TRAJECTORY_MAGIC, TRAJECTORY_VERSION
+        )
+    except ColumnCodecError as error:
+        raise TransportError(str(error)) from error
+    missing = [
+        name for name in ("boundaries", "keys", "sse_max")
+        if name not in columns
+    ]
+    if missing:
+        raise TransportError(
+            f"trajectory payload is missing columns {missing}"
+        )
+    boundaries = columns["boundaries"]
+    keys = columns["keys"]
+    sse_max = columns["sse_max"]
+    if (
+        boundaries.ndim != 1 or keys.ndim != 1
+        or len(boundaries) != len(keys) or sse_max.shape != (1,)
+    ):
+        raise TransportError("trajectory payload columns are malformed")
+    return boundaries, keys, float(sse_max[0])
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+class Connection:
+    """One client connection with connect/read deadlines.
+
+    ``request(kind, payload)`` performs a frame round trip and raises
+    :class:`RemoteError` when the answer is an error frame — so callers
+    only ever see either the expected response frame or an exception.
+    Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+    ) -> None:
+        self.address = address
+        host, port = parse_address(address)
+        injected = failpoints.fail("transport.connect")
+        if injected is not None:
+            raise TransportError(
+                f"connect to {address} failed: {injected}"
+            )
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise TransportError(
+                f"connect to {address} failed: {error}"
+            ) from error
+        self._sock.settimeout(read_timeout)
+
+    def send(self, kind: int, payload: bytes = b"") -> None:
+        try:
+            send_frame(self._sock, kind, payload)
+        except OSError as error:
+            raise TransportError(
+                f"send to {self.address} failed: {error}"
+            ) from error
+
+    def recv(self) -> Tuple[int, bytes]:
+        try:
+            return recv_frame(self._sock)
+        except OSError as error:
+            raise TransportError(
+                f"read from {self.address} failed: {error}"
+            ) from error
+
+    def request(self, kind: int, payload: bytes = b"") -> Tuple[int, bytes]:
+        """One round trip; error frames become :class:`RemoteError`."""
+        self.send(kind, payload)
+        answer_kind, answer = self.recv()
+        if answer_kind == KIND_ERROR:
+            detail = decode_json(answer, "error frame")
+            raise RemoteError(
+                str(detail.get("error", "unspecified peer error")),
+                str(detail.get("code", "internal")),
+            )
+        return answer_kind, answer
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+
+def request_with_retries(
+    addresses: Sequence[str],
+    kind: int,
+    payload: bytes,
+    expect: int,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF_S,
+    connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+) -> bytes:
+    """One request, tried against ``addresses`` with bounded retries.
+
+    Attempt ``1 + retries`` rounds; within a round every address is
+    tried once (rotated so consecutive rounds lead with different
+    peers), with a linear backoff (``n * backoff`` seconds before round
+    ``n``) between rounds — the same ladder shape as the pool rebuilds
+    in :mod:`repro.parallel`.  A :class:`RemoteError` with code
+    ``bad_request`` is re-raised immediately (the payload is at fault,
+    no peer will accept it); everything else rotates to the next peer.
+    Raises the last failure when every attempt is exhausted.
+    """
+    if not addresses:
+        raise TransportError("no addresses to send to")
+    last: Optional[Exception] = None
+    for round_index in range(1 + max(retries, 0)):
+        if round_index and backoff > 0:
+            time.sleep(backoff * round_index)
+        for step in range(len(addresses)):
+            address = addresses[(round_index + step) % len(addresses)]
+            try:
+                with Connection(
+                    address, connect_timeout, read_timeout
+                ) as connection:
+                    answer_kind, answer = connection.request(kind, payload)
+            except RemoteError as error:
+                if error.code == "bad_request":
+                    raise
+                last = error
+                continue
+            except TransportError as error:
+                last = error
+                continue
+            if answer_kind != expect:
+                last = TransportError(
+                    f"{address} answered frame kind {answer_kind}, "
+                    f"expected {expect}"
+                )
+                continue
+            return answer
+    assert last is not None
+    raise last
+
+
+__all__ = [
+    "Connection",
+    "DEFAULT_BACKOFF_S",
+    "DEFAULT_CONNECT_TIMEOUT",
+    "DEFAULT_READ_TIMEOUT",
+    "DEFAULT_RETRIES",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "KIND_ACK",
+    "KIND_ERROR",
+    "KIND_FREEZE",
+    "KIND_FROZEN",
+    "KIND_HELLO",
+    "KIND_OK",
+    "KIND_PING",
+    "KIND_PONG",
+    "KIND_PUSH",
+    "KIND_REDUCE",
+    "KIND_TRAJECTORY",
+    "MAX_FRAME_BYTES",
+    "RemoteError",
+    "TRAJECTORY_MAGIC",
+    "TRAJECTORY_VERSION",
+    "TransportError",
+    "decode_json",
+    "decode_trajectory",
+    "encode_trajectory",
+    "error_payload",
+    "pack_envelope",
+    "parse_address",
+    "recv_frame",
+    "request_with_retries",
+    "send_frame",
+    "unpack_envelope",
+]

@@ -187,12 +187,94 @@ def plan_shards(
     return shards
 
 
-def _reduce_shard(payload) -> Tuple[np.ndarray, np.ndarray, float]:
-    """Worker task: complete merge schedule plus ``SSE_max`` of one shard."""
+#: One shard as it travels to a reducer: ``(starts, ends, values,
+#: groups, w2)`` array slices.  The same tuple shape crosses a process
+#: boundary on the pool path and (PTAS-encoded) a network boundary on the
+#: cluster path (:mod:`repro.cluster`).
+ShardPayload = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+#: One shard's reduction output: the complete merge schedule (boundary
+#: indices + per-step keys) plus the shard's ``SSE_max``.
+ShardTrajectory = Tuple[np.ndarray, np.ndarray, float]
+
+
+def validate_budget(size: int | None, max_error: float | None) -> None:
+    """The one-budget rule shared by every sharded entry point."""
+    if (size is None) == (max_error is None):
+        raise ValueError("provide exactly one of 'size' and 'max_error'")
+    if size is not None and size < 1:
+        raise ValueError(f"size bound must be at least 1, got {size}")
+    if max_error is not None and not 0.0 <= max_error <= 1.0:
+        raise ValueError(f"epsilon must be within [0, 1], got {max_error}")
+
+
+def shard_payloads(
+    encoded: EncodedSegments,
+    shards: Sequence[Tuple[int, int]],
+    w2: np.ndarray,
+) -> List[ShardPayload]:
+    """The per-shard worker payloads for a shard plan (zero-copy slices)."""
+    return [
+        (
+            encoded.starts[lo:hi],
+            encoded.ends[lo:hi],
+            encoded.values[lo:hi],
+            encoded.groups[lo:hi],
+            w2,
+        )
+        for lo, hi in shards
+    ]
+
+
+def reduce_shard(payload: ShardPayload) -> ShardTrajectory:
+    """Worker task: complete merge schedule plus ``SSE_max`` of one shard.
+
+    This is the unit of remote work for both the process-pool engine and
+    the cluster tier's reducer workers (:mod:`repro.cluster.worker`).
+    """
     failpoints.fail("parallel.worker")
     starts, ends, values, groups, w2 = payload
     boundaries, keys = greedy_merge_trajectory(starts, ends, values, groups, w2)
     return boundaries, keys, shard_sse_max(starts, ends, values, groups, w2)
+
+
+# Backwards-compatible name (the pool pickles tasks by qualified name).
+_reduce_shard = reduce_shard
+
+
+def assemble_result(
+    encoded: EncodedSegments,
+    shards: Sequence[Tuple[int, int]],
+    trajectories: Sequence[ShardTrajectory],
+    size: int | None,
+    max_error: float | None,
+) -> GreedyResult:
+    """Reconcile shard trajectories under the global budget and rebuild.
+
+    The deterministic back half of every sharded reduction: a k-way merge
+    over the shard frontiers (:func:`_reconcile`) followed by one
+    ``reduceat`` rebuild per shard.  Because it consumes ``trajectories``
+    by shard index — never by completion order — the output is
+    bit-identical no matter where or in what order the shard schedules
+    were computed (pool workers, remote cluster workers, in-process
+    fallback, or any mix).
+    """
+    counts, total_error, merges = _reconcile(
+        trajectories, size, max_error, len(encoded)
+    )
+    output: List[AggregateSegment] = []
+    for (lo, hi), (boundaries, _, _), taken in zip(
+        shards, trajectories, counts
+    ):
+        output.extend(_rebuild_shard(encoded, lo, hi, boundaries[:taken]))
+    return GreedyResult(
+        segments=output,
+        error=total_error,
+        size=len(output),
+        max_heap_size=0,
+        merges=merges,
+        input_size=len(encoded),
+    )
 
 
 def _reduce_shards_pooled(
@@ -310,12 +392,7 @@ def run_sharded(
     shard plan and the reconciliation consume results by shard index,
     never by completion order.
     """
-    if (size is None) == (max_error is None):
-        raise ValueError("provide exactly one of 'size' and 'max_error'")
-    if size is not None and size < 1:
-        raise ValueError(f"size bound must be at least 1, got {size}")
-    if max_error is not None and not 0.0 <= max_error <= 1.0:
-        raise ValueError(f"epsilon must be within [0, 1], got {max_error}")
+    validate_budget(size, max_error)
     if workers < 0:
         raise ValueError(f"workers must be non-negative, got {workers}")
     if shard_size is None:
@@ -351,16 +428,7 @@ def run_sharded(
         ** 2
     )
     shards = plan_shards(encoded, shard_size)
-    payloads = [
-        (
-            encoded.starts[lo:hi],
-            encoded.ends[lo:hi],
-            encoded.values[lo:hi],
-            encoded.groups[lo:hi],
-            w2,
-        )
-        for lo, hi in shards
-    ]
+    payloads = shard_payloads(encoded, shards, w2)
     pool_width = workers if workers else (os.cpu_count() or 1)
     if pool_width > 1 and len(payloads) > 1:
         pool_width = min(pool_width, len(payloads))
@@ -368,24 +436,9 @@ def run_sharded(
             payloads, pool_width, shard_retries, retry_backoff
         )
     else:
-        trajectories = [_reduce_shard(payload) for payload in payloads]
+        trajectories = [reduce_shard(payload) for payload in payloads]
 
-    counts, total_error, merges = _reconcile(
-        trajectories, size, max_error, count
-    )
-    output: List[AggregateSegment] = []
-    for (lo, hi), (boundaries, _, _), taken in zip(
-        shards, trajectories, counts
-    ):
-        output.extend(_rebuild_shard(encoded, lo, hi, boundaries[:taken]))
-    return GreedyResult(
-        segments=output,
-        error=total_error,
-        size=len(output),
-        max_heap_size=0,
-        merges=merges,
-        input_size=count,
-    )
+    return assemble_result(encoded, shards, trajectories, size, max_error)
 
 
 # ----------------------------------------------------------------------
@@ -497,8 +550,14 @@ __all__ = [
     "RETRY_BACKOFF_S",
     "SHARD_RETRIES",
     "EncodedSegments",
+    "ShardPayload",
+    "ShardTrajectory",
+    "assemble_result",
     "encode_segments",
     "plan_shards",
     "reduce_segments_parallel",
+    "reduce_shard",
     "run_sharded",
+    "shard_payloads",
+    "validate_budget",
 ]

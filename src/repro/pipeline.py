@@ -93,6 +93,7 @@ def compress(
     input_size_estimate: int | None = None,
     max_error_estimate: float | None = None,
     workers: int | None = None,
+    cluster: Sequence[str] | None = None,
     shard_size: int | None = None,
 ) -> CompressionResult:
     """Compress a temporal relation or segment stream with PTA.
@@ -135,6 +136,15 @@ def compress(
         with ``δ = ∞``, so ``delta`` does not apply) and is bit-identical
         for every worker count.  The engine always runs on the array
         kernels, so the reported backend is ``"numpy"``.
+    cluster:
+        ``"host:port"`` addresses of remote reducer workers
+        (:mod:`repro.cluster.worker`).  Switches to the distributed
+        engine: the same shard plan and reconciliation as ``workers``,
+        with shards shipped to the cluster over the wire and reduced
+        locally only as a last-resort fallback.  Mutually exclusive
+        with ``workers``; requires ``method="greedy"``; bit-identical
+        to every ``workers`` value regardless of worker placement,
+        cluster size or mid-job worker death.
     shard_size:
         Segments per shard for the sharded engine (default
         :data:`repro.parallel.DEFAULT_SHARD_SIZE`).  A work-distribution
@@ -150,6 +160,7 @@ def compress(
     policy = ExecutionPolicy(
         backend=backend,
         workers=workers,
+        cluster=tuple(cluster) if cluster is not None else None,
         shard_size=shard_size,
         chunk_size=chunk_size,
         delta=delta,

@@ -339,6 +339,42 @@ class Durability:
     def checkpoint_path(self, key: str, epoch: int) -> Path:
         return self.key_dir(key) / f"epoch-{epoch:08d}.ckpt"
 
+    def wal_size(self, key: str, epoch: int) -> int:
+        """Current byte size of the epoch's WAL file (0 when absent)."""
+        try:
+            return self.wal_path(key, epoch).stat().st_size
+        except OSError:
+            return 0
+
+    def latest_checkpoint_size(self, key: str) -> int:
+        """Byte size of the key's newest checkpoint (0 when none exist).
+
+        The reference value of the store's ``wal_compact_factor``
+        trigger: a live WAL that outgrows the newest checkpoint by that
+        factor is worth compacting into a checkpoint of its own.
+        """
+        directory = self.key_dir(key)
+        newest: Optional[Path] = None
+        newest_epoch = -1
+        try:
+            entries = list(directory.iterdir())
+        except OSError:
+            return 0
+        for file in entries:
+            match = _EPOCH_FILE.match(file.name)
+            if match is None or match.group(2) != "ckpt":
+                continue
+            epoch = int(match.group(1))
+            if epoch > newest_epoch:
+                newest_epoch = epoch
+                newest = file
+        if newest is None:
+            return 0
+        try:
+            return newest.stat().st_size
+        except OSError:
+            return 0
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------

@@ -20,8 +20,11 @@ Endpoints::
                                                   -> {buckets: [...]}
     GET  /summary?key=K   JSON summary + stats; with Accept:
                           application/x-pta-wire, the binary Result payload
-    GET  /stats           store-wide counters
-    GET  /healthz         liveness probe
+    GET  /stats           store-wide counters (incl. replication fields)
+    GET  /role            {role, replicas, replication_lag,
+                           last_acked_generation}
+    GET  /healthz         liveness probe (503 when degraded or when the
+                          replication lag exceeds max_replication_lag)
 
 A segment object is ``{"group": [...], "values": [...], "start": int,
 "end": int}`` (``group`` may be omitted for ungrouped streams); ``group=``
@@ -42,6 +45,9 @@ status    code                   meaning
 500       ``internal``           unexpected handler exception (logged)
 503       ``durability``         durable push failed; safe to retry
 503       ``degraded``           ``/healthz`` while the store is degraded
+                                 or the replication lag exceeds the
+                                 configured threshold
+503       ``not_primary``        ``POST /push`` on a standby replica
 ========  =====================  ==========================================
 """
 
@@ -87,6 +93,12 @@ class Service:
     Either wrap an existing configured store
     (``Service(store=my_store)``) or let the facade build one from the
     same keyword surface as :class:`SessionStore`.
+
+    ``max_replication_lag`` is a *serving* knob (allowed alongside a
+    prebuilt store): when set, ``/healthz`` answers 503 ``degraded`` as
+    soon as the slowest connected replica trails the primary by more
+    than that many replicated events — the load balancer's cue to stop
+    counting on the standby before a failover would lose pushes.
     """
 
     def __init__(
@@ -106,12 +118,20 @@ class Service:
         checkpoint_every: Optional[int] = None,
         degrade_after: Optional[int] = None,
         reprobe_every: Optional[int] = None,
+        wal_compact_factor: Optional[float] = None,
+        max_replication_lag: Optional[int] = None,
     ) -> None:
+        if max_replication_lag is not None and max_replication_lag < 0:
+            raise ServiceError(
+                f"max_replication_lag must be non-negative, got "
+                f"{max_replication_lag}"
+            )
+        self.max_replication_lag = max_replication_lag
         if store is not None:
             if (budget, size, max_error, policy, eviction, max_sessions,
                     ttl, session_factory, data_dir, fsync_every,
-                    checkpoint_every, degrade_after,
-                    reprobe_every) != (None,) * 13:
+                    checkpoint_every, degrade_after, reprobe_every,
+                    wal_compact_factor) != (None,) * 14:
                 raise ServiceError(
                     "pass either a prebuilt store or store-construction "
                     "keywords, not both"
@@ -132,6 +152,7 @@ class Service:
                 checkpoint_every=checkpoint_every,
                 degrade_after=3 if degrade_after is None else degrade_after,
                 reprobe_every=8 if reprobe_every is None else reprobe_every,
+                wal_compact_factor=wal_compact_factor,
             )
         self.engine = QueryEngine(self.store)
 
@@ -292,6 +313,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_healthz()
         elif url.path == "/stats":
             self._send_json(200, self.server.service.stats().as_dict())
+        elif url.path == "/role":
+            self._handle_role()
         elif url.path == "/value_at":
             self._handle_value_at(query)
         elif url.path == "/range_agg":
@@ -318,6 +341,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _handle_healthz(self) -> None:
         stats = self.server.service.stats()
+        limit = self.server.service.max_replication_lag
         if stats.degraded:
             self._send_json(
                 503,
@@ -328,8 +352,31 @@ class _Handler(BaseHTTPRequestHandler):
                     "code": "degraded",
                 },
             )
+        elif limit is not None and stats.replication_lag > limit:
+            self._send_json(
+                503,
+                {
+                    "status": "degraded",
+                    "error": f"replication lag of "
+                    f"{stats.replication_lag} exceeds the threshold of "
+                    f"{limit}; a failover now would lose pushes",
+                    "code": "degraded",
+                },
+            )
         else:
             self._send_json(200, {"status": "ok"})
+
+    def _handle_role(self) -> None:
+        stats = self.server.service.stats()
+        self._send_json(
+            200,
+            {
+                "role": stats.role,
+                "replicas": stats.replicas,
+                "replication_lag": stats.replication_lag,
+                "last_acked_generation": stats.last_acked_generation,
+            },
+        )
 
     def _read_push_body(self) -> bytes:
         """Read the request body, refusing abusive ``Content-Length``.
@@ -368,6 +415,14 @@ class _Handler(BaseHTTPRequestHandler):
         return body
 
     def _handle_push(self, key: str) -> None:
+        if self.server.service.store.role != "primary":
+            self._send_error(
+                503,
+                "this replica is a standby; pushes go to the primary "
+                "(it applies replicated frames only)",
+                "not_primary",
+            )
+            return
         if not self.server.push_slots.acquire(blocking=False):
             self._send_error(
                 429,

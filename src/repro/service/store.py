@@ -47,6 +47,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Protocol,
     Tuple,
     Union,
 )
@@ -56,16 +57,50 @@ from ..core.merge import AggregateSegment
 from ..api.plan import Budget, ExecutionPolicy
 from ..api.result import Result
 from ..api.session import Compressor
+from ..storage.wal import iter_wal_frames
 from .durability import Durability, DurabilityError, FrozenEpoch, PushToken
-from .wire import encode_segments
+from .wire import encode_result, encode_segments
 
 #: Stream keys are ordinary hashable identifiers (strings in the HTTP
 #: front end, but any hashable works in process).
 Key = Any
 
+#: Checkpoint-size floor used by the ``wal_compact_factor`` trigger for
+#: keys that have never checkpointed (so tiny fresh keys do not compact
+#: on their first few pushes).
+WAL_COMPACT_FLOOR_BYTES = 4096
+
 
 class ServiceError(ValueError):
     """An invalid serving-layer request (unknown key, bad query, ...)."""
+
+
+class ReplicationSink(Protocol):
+    """What the store needs from a replication target (duck-typed).
+
+    The cluster tier's :class:`repro.cluster.replica.ReplicationLink`
+    implements this over a socket; tests implement it in-process.  The
+    contract: the three ``on_*`` hooks are called under the store's lock
+    in apply order and **must not raise** — a sink that loses its peer
+    sets ``connected = False`` and returns (replication lag then grows
+    until the operator re-attaches); ``acked_seq`` is the highest
+    replication sequence number the peer has acknowledged applying.
+    """
+
+    connected: bool
+    acked_seq: int
+
+    def on_push(self, key: "Key", payload: bytes, seq: int) -> None:
+        """One acknowledged push: ``payload`` is the chunk's ``PTAS``
+        bytes — byte-identical to the primary's WAL frame."""
+
+    def on_freeze(self, key: "Key", seq: int) -> None:
+        """The key's live session froze; the standby finalizes its own
+        live session at the same point (finalize is deterministic)."""
+
+    def on_frozen(self, key: "Key", payload: bytes, seq: int) -> None:
+        """Catch-up only: a pre-existing frozen epoch as ``PTAR`` bytes,
+        installed verbatim on the standby without replaying its pushes."""
 
 
 @dataclass(frozen=True)
@@ -77,6 +112,15 @@ class StoreStats:
     (disk faults exceeded the ``degrade_after`` streak and the periodic
     re-probe has not yet re-attached the WAL); ``disk_errors`` counts
     every durability-tier fault ever observed, monotonically.
+
+    The replication fields describe the cluster tier
+    (:mod:`repro.cluster.replica`): ``role`` is ``"primary"`` or
+    ``"standby"``, ``replicas`` counts currently connected sinks,
+    ``last_acked_generation`` is the replication frontier — the highest
+    sequence number every connected sink has acknowledged (``-1`` before
+    anything was acked) — and ``replication_lag`` is how many replicated
+    events (pushes and freezes) the slowest connected sink still trails
+    by.  With no connected replicas the lag is reported as 0.
     """
 
     live_sessions: int
@@ -86,8 +130,12 @@ class StoreStats:
     durable: bool = False
     degraded: bool = False
     disk_errors: int = 0
+    role: str = "primary"
+    replicas: int = 0
+    replication_lag: int = 0
+    last_acked_generation: int = -1
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Any]:
         """The stats as a plain mapping (the HTTP ``/stats`` shape)."""
         return {
             "live_sessions": self.live_sessions,
@@ -97,6 +145,10 @@ class StoreStats:
             "durable": int(self.durable),
             "degraded": int(self.degraded),
             "disk_errors": self.disk_errors,
+            "role": self.role,
+            "replicas": self.replicas,
+            "replication_lag": self.replication_lag,
+            "last_acked_generation": self.last_acked_generation,
         }
 
 
@@ -232,6 +284,15 @@ class SessionStore:
         accumulated memory-only state) as soon as a probe succeeds.
         ``0`` disables automatic re-probing; :meth:`reprobe` always
         works manually.
+    wal_compact_factor:
+        WAL compaction for long-lived live epochs (durable mode only):
+        after a durable push, if the key's live WAL has grown past this
+        factor times the key's newest checkpoint size (with a small
+        floor for keys that have never checkpointed), the live epoch is
+        frozen-and-demoted — checkpoint-then-truncate — so WAL replay at
+        recovery *and standby catch-up* stay bounded even for keys that
+        never hit ``checkpoint_every`` or the eviction policy.  ``None``
+        (default) disables the trigger.
     """
 
     def __init__(
@@ -251,6 +312,7 @@ class SessionStore:
         checkpoint_every: Optional[int] = None,
         degrade_after: int = 3,
         reprobe_every: int = 8,
+        wal_compact_factor: Optional[float] = None,
     ) -> None:
         if eviction is not None and (
             max_sessions is not None or ttl is not None
@@ -299,6 +361,16 @@ class SessionStore:
             raise ServiceError(
                 f"reprobe_every must be non-negative, got {reprobe_every}"
             )
+        if wal_compact_factor is not None and wal_compact_factor <= 0:
+            raise ServiceError(
+                f"wal_compact_factor must be positive, got "
+                f"{wal_compact_factor}"
+            )
+        if wal_compact_factor is not None and data_dir is None:
+            raise ServiceError(
+                "wal_compact_factor requires durable mode (pass data_dir=)"
+            )
+        self._wal_compact_factor = wal_compact_factor
         self._degrade_after = degrade_after
         self._reprobe_every = reprobe_every
         self._degraded = False
@@ -310,6 +382,12 @@ class SessionStore:
         #: the key's frozen list).  Retried after every fully-durable
         #: push and at re-attach.
         self._pending_demote: List[Tuple[Key, int, int]] = []
+        #: Replication (cluster tier): the store's serving role, the
+        #: registered sinks, and the monotone sequence number stamped on
+        #: every replicated event (push or freeze) in apply order.
+        self.role: str = "primary"
+        self._sinks: List[ReplicationSink] = []
+        self._replication_seq = 0
         self._durability: Optional[Durability] = None
         if data_dir is not None:
             self._durability = Durability(data_dir, fsync_every=fsync_every)
@@ -369,10 +447,14 @@ class SessionStore:
                 else list(segments)
             )
             logging = self._durability is not None and not self._degraded
+            sinking = any(sink.connected for sink in self._sinks)
             token: Optional[PushToken] = None
+            payload: Optional[bytes] = None
+            if logging or sinking:
+                payload = encode_segments(chunk)  # validates before any I/O
             if logging:
                 assert self._durability is not None
-                payload = encode_segments(chunk)  # validates before any I/O
+                assert payload is not None
                 try:
                     token = self._durability.log_push(
                         key, state.epoch, payload
@@ -406,6 +488,12 @@ class SessionStore:
             state.last_access = self._clock()
             self._states.move_to_end(key)
             self._pushed += consumed
+            if sinking:
+                # Replicate only after the chunk applied: the standby
+                # must see exactly the acknowledged pushes, in order,
+                # before any freeze this same call might trigger below.
+                assert payload is not None
+                self._replicate("on_push", key, payload)
             if token is not None:
                 assert self._durability is not None
                 try:
@@ -434,6 +522,14 @@ class SessionStore:
                 and state.session.pushed >= self._checkpoint_every
             ):
                 self._freeze_state(key, state)
+            if (
+                self._wal_compact_factor is not None
+                and token is not None
+                and state.session is not None
+                and state.session.pushed > 0
+                and not self._degraded
+            ):
+                self._maybe_compact(key, state)
             self._run_eviction()
             return consumed
 
@@ -551,6 +647,10 @@ class SessionStore:
     def stats(self) -> StoreStats:
         """Current store-wide counters."""
         with self._lock:
+            connected = [sink for sink in self._sinks if sink.connected]
+            acked = min(
+                (sink.acked_seq for sink in connected), default=-1
+            )
             return StoreStats(
                 live_sessions=len(self),
                 frozen_summaries=sum(
@@ -561,6 +661,12 @@ class SessionStore:
                 durable=self._durability is not None,
                 degraded=self._degraded,
                 disk_errors=self._disk_errors,
+                role=self.role,
+                replicas=len(connected),
+                replication_lag=(
+                    self._replication_seq - acked if connected else 0
+                ),
+                last_acked_generation=acked,
             )
 
     @property
@@ -638,7 +744,168 @@ class SessionStore:
         state.epoch += 1
         state.generation += 1
         self._evictions += 1
+        # Freezes are replicated events: a primary that froze at push g
+        # serves frozen-summary + fresh-session answers, which differ
+        # from one uninterrupted session's — the standby must finalize
+        # at exactly the same points to stay bit-identical.
+        if any(sink.connected for sink in self._sinks):
+            self._replicate("on_freeze", key)
         return frozen
+
+    def _maybe_compact(self, key: Key, state: _KeyState) -> None:
+        """Checkpoint-then-truncate a live epoch whose WAL outgrew its
+        newest checkpoint by ``wal_compact_factor`` (bounding recovery
+        replay and standby catch-up for long-lived keys)."""
+        assert self._durability is not None
+        assert self._wal_compact_factor is not None
+        wal_bytes = self._durability.wal_size(key, state.epoch)
+        reference = max(
+            self._durability.latest_checkpoint_size(key),
+            WAL_COMPACT_FLOOR_BYTES,
+        )
+        if wal_bytes > self._wal_compact_factor * reference:
+            self._freeze_state(key, state)
+
+    # ------------------------------------------------------------------
+    # Replication (cluster tier)
+    # ------------------------------------------------------------------
+    def add_replication_sink(self, sink: ReplicationSink) -> None:
+        """Register a sink without catch-up (it must already be in sync
+        — an empty store, or a sink fed by :meth:`replicate_to`)."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_replication_sink(self, sink: ReplicationSink) -> None:
+        """Detach a sink; missing sinks are ignored."""
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+            except ValueError:
+                pass
+
+    def replicate_to(self, sink: ReplicationSink) -> None:
+        """Atomically catch a sink up on the full history, then register.
+
+        Under the store lock — so no push can interleave — every key's
+        frozen epochs stream first (``on_frozen`` with the epoch's
+        ``PTAR`` bytes, installed verbatim on the standby), then the
+        live epoch's acknowledged pushes replay from its WAL frames
+        (``on_push`` — the standby applies them through its own
+        sessions, reproducing the live state bit-identically by the
+        replay invariant).  A memory-only primary has no WAL to tail,
+        so it must attach its standby before any live pushes exist;
+        likewise a degraded durable primary holds acknowledged pushes
+        the WAL never saw (``dirty`` keys) and cannot guarantee a
+        faithful copy.  Both raise :class:`ServiceError`.
+        """
+        with self._lock:
+            seq = self._replication_seq
+            for key, state in self._states.items():
+                for epoch in state.frozen:
+                    sink.on_frozen(key, encode_result(epoch.result()), seq)
+                    if not sink.connected:
+                        raise ServiceError(
+                            "replication sink disconnected during catch-up"
+                        )
+                if state.session is not None and state.session.pushed > 0:
+                    if self._durability is None or state.dirty:
+                        raise ServiceError(
+                            f"cannot catch a standby up on key {key!r}: "
+                            f"its live pushes are not on a write-ahead "
+                            f"log (memory-only or degraded primary); "
+                            f"attach the standby before the first push "
+                            f"or use a healthy durable primary"
+                        )
+                    wal = self._durability.wal_path(key, state.epoch)
+                    for _, payload in iter_wal_frames(wal):
+                        sink.on_push(key, payload, seq)
+                        if not sink.connected:
+                            raise ServiceError(
+                                "replication sink disconnected during "
+                                "catch-up"
+                            )
+            sink.acked_seq = max(sink.acked_seq, seq)
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def install_frozen(self, key: Key, result: Result) -> None:
+        """Install a finalized summary as the key's next frozen epoch.
+
+        The standby-side counterpart of catch-up ``on_frozen`` frames:
+        the epoch is installed verbatim — the merge policy is **not**
+        re-run — exactly as if this store had frozen it itself (durable
+        stores demote it to a checkpoint).  Only valid while the key has
+        no live session; pushes for the key must arrive after every
+        frozen epoch is installed, mirroring the primary's history.
+        """
+        with self._lock:
+            if self._durability is not None and (
+                not isinstance(key, str) or not key
+            ):
+                raise ServiceError(
+                    f"durable stores require non-empty string keys, "
+                    f"got {key!r}"
+                )
+            state = self._states.get(key)
+            if state is None:
+                state = _KeyState()
+                self._states[key] = state
+            if state.session is not None:
+                raise ServiceError(
+                    f"key {key!r} already has a live session; frozen "
+                    f"epochs must be installed before live pushes"
+                )
+            epoch: FrozenEpoch
+            if self._durability is not None and not self._degraded:
+                try:
+                    epoch = self._durability.demote(
+                        key, state.epoch, result
+                    )
+                except DurabilityError:
+                    epoch = FrozenEpoch.from_result(result)
+                    self._pending_demote.append(
+                        (key, state.epoch, len(state.frozen))
+                    )
+                    self._note_demote_error()
+            elif self._durability is not None:
+                epoch = FrozenEpoch.from_result(result)
+                self._pending_demote.append(
+                    (key, state.epoch, len(state.frozen))
+                )
+            else:
+                epoch = FrozenEpoch.from_result(result)
+            state.frozen.append(epoch)
+            state.frozen_columns = None
+            state.epoch += 1
+            state.generation += 1
+            state.pushed += result.input_size
+            state.last_access = self._clock()
+            self._states.move_to_end(key)
+            self._pushed += result.input_size
+            self._evictions += 1
+
+    def _replicate(
+        self, hook: str, key: Key, payload: Optional[bytes] = None
+    ) -> None:
+        """Stamp the next sequence number and fan one event out.
+
+        Sinks must not raise (the :class:`ReplicationSink` contract); one
+        that does anyway is disconnected rather than failing the push.
+        """
+        self._replication_seq += 1
+        seq = self._replication_seq
+        for sink in self._sinks:
+            if not sink.connected:
+                continue
+            try:
+                if hook == "on_push":
+                    assert payload is not None
+                    sink.on_push(key, payload, seq)
+                else:
+                    sink.on_freeze(key, seq)
+            except Exception:  # noqa: BLE001 — protect the push path
+                sink.connected = False
 
     # ------------------------------------------------------------------
     # Degraded mode
@@ -866,7 +1133,9 @@ class SessionStore:
 __all__ = [
     "Key",
     "LRUTTLEviction",
+    "ReplicationSink",
     "ServiceError",
     "SessionStore",
     "StoreStats",
+    "WAL_COMPACT_FLOOR_BYTES",
 ]

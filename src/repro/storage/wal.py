@@ -57,7 +57,7 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Dict, List, Mapping, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -260,6 +260,58 @@ def read_wal(path: PathLike, recover: bool = False) -> List[bytes]:
     return frames
 
 
+def iter_wal_frames(
+    path: PathLike, offset: Optional[int] = None
+) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(next_offset, payload)`` for every intact frame — tailing.
+
+    The incremental cousin of :func:`read_wal`, built for readers that
+    *follow* a live WAL (the replication tier streams a primary's frames
+    to a warm standby from here): start at ``offset`` — ``None`` means
+    just past the file header, anything else must be a frame boundary a
+    previous call yielded — and stop silently at the first torn or
+    CRC-mismatching frame.  A torn tail is not an error for a tailer:
+    the writer may be mid-append, and the next call resumes from the
+    last yielded offset to pick the frame up once it is complete.
+    Wrong magic/version still raise :class:`WalError` — tailing a
+    foreign file is never recoverable.
+    """
+    data = Path(path).read_bytes()
+    if len(data) < _FILE_HEADER.size:
+        raise WalError(
+            f"{path}: too short for a WAL header ({len(data)} bytes)"
+        )
+    magic, version = _FILE_HEADER.unpack_from(data, 0)
+    if magic != WAL_MAGIC:
+        raise WalError(
+            f"{path}: wrong magic tag {magic!r} (expected {WAL_MAGIC!r})"
+        )
+    if version != WAL_VERSION:
+        raise WalError(
+            f"{path}: unsupported WAL version {version}; this reader "
+            f"understands version {WAL_VERSION}"
+        )
+    position = _FILE_HEADER.size if offset is None else offset
+    if position < _FILE_HEADER.size:
+        raise WalError(
+            f"{path}: offset {position} is inside the file header"
+        )
+    size = len(data)
+    while position < size:
+        if position + _FRAME_HEADER.size > size:
+            return  # torn header: the writer may still be appending
+        length, crc = _FRAME_HEADER.unpack_from(data, position)
+        begin = position + _FRAME_HEADER.size
+        end = begin + length
+        if end > size:
+            return  # torn payload
+        payload = data[begin:end]
+        if zlib.crc32(payload) != crc:
+            return  # corrupt tail: recovery (not tailing) truncates it
+        position = end
+        yield position, payload
+
+
 # ----------------------------------------------------------------------
 # Checkpoint files
 # ----------------------------------------------------------------------
@@ -335,6 +387,7 @@ __all__ = [
     "WalError",
     "WalWriter",
     "frame_overhead",
+    "iter_wal_frames",
     "load_checkpoint",
     "read_wal",
     "write_checkpoint",

@@ -1,0 +1,468 @@
+"""Warm-standby replication: streaming, catch-up, failover bit-identity.
+
+The contract under test is the failover guarantee of
+:mod:`repro.cluster.replica`: a standby promoted after the primary dies
+answers ``value_at`` / ``range_agg`` / ``window`` **bit-identically** to
+an uncrashed oracle at every acknowledged push generation — on both
+compute backends, across randomized streams, freeze schedules and crash
+points.  Around it: the replication-lag surface of ``stats()`` and the
+HTTP front end, WAL compaction (checkpoint-then-truncate), and the
+standby's refusal to accept direct pushes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import ExecutionPolicy
+from repro.cluster import (
+    Connection,
+    RemoteError,
+    ReplicationLink,
+    standby_store,
+    start_standby,
+)
+from repro.cluster.transport import KIND_PUSH, pack_envelope
+from repro.datasets import synthetic_sequential_segments
+from repro.service import (
+    QueryEngine,
+    Service,
+    ServiceError,
+    SessionStore,
+    encode_segments,
+    start_in_background,
+)
+from repro.service.store import WAL_COMPACT_FLOOR_BYTES
+from repro.util import failpoints
+
+
+def _chunks(n=600, dims=2, seed=3, chunk=40):
+    stream = synthetic_sequential_segments(n, dims, seed=seed)
+    return [stream[i: i + chunk] for i in range(0, n, chunk)]
+
+
+@pytest.fixture
+def standbys():
+    """Start standby servers on demand; shut every one down afterwards."""
+    servers = []
+
+    def _start(size=80, policy=None):
+        server, _ = start_standby(standby_store(size=size, policy=policy))
+        servers.append(server)
+        return server
+
+    yield _start
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def _assert_same_answers(promoted, oracle, hi):
+    """Drive both stores through their own engines over the same probes."""
+    left, right = QueryEngine(promoted), QueryEngine(oracle)
+    for t in (0, 1, hi // 3, hi // 2, hi - 1, hi):
+        assert left.value_at("k", t) == right.value_at("k", t)
+    assert left.range_agg("k", 0, hi, "avg") == right.range_agg(
+        "k", 0, hi, "avg"
+    )
+    assert left.range_agg("k", hi // 4, 3 * hi // 4, "sum") == (
+        right.range_agg("k", hi // 4, 3 * hi // 4, "sum")
+    )
+    assert left.window("k", 0, hi, max(hi // 7, 1)) == right.window(
+        "k", 0, hi, max(hi // 7, 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming replication and the lag surface
+# ----------------------------------------------------------------------
+class TestReplicationStream:
+    def test_streamed_pushes_reach_the_standby(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        for chunk in _chunks():
+            primary.push("k", chunk)
+        assert link.connected
+        assert standby.applied_seq == link.acked_seq >= 0
+        assert standby.store.pushed("k") == primary.pushed("k")
+
+    def test_stats_report_role_replicas_and_lag(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        for chunk in _chunks(n=200, chunk=50):
+            primary.push("k", chunk)
+        stats = primary.stats()
+        assert stats.role == "primary"
+        assert stats.replicas == 1
+        # Every ship waits for its ack, so a healthy link never lags.
+        assert stats.replication_lag == 0
+        assert stats.last_acked_generation == link.acked_seq
+        assert standby.store.stats().role == "standby"
+        assert stats.as_dict()["replication_lag"] == 0
+
+    def test_freeze_events_replicate(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        oracle = SessionStore(size=80)
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        for index, chunk in enumerate(_chunks()):
+            primary.push("k", chunk)
+            oracle.push("k", chunk)
+            if index in (4, 9):
+                primary.freeze("k")
+                oracle.freeze("k")
+        # The standby's epoch boundaries must mirror the primary's —
+        # they come exclusively from replicated freeze events.
+        assert len(standby.store.frozen_epochs("k")) == 2
+        _assert_same_answers(standby.promote(), oracle, hi=599)
+
+    def test_detach_stops_streaming_without_failing_pushes(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        chunks = _chunks(n=200, chunk=50)
+        primary.push("k", chunks[0])
+        applied = standby.store.pushed("k")
+        link.detach()
+        for chunk in chunks[1:]:
+            primary.push("k", chunk)
+        assert standby.store.pushed("k") == applied
+        stats = primary.stats()
+        assert stats.replicas == 0 and stats.replication_lag == 0
+
+    def test_transport_fault_disconnects_link_not_primary(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        chunks = _chunks(n=200, chunk=50)
+        primary.push("k", chunks[0])
+        applied = standby.store.pushed("k")
+        with failpoints.activated(
+            {"transport.send": failpoints.Raise(
+                OSError(32, "Broken pipe"), times=1)}
+        ):
+            primary.push("k", chunks[1])  # ship fails; push must not
+        for chunk in chunks[2:]:  # the link is down, pushes still land
+            primary.push("k", chunk)
+        assert not link.connected
+        assert primary.stats().replicas == 0
+        assert primary.pushed("k") == 200
+        assert standby.store.pushed("k") == applied
+
+    def test_attach_refused_when_standby_is_unreachable(self):
+        primary = SessionStore(size=80)
+        link = ReplicationLink("127.0.0.1:1", connect_timeout=0.2)
+        from repro.cluster import TransportError
+
+        with pytest.raises(TransportError):
+            link.attach(primary)
+        assert primary.stats().replicas == 0
+
+
+# ----------------------------------------------------------------------
+# Catch-up: attaching mid-history
+# ----------------------------------------------------------------------
+class TestCatchUp:
+    def test_attach_after_history_replays_the_wal(self, standbys, tmp_path):
+        primary = SessionStore(size=80, data_dir=tmp_path / "p")
+        oracle = SessionStore(size=80)
+        chunks = _chunks()
+        for index, chunk in enumerate(chunks):
+            if index == 8:  # attach mid-history: catch-up + live stream
+                standby = standbys()
+                link = ReplicationLink(standby.address)
+                link.attach(primary)
+            primary.push("k", chunk)
+            oracle.push("k", chunk)
+            if index == 3:
+                primary.freeze("k")
+                oracle.freeze("k")
+        _assert_same_answers(standby.promote(), oracle, hi=599)
+        primary.close()
+
+    def test_memory_primary_with_live_pushes_is_refused(self, standbys):
+        primary = SessionStore(size=80)
+        primary.push("k", _chunks(n=80, chunk=80)[0])
+        standby = standbys()
+        link = ReplicationLink(standby.address)
+        with pytest.raises(ServiceError, match="write-ahead log"):
+            link.attach(primary)
+        assert not link.connected
+        assert primary.stats().replicas == 0
+
+    def test_frozen_only_memory_primary_can_catch_up(self, standbys):
+        # No WAL needed when every epoch is already frozen: the summaries
+        # ship as FROZEN frames and the live stream continues from there.
+        primary = SessionStore(size=80)
+        oracle = SessionStore(size=80)
+        chunks = _chunks()
+        for chunk in chunks[:8]:
+            primary.push("k", chunk)
+            oracle.push("k", chunk)
+        primary.freeze("k")
+        oracle.freeze("k")
+        standby = standbys()
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        for chunk in chunks[8:]:
+            primary.push("k", chunk)
+            oracle.push("k", chunk)
+        _assert_same_answers(standby.promote(), oracle, hi=599)
+
+
+# ----------------------------------------------------------------------
+# Failover: the randomized bit-identity suite
+# ----------------------------------------------------------------------
+class TestPromotion:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_promoted_standby_matches_uncrashed_oracle(
+        self, standbys, backend
+    ):
+        policy = ExecutionPolicy(backend=backend)
+        standby = standbys(policy=policy)
+        primary = SessionStore(size=80, policy=policy)
+        oracle = SessionStore(size=80, policy=policy)
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        rng = random.Random(4 if backend == "python" else 5)
+        chunks = _chunks(seed=13)
+        crash_at = rng.randrange(3, len(chunks))
+        pushed = 0
+        for index, chunk in enumerate(chunks):
+            if index == crash_at:
+                break  # the primary "crashes": no further frames ship
+            primary.push("k", chunk)
+            oracle.push("k", chunk)
+            pushed += len(chunk)
+            if rng.random() < 0.2:
+                primary.freeze("k")
+                oracle.freeze("k")
+        promoted = standby.promote()
+        # Every push the primary acknowledged is on the standby.
+        assert promoted.pushed("k") == pushed
+        _assert_same_answers(promoted, oracle, hi=pushed - 1)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_randomized_crash_sweep(self, standbys, backend):
+        policy = ExecutionPolicy(backend=backend)
+        for seed in range(6):
+            rng = random.Random(1000 + seed)
+            standby = standbys(size=60, policy=policy)
+            primary = SessionStore(size=60, policy=policy)
+            oracle = SessionStore(size=60, policy=policy)
+            link = ReplicationLink(standby.address)
+            link.attach(primary)
+            chunks = _chunks(n=400, seed=seed, chunk=25)
+            crash_at = rng.randrange(1, len(chunks) + 1)
+            pushed = 0
+            for index, chunk in enumerate(chunks):
+                if index == crash_at:
+                    break
+                primary.push("k", chunk)
+                oracle.push("k", chunk)
+                pushed += len(chunk)
+                if rng.random() < 0.25:
+                    primary.freeze("k")
+                    oracle.freeze("k")
+            promoted = standby.promote()
+            assert promoted.pushed("k") == pushed
+            _assert_same_answers(promoted, oracle, hi=pushed - 1)
+
+    def test_late_frames_after_promotion_are_refused(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address)
+        link.attach(primary)
+        chunk = _chunks(n=40, chunk=40)[0]
+        primary.push("k", chunk)
+        standby.promote()
+        # A split-brain primary shipping a frame after failover must get
+        # a structured refusal, not a silent double apply.
+        payload = pack_envelope(
+            {"key": "k", "seq": 99}, encode_segments(chunk)
+        )
+        with Connection(standby.address) as connection:
+            with pytest.raises(RemoteError) as excinfo:
+                connection.request(KIND_PUSH, payload)
+        assert excinfo.value.code == "not_standby"
+        assert standby.store.pushed("k") == len(chunk)
+
+
+# ----------------------------------------------------------------------
+# HTTP surface: /role, /healthz lag threshold, standby push refusal
+# ----------------------------------------------------------------------
+def _get(server, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}{path}"
+    ) as response:
+        return json.load(response)
+
+
+class _StuckSink:
+    """A registered replica that never acknowledges (lag generator).
+
+    Starts in sync (``acked_seq = 0``, what :meth:`replicate_to` leaves
+    behind on an empty store) and then ignores every frame.
+    """
+
+    connected = True
+    acked_seq = 0
+
+    def on_push(self, key, payload, seq):
+        pass
+
+    def on_freeze(self, key, seq):
+        pass
+
+    def on_frozen(self, key, payload, seq):
+        pass
+
+
+class TestReplicationHTTP:
+    def test_role_endpoint_reports_replication_state(self):
+        store = SessionStore(size=12)
+        service = Service(store=store)
+        server, _ = start_in_background(service)
+        try:
+            body = _get(server, "/role")
+            assert body == {
+                "role": "primary",
+                "replicas": 0,
+                "replication_lag": 0,
+                "last_acked_generation": -1,
+            }
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_standby_store_rejects_http_pushes(self):
+        service = Service(store=standby_store(size=12))
+        server, _ = start_in_background(service)
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/push/k",
+                data=b"[]",
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 503
+            assert json.load(excinfo.value)["code"] == "not_primary"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_healthz_degrades_when_lag_exceeds_threshold(self):
+        store = SessionStore(size=12)
+        store.add_replication_sink(_StuckSink())
+        service = Service(store=store, max_replication_lag=0)
+        server, _ = start_in_background(service)
+        try:
+            assert _get(server, "/healthz")["status"] == "ok"
+            store.push("k", _chunks(n=40, chunk=40)[0])
+            assert store.stats().replication_lag > 0
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/healthz"
+                )
+            assert excinfo.value.code == 503
+            body = json.load(excinfo.value)
+            assert body["status"] == "degraded"
+            assert "replication lag" in body["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_healthz_ignores_lag_without_a_threshold(self):
+        store = SessionStore(size=12)
+        store.add_replication_sink(_StuckSink())
+        service = Service(store=store)
+        server, _ = start_in_background(service)
+        try:
+            store.push("k", _chunks(n=40, chunk=40)[0])
+            assert store.stats().replication_lag > 0
+            assert _get(server, "/healthz")["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# WAL compaction: checkpoint-then-truncate
+# ----------------------------------------------------------------------
+class TestWalCompaction:
+    def test_wal_stays_bounded_by_the_compact_factor(self, tmp_path):
+        store = SessionStore(
+            size=40, data_dir=tmp_path, wal_compact_factor=1.0
+        )
+        for chunk in _chunks(n=2000, chunk=100, seed=8):
+            store.push("k", chunk)
+        # The trigger froze epochs long before 2000 pushes of WAL could
+        # pile up, and the live WAL never exceeds factor * reference.
+        epochs = store.frozen_epochs("k")
+        assert len(epochs) >= 1
+        assert store._durability is not None
+        live_wal = store._durability.wal_size("k", len(epochs))
+        reference = max(
+            store._durability.latest_checkpoint_size("k"),
+            WAL_COMPACT_FLOOR_BYTES,
+        )
+        assert live_wal <= reference
+        store.close()
+
+    def test_recovery_after_compaction_is_bit_identical(self, tmp_path):
+        store = SessionStore(
+            size=40, data_dir=tmp_path, wal_compact_factor=1.0
+        )
+        for chunk in _chunks(n=1000, chunk=100, seed=9):
+            store.push("k", chunk)
+        assert len(store.frozen_epochs("k")) >= 1  # compaction fired
+        before_crash = QueryEngine(store).range_agg("k", 0, 999, "avg")
+        del store  # crash without close()
+        revived = SessionStore(
+            size=40, data_dir=tmp_path, wal_compact_factor=1.0
+        )
+        after = QueryEngine(revived).range_agg("k", 0, 999, "avg")
+        assert after == before_crash
+        revived.close()
+
+    def test_compaction_freezes_are_replicated(self, standbys, tmp_path):
+        standby = standbys(size=40)
+        store = SessionStore(
+            size=40, data_dir=tmp_path, wal_compact_factor=1.0
+        )
+        link = ReplicationLink(standby.address)
+        link.attach(store)
+        for chunk in _chunks(n=1000, chunk=100, seed=10):
+            store.push("k", chunk)
+        assert len(store.frozen_epochs("k")) >= 1
+        # The standby saw the same compaction freezes, so its epoch
+        # structure — and hence every answer — mirrors the primary's.
+        assert len(standby.store.frozen_epochs("k")) == len(
+            store.frozen_epochs("k")
+        )
+        _assert_same_answers(standby.promote(), store, hi=999)
+        store.close()
+
+    def test_wal_compact_factor_requires_durable_mode(self):
+        with pytest.raises(ServiceError, match="data_dir"):
+            SessionStore(size=10, wal_compact_factor=2.0)
+
+    def test_wal_compact_factor_must_be_positive(self, tmp_path):
+        with pytest.raises(ServiceError, match="positive"):
+            SessionStore(
+                size=10, data_dir=tmp_path, wal_compact_factor=0.0
+            )

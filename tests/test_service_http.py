@@ -184,6 +184,10 @@ class TestHTTPEndpoints:
             "durable": 0,
             "degraded": 0,
             "disk_errors": 0,
+            "role": "primary",
+            "replicas": 0,
+            "replication_lag": 0,
+            "last_acked_generation": -1,
         }
 
 
