@@ -13,7 +13,10 @@ nothing beyond the standard library on the wire:
    ``range_agg`` answer is **bit-identical** to computing the same query
    on batch :func:`repro.compress` output over the same tuples;
 5. TTL eviction: an idle sensor's session is frozen into a summary that
-   stays queryable — no pushed tuple is ever dropped.
+   stays queryable — no pushed tuple is ever dropped;
+6. a ``GET /metrics`` scrape: the key Prometheus series of every tier
+   (HTTP latency histograms, store push counters, query cache counters)
+   are present and every sample line parses.
 
 Run with::
 
@@ -27,6 +30,7 @@ import argparse
 import json
 import math
 import random
+import re
 import time
 import urllib.request
 
@@ -176,6 +180,36 @@ def main() -> int:
     assert frozen_point["values"] is not None
     print(f"frozen sensor-1 still answers value_at(0) = "
           f"{frozen_point['values'][0]:.2f} — eviction lost nothing")
+
+    # ------------------------------------------------------------------
+    # /metrics: the key series are present and every line parses.
+    # ------------------------------------------------------------------
+    with urllib.request.urlopen(f"{base}/metrics") as response:
+        assert response.headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        exposition = response.read().decode("utf-8")
+    for needle in (
+        "# TYPE repro_http_request_seconds histogram",
+        'repro_http_request_seconds_bucket{endpoint="push"',
+        "repro_store_pushed_segments_total",
+        "repro_store_evictions_total",
+        "repro_query_cache_hits_total",
+        "repro_query_cache_misses_total",
+    ):
+        assert needle in exposition, f"missing from /metrics: {needle}"
+    sample_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$")
+    samples = 0
+    for line in exposition.splitlines():
+        if line.startswith("#"):
+            continue
+        assert sample_re.match(line), f"unparseable metrics line: {line}"
+        samples += 1
+    pushed = next(
+        line for line in exposition.splitlines()
+        if line.startswith("repro_store_pushed_segments_total")
+    )
+    print(f"\n/metrics: {samples} Prometheus samples, e.g. {pushed}")
 
     server.shutdown()
     print("\nOK")

@@ -41,6 +41,8 @@ import numpy as np
 from ..core.errors import Weights, resolve_weights
 from ..core.greedy import GreedyResult
 from ..core.merge import AggregateSegment
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..parallel import (
     DEFAULT_SHARD_SIZE,
     RETRY_BACKOFF_S,
@@ -72,7 +74,11 @@ __all__ = ["encode_shard_request", "reduce_cluster"]
 
 
 def encode_shard_request(
-    encoded: EncodedSegments, lo: int, hi: int, w2: np.ndarray
+    encoded: EncodedSegments,
+    lo: int,
+    hi: int,
+    w2: np.ndarray,
+    trace_id: Optional[str] = None,
 ) -> bytes:
     """One shard as a self-contained ``KIND_REDUCE`` payload.
 
@@ -80,7 +86,9 @@ def encode_shard_request(
     full interned group-key table rides along so the slice's global group
     ids resolve on the worker.  The weights travel in the JSON envelope —
     floats survive a JSON roundtrip bit-exactly (``repr`` semantics), so
-    remote and local reductions use identical ``w2``.
+    remote and local reductions use identical ``w2``.  When the caller
+    runs under a trace, the ``trace_id`` rides in the envelope meta so
+    the worker's ``shard_reduce`` span joins the coordinator's trace.
     """
     body = wire.encode_segments(
         EncodedSegments(
@@ -91,7 +99,10 @@ def encode_shard_request(
             encoded.group_keys,
         )
     )
-    return pack_envelope({"w2": w2.tolist(), "shard": [lo, hi]}, body)
+    meta: dict = {"w2": w2.tolist(), "shard": [lo, hi]}
+    if trace_id is not None:
+        meta["trace_id"] = trace_id
+    return pack_envelope(meta, body)
 
 
 def reduce_cluster(
@@ -155,33 +166,47 @@ def reduce_cluster(
     )
     shards = plan_shards(encoded, shard_size)
 
+    # Capture the caller's trace id *before* the thread fan-out: plain
+    # ThreadPoolExecutor threads do not inherit ContextVars, so each
+    # dispatch re-enters the trace explicitly and the id also rides in
+    # the shard envelope for the remote worker's spans.
+    trace_id = _tracing.current_trace_id()
+    fallbacks = _metrics.counter(
+        "repro_shard_fallbacks_total",
+        "Shards reduced in-process after every cluster peer failed.",
+        tier="cluster",
+    )
+
     # Rotate each shard's starting address so concurrent shards spread
     # across the cluster instead of all hammering addresses[0]; the
     # rotation only changes *where* a schedule is computed, never what it
     # contains, so placement cannot perturb the output.
     def _reduce_remote(index: int, lo: int, hi: int) -> ShardTrajectory:
-        payload = encode_shard_request(encoded, lo, hi, w2)
+        payload = encode_shard_request(encoded, lo, hi, w2, trace_id)
         rotated = [
             addresses[(index + step) % len(addresses)]
             for step in range(len(addresses))
         ]
-        try:
-            answer = request_with_retries(
-                rotated,
-                KIND_REDUCE,
-                payload,
-                expect=KIND_TRAJECTORY,
-                retries=shard_retries,
-                backoff=retry_backoff,
-                connect_timeout=connect_timeout,
-                read_timeout=read_timeout,
-            )
-        except RemoteError as error:
-            if error.code == "bad_request":
-                raise  # resending identical bytes cannot succeed
-            return _reduce_local(index)
-        except TransportError:
-            return _reduce_local(index)
+        with _tracing.attach(trace_id):
+            try:
+                answer = request_with_retries(
+                    rotated,
+                    KIND_REDUCE,
+                    payload,
+                    expect=KIND_TRAJECTORY,
+                    retries=shard_retries,
+                    backoff=retry_backoff,
+                    connect_timeout=connect_timeout,
+                    read_timeout=read_timeout,
+                )
+            except RemoteError as error:
+                if error.code == "bad_request":
+                    raise  # resending identical bytes cannot succeed
+                fallbacks.inc()
+                return _reduce_local(index)
+            except TransportError:
+                fallbacks.inc()
+                return _reduce_local(index)
         return decode_trajectory(answer)
 
     local_lock = threading.Lock()

@@ -44,6 +44,7 @@ import time
 import zlib
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from ..obs import metrics as _metrics
 from ..util import failpoints
 
 #: Magic tag and version of transport frames.  Bump the version on any
@@ -380,6 +381,11 @@ def request_with_retries(
     """
     if not addresses:
         raise TransportError("no addresses to send to")
+    retried = _metrics.counter(
+        "repro_shard_retries_total",
+        "Failed request attempts rotated to another peer.",
+        tier="cluster",
+    )
     last: Optional[Exception] = None
     for round_index in range(1 + max(retries, 0)):
         if round_index and backoff > 0:
@@ -395,15 +401,18 @@ def request_with_retries(
                 if error.code == "bad_request":
                     raise
                 last = error
+                retried.inc()
                 continue
             except TransportError as error:
                 last = error
+                retried.inc()
                 continue
             if answer_kind != expect:
                 last = TransportError(
                     f"{address} answered frame kind {answer_kind}, "
                     f"expected {expect}"
                 )
+                retried.inc()
                 continue
             return answer
     assert last is not None

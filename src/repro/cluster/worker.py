@@ -36,6 +36,8 @@ import socketserver
 import threading
 from typing import Optional, Tuple
 
+from ..obs import tracing as _tracing
+from ..obs.logs import get_logger
 from ..service.wire import WireError, decode_encoded
 from ..storage.columns import ColumnCodecError
 from ..util import failpoints
@@ -52,6 +54,8 @@ from .transport import (
     send_frame,
     unpack_envelope,
 )
+
+_log = get_logger("repro.cluster.worker")
 
 
 def reduce_request(payload: bytes):
@@ -78,9 +82,13 @@ def reduce_request(payload: bytes):
             f"shard request carries {w2.shape} weights for "
             f"{encoded.dimensions}-dimensional values"
         )
-    return reduce_shard(
-        (encoded.starts, encoded.ends, encoded.values, encoded.groups, w2)
-    )
+    # Adopt the coordinator's trace id (if the envelope carries one) so
+    # the worker's shard_reduce span lands in the caller's trace.
+    trace_raw = meta.get("trace_id")
+    with _tracing.attach(trace_raw if isinstance(trace_raw, str) else None):
+        return reduce_shard(
+            (encoded.starts, encoded.ends, encoded.values, encoded.groups, w2)
+        )
 
 
 class _WorkerHandler(socketserver.BaseRequestHandler):
@@ -116,6 +124,11 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
             except OSError:
                 return  # the answer could not be written; drop the peer
             except Exception as error:  # noqa: BLE001 — the internal arm
+                _log.exception(
+                    "shard request failed",
+                    code="internal",
+                    error=f"{type(error).__name__}: {error}",
+                )
                 if not self._answer_error(
                     sock, f"{type(error).__name__}: {error}", "internal"
                 ):
@@ -185,7 +198,7 @@ def main() -> int:
     parser.add_argument("--port", type=int, default=0)
     arguments = parser.parse_args()
     worker = ReducerWorker(arguments.host, arguments.port)
-    print(f"reducer worker listening on {worker.address}", flush=True)
+    _log.info("reducer worker listening", address=worker.address)
     try:
         worker.serve_forever()
     except KeyboardInterrupt:

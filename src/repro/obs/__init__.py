@@ -1,0 +1,86 @@
+"""End-to-end observability: metrics, request tracing, structured logs.
+
+A dependency-free layer threaded through every tier of the serving
+stack — see ``docs/ARCHITECTURE.md`` ("Observability") for the metric
+name table, the span hierarchy and the trace propagation rules.
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters,
+  gauges and histograms (fixed log-scale latency buckets) with
+  ``snapshot()`` and Prometheus text exposition, rendered by the HTTP
+  front end's ``GET /metrics``.  Timing instrumentation is zero-cost
+  when disarmed: one module-global read, in the style of
+  :mod:`repro.util.failpoints`.
+* :mod:`repro.obs.tracing` — lightweight spans under a ``trace_id``
+  carried in a :class:`contextvars.ContextVar` and propagated via the
+  ``X-Repro-Trace`` HTTP header and a ``trace_id`` field in the PTAF
+  envelope meta, so one id follows a request HTTP → store → WAL →
+  coordinator → remote reducer.
+* :mod:`repro.obs.logs` — structured JSON logging (logger name, level,
+  trace id, error code) replacing the serving tier's ad-hoc prints.
+"""
+
+from .logs import JsonFormatter, StructuredLogger, configure, get_logger
+from .metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    counter,
+    disabled,
+    enabled,
+    gauge,
+    histogram,
+    render,
+    set_enabled,
+    snapshot,
+    value,
+)
+from .tracing import (
+    TRACE_HEADER,
+    SpanRecord,
+    attach,
+    clear_spans,
+    current_trace_id,
+    finished_spans,
+    new_trace_id,
+    record_span,
+    span,
+    trace,
+    valid_trace_id,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "REGISTRY",
+    "TRACE_HEADER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricError",
+    "MetricsRegistry",
+    "SpanRecord",
+    "StructuredLogger",
+    "attach",
+    "clear_spans",
+    "configure",
+    "counter",
+    "current_trace_id",
+    "disabled",
+    "enabled",
+    "finished_spans",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "new_trace_id",
+    "record_span",
+    "render",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "trace",
+    "valid_trace_id",
+]

@@ -1,0 +1,149 @@
+"""Structured JSON logging for the serving tier.
+
+One JSON object per line on stderr: timestamp, level, logger name,
+event, the current trace id, and whatever key/value fields the call
+site attaches (``code=...`` for the HTTP error vocabulary, ``key=...``
+for the session, a formatted ``traceback`` on exceptions).  This
+replaces the ad-hoc ``BaseHTTPRequestHandler`` stderr lines and bare
+``print`` calls — server-side faults used to vanish whenever stdout
+was not a TTY; now they are grep-able and carry the trace id of the
+request that hit them.
+
+Built on :mod:`logging` so the standard ecosystem keeps working:
+records propagate to the root logger (pytest's ``caplog`` sees them),
+levels are the stdlib levels, and an application that wants different
+routing can call :func:`configure` with its own stream — or attach its
+own handlers to the ``"repro"`` logger before first use, in which case
+:func:`get_logger` attaches nothing.
+
+    >>> log = get_logger("repro.doctest")
+    >>> log.info("session frozen", key="sensor-1", reason="ttl")
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+import traceback
+from typing import Optional, TextIO
+
+from . import tracing
+
+__all__ = [
+    "JsonFormatter",
+    "StructuredLogger",
+    "configure",
+    "get_logger",
+]
+
+#: Every serving-tier logger lives under this namespace; the default
+#: JSON handler is attached here exactly once.
+ROOT_LOGGER_NAME = "repro"
+
+_configure_lock = threading.Lock()
+_configured = False
+
+
+class JsonFormatter(logging.Formatter):
+    """Render a record as one compact JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        created = time.gmtime(record.created)
+        payload = {
+            "ts": (
+                time.strftime("%Y-%m-%dT%H:%M:%S", created)
+                + f".{int(record.msecs):03d}Z"
+            ),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "structured", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and "traceback" not in payload:
+            payload["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(", ", ": "))
+
+
+def configure(
+    stream: Optional[TextIO] = None,
+    level: int = logging.INFO,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach the JSON handler to the ``"repro"`` logger, once.
+
+    A no-op when the logger already has handlers (an embedding
+    application routed it first) unless ``force`` replaces them.
+    Records still propagate upward, so test harness capture works.
+    """
+    global _configured
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    with _configure_lock:
+        if force:
+            for handler in list(logger.handlers):
+                logger.removeHandler(handler)
+            _configured = False
+        if _configured or logger.handlers:
+            _configured = True
+            return logger
+        handler = logging.StreamHandler(
+            stream if stream is not None else sys.stderr
+        )
+        handler.setFormatter(JsonFormatter())
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        _configured = True
+    return logger
+
+
+class StructuredLogger:
+    """A thin field-carrying wrapper over a stdlib logger.
+
+    Methods take an *event* (a short, stable, human-grep-able string)
+    plus arbitrary key/value fields; the current trace id is attached
+    automatically so one request's log lines correlate with its spans.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        trace_id = tracing.current_trace_id()
+        if trace_id is not None and "trace_id" not in fields:
+            fields["trace_id"] = trace_id
+        self._logger.log(level, event, extra={"structured": fields})
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log(logging.ERROR, event, fields)
+
+    def exception(self, event: str, **fields: object) -> None:
+        """``error`` with the in-flight exception's traceback attached."""
+        fields.setdefault("traceback", traceback.format_exc())
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The serving tier's logger factory (configures JSON output once)."""
+    configure()
+    return StructuredLogger(logging.getLogger(name))

@@ -1,0 +1,493 @@
+"""Dependency-free metrics: counters, gauges, histograms, Prometheus text.
+
+The registry is the serving tier's single source of truth for runtime
+counters: the HTTP front end, :class:`~repro.service.store.SessionStore`,
+:class:`~repro.service.query.QueryEngine` and the shard/cluster reducers
+all register their series here, ``GET /metrics`` renders them in the
+Prometheus text exposition format, and ``/stats`` reads the store's
+counters back *through* the registry rather than keeping a parallel set
+of instance attributes.
+
+Design rules, in priority order:
+
+* **Stdlib only.**  Like the rest of the serving tier there is no
+  client-library dependency; the exposition format is written by hand
+  (it is a stable, line-oriented text format).
+* **Zero cost when disabled.**  Mirroring the arming pattern of
+  :mod:`repro.util.failpoints` (one module-global read on the hot
+  path), timing instrumentation guards on :func:`enabled` — a single
+  global read — and skips the clock calls and histogram updates
+  entirely when observability is switched off.  The *store's* plain
+  counters (pushed segments, evictions, disk errors) are *not* gated:
+  they are one lock-protected addition on an already-locked slow path
+  and the legacy ``/stats`` fields must stay truthful either way.  The
+  query engine's counters ride the arming switch, keeping the warm
+  read path lock-free when disarmed.  The residual overhead of
+  the disabled mode on the warm query path is gated at ≤ 1.05× by
+  ``benchmarks/bench_service.py`` (the ``metrics_disabled_overhead``
+  series in ``BENCH_service.json``).
+* **Thread safe.**  Every metric object carries its own lock; the
+  registry itself is guarded by an ``RLock``.  Registration is
+  idempotent — asking for an existing ``(name, labels)`` child returns
+  the same object, so instances may re-register freely in ``__init__``.
+
+Metric families follow Prometheus conventions: a family has one type
+and help string; children are addressed by label values.  Counters end
+in ``_total``, histograms in ``_seconds`` with log-scale latency
+buckets (:data:`LATENCY_BUCKETS`, half-decade steps from 1 µs to 10 s).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "counter",
+    "disabled",
+    "enabled",
+    "gauge",
+    "histogram",
+    "render",
+    "set_enabled",
+    "snapshot",
+    "value",
+]
+
+
+class MetricError(ValueError):
+    """Invalid metric name, label, amount, or a conflicting registration."""
+
+
+#: Fixed log-scale latency buckets: half-decade steps, 1 µs .. 10 s.
+#: Small enough to render compactly, wide enough to cover a cache-hit
+#: snapshot query (~10 µs) and a cold cluster reduction (~seconds).
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 2.0), 12) for exponent in range(-12, 3)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: The failpoints-style arming global: hot paths read this once and skip
+#: all timing work when it is ``False``.  Latency-critical call sites
+#: (the warm snapshot-query path) read the module attribute directly —
+#: ``if _metrics.armed:`` — one dict lookup, no call frame; everything
+#: else goes through :func:`enabled`.  Always read it as an attribute
+#: of the module: ``from .metrics import armed`` would freeze the value
+#: at import time.  Counters feeding ``/stats`` ignore it — see the
+#: module docstring.
+armed: bool = os.environ.get("REPRO_OBS", "").lower() not in (
+    "0",
+    "off",
+    "false",
+    "no",
+    "disabled",
+)
+
+
+def enabled() -> bool:
+    """One global read: is timing instrumentation armed?"""
+    return armed
+
+
+def set_enabled(on: bool) -> bool:
+    """Arm or disarm timing instrumentation; returns the previous state."""
+    global armed
+    previous = armed
+    armed = bool(on)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Temporarily disarm timing instrumentation (benchmarks, tests)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+_LabelValues = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"counters only go up; cannot inc() by {amount!r}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram; ``le`` semantics match Prometheus.
+
+    An observation equal to a bucket edge counts into that bucket
+    (upper edges are inclusive); anything above the last edge lands in
+    the implicit ``+Inf`` overflow bucket.
+    """
+
+    __slots__ = ("_buckets", "_counts", "_lock", "_sum")
+
+    def __init__(self, buckets: Tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        if not buckets:
+            raise MetricError("a histogram needs at least one bucket edge")
+        if any(b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])):
+            raise MetricError(
+                f"bucket edges must be strictly increasing: {buckets!r}"
+            )
+        self._buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self._buckets) + 1)
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        return self._buckets
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_edge, cumulative_count)`` pairs, ``+Inf`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        edges = list(self._buckets) + [float("inf")]
+        running = 0
+        out: List[Tuple[float, int]] = []
+        for edge, count in zip(edges, counts):
+            running += count
+            out.append((edge, running))
+        return out
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class _Family:
+    """One named family: a type, a help string, children per label set."""
+
+    __slots__ = ("buckets", "children", "help", "kind", "label_names", "name")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Tuple[float, ...]],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.label_names: Optional[Tuple[str, ...]] = None
+        self.children: Dict[_LabelValues, _Metric] = {}
+
+
+class MetricsRegistry:
+    """Thread-safe family registry with Prometheus text exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        child = self._child("counter", name, help_text, labels, None)
+        assert isinstance(child, Counter)
+        return child
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        child = self._child("gauge", name, help_text, labels, None)
+        assert isinstance(child, Gauge)
+        return child
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Tuple[float, ...] = LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        child = self._child("histogram", name, help_text, labels, buckets)
+        assert isinstance(child, Histogram)
+        return child
+
+    def _child(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Dict[str, str],
+        buckets: Optional[Tuple[float, ...]],
+    ) -> _Metric:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise MetricError(f"invalid label name {label!r}")
+        key: _LabelValues = tuple(
+            (k, str(v)) for k, v in sorted(labels.items())
+        )
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise MetricError(
+                    f"metric {name!r} is already registered as a "
+                    f"{family.kind}, not a {kind}"
+                )
+            elif kind == "histogram" and family.buckets != buckets:
+                raise MetricError(
+                    f"histogram {name!r} is already registered with "
+                    f"different buckets"
+                )
+            names = tuple(k for k, _ in key)
+            if family.label_names is None:
+                family.label_names = names
+            elif family.label_names != names:
+                raise MetricError(
+                    f"metric {name!r} expects labels "
+                    f"{family.label_names!r}, got {names!r}"
+                )
+            child = family.children.get(key)
+            if child is None:
+                if kind == "counter":
+                    child = Counter()
+                elif kind == "gauge":
+                    child = Gauge()
+                else:
+                    assert buckets is not None
+                    child = Histogram(buckets)
+                family.children[key] = child
+            return child
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of a counter/gauge child; 0.0 when absent."""
+        key: _LabelValues = tuple(
+            (k, str(v)) for k, v in sorted(labels.items())
+        )
+        with self._lock:
+            family = self._families.get(name)
+            child = family.children.get(key) if family is not None else None
+        if child is None or isinstance(child, Histogram):
+            return 0.0
+        return child.value
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able dump of every family and child."""
+        with self._lock:
+            families = list(self._families.values())
+        out: Dict[str, object] = {}
+        for family in families:
+            samples: List[Dict[str, object]] = []
+            with self._lock:
+                children = list(family.children.items())
+            for key, child in children:
+                labels = dict(key)
+                if isinstance(child, Histogram):
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": {
+                                _format_value(edge): cum
+                                for edge, cum in child.cumulative()
+                            },
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def render(self) -> str:
+        """The Prometheus text exposition (version 0.0.4) of the registry."""
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        lines: List[str] = []
+        for family in families:
+            if family.help:
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}"
+                )
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            with self._lock:
+                children = sorted(family.children.items())
+            for key, child in children:
+                if isinstance(child, Histogram):
+                    lines.extend(_render_histogram(family.name, key, child))
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(key)} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def reset(self) -> None:
+        """Drop every family (test isolation only).
+
+        Metric objects already handed out keep working, but they are no
+        longer rendered; long-lived holders re-register on next use.
+        """
+        with self._lock:
+            self._families.clear()
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(
+    key: _LabelValues, extra: Optional[Tuple[str, str]] = None
+) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _render_histogram(
+    name: str, key: _LabelValues, child: Histogram
+) -> List[str]:
+    lines = []
+    for edge, cum in child.cumulative():
+        le = "+Inf" if edge == float("inf") else _format_value(edge)
+        lines.append(f"{name}_bucket{_render_labels(key, ('le', le))} {cum}")
+    lines.append(f"{name}_sum{_render_labels(key)} {_format_value(child.sum)}")
+    lines.append(f"{name}_count{_render_labels(key)} {child.count}")
+    return lines
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+#: The process-global registry every layer registers into and
+#: ``GET /metrics`` renders.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help_text: str = "", **labels: str) -> Counter:
+    return REGISTRY.counter(name, help_text, **labels)
+
+
+def gauge(name: str, help_text: str = "", **labels: str) -> Gauge:
+    return REGISTRY.gauge(name, help_text, **labels)
+
+
+def histogram(
+    name: str,
+    help_text: str = "",
+    buckets: Tuple[float, ...] = LATENCY_BUCKETS,
+    **labels: str,
+) -> Histogram:
+    return REGISTRY.histogram(name, help_text, buckets, **labels)
+
+
+def value(name: str, **labels: str) -> float:
+    return REGISTRY.value(name, **labels)
+
+
+def render() -> str:
+    return REGISTRY.render()
+
+
+def snapshot() -> Dict[str, object]:
+    return REGISTRY.snapshot()

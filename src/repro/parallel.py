@@ -66,6 +66,8 @@ from .core.kernels import (
     shard_sse_max,
 )
 from .core.merge import AggregateSegment
+from .obs import metrics as _metrics
+from .obs.tracing import span
 from .temporal import Interval
 from .util import failpoints
 
@@ -234,8 +236,12 @@ def reduce_shard(payload: ShardPayload) -> ShardTrajectory:
     """
     failpoints.fail("parallel.worker")
     starts, ends, values, groups, w2 = payload
-    boundaries, keys = greedy_merge_trajectory(starts, ends, values, groups, w2)
-    return boundaries, keys, shard_sse_max(starts, ends, values, groups, w2)
+    with span("shard_reduce"):
+        boundaries, keys = greedy_merge_trajectory(
+            starts, ends, values, groups, w2
+        )
+        sse = shard_sse_max(starts, ends, values, groups, w2)
+    return boundaries, keys, sse
 
 
 # Backwards-compatible name (the pool pickles tasks by qualified name).
@@ -259,14 +265,17 @@ def assemble_result(
     were computed (pool workers, remote cluster workers, in-process
     fallback, or any mix).
     """
-    counts, total_error, merges = _reconcile(
-        trajectories, size, max_error, len(encoded)
-    )
-    output: List[AggregateSegment] = []
-    for (lo, hi), (boundaries, _, _), taken in zip(
-        shards, trajectories, counts
-    ):
-        output.extend(_rebuild_shard(encoded, lo, hi, boundaries[:taken]))
+    with span("frontier_merge"):
+        counts, total_error, merges = _reconcile(
+            trajectories, size, max_error, len(encoded)
+        )
+        output: List[AggregateSegment] = []
+        for (lo, hi), (boundaries, _, _), taken in zip(
+            shards, trajectories, counts
+        ):
+            output.extend(
+                _rebuild_shard(encoded, lo, hi, boundaries[:taken])
+            )
     return GreedyResult(
         segments=output,
         error=total_error,
@@ -315,10 +324,20 @@ def _reduce_shards_pooled(
             ]
             rebuilds += 1
             if rebuilds > retries:
+                _metrics.counter(
+                    "repro_shard_fallbacks_total",
+                    "Shards finished in-process after the pool gave up.",
+                    tier="pool",
+                ).inc(len(pending))
                 for index in pending:
                     results[index] = _reduce_shard(payloads[index])
                 pending = []
             else:
+                _metrics.counter(
+                    "repro_shard_retries_total",
+                    "Process-pool rebuilds after worker deaths.",
+                    tier="pool",
+                ).inc()
                 time.sleep(backoff * rebuilds)
     assert all(result is not None for result in results)
     return results  # type: ignore[return-value]

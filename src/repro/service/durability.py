@@ -65,6 +65,7 @@ import numpy as np
 from ..api.result import Result
 from ..core.kernels import SnapshotColumns
 from ..core.merge import AggregateSegment
+from ..obs.tracing import span
 from ..util import failpoints
 from ..storage.wal import (
     WalError,
@@ -398,18 +399,21 @@ class Durability:
                 f"failed rollback; awaiting epoch rotation"
             )
         try:
-            if cached is None or cached[0] != epoch:
-                if cached is not None:
-                    self._close_quietly(cached[1])
-                    del self._writers[key]
-                directory = self.key_dir(key)
-                directory.mkdir(parents=True, exist_ok=True)
-                writer = WalWriter(self.wal_path(key, epoch), fsync_every=0)
-                self._writers[key] = (epoch, writer)
-            else:
-                writer = cached[1]
-            offset = writer.tell()
-            writer.append(payload)
+            with span("wal_append"):
+                if cached is None or cached[0] != epoch:
+                    if cached is not None:
+                        self._close_quietly(cached[1])
+                        del self._writers[key]
+                    directory = self.key_dir(key)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    writer = WalWriter(
+                        self.wal_path(key, epoch), fsync_every=0
+                    )
+                    self._writers[key] = (epoch, writer)
+                else:
+                    writer = cached[1]
+                offset = writer.tell()
+                writer.append(payload)
         except OSError as error:
             raise DurabilityError(
                 f"WAL append failed for key {key!r}: {error}"
@@ -463,18 +467,21 @@ class Durability:
         first failure is wrapped and raised after the sweep stops.
         """
         self._since_sync = 0
-        for key in sorted(self._dirty):
-            cached = self._writers.get(key)
-            if cached is None:
+        if not self._dirty:
+            return
+        with span("fsync"):
+            for key in sorted(self._dirty):
+                cached = self._writers.get(key)
+                if cached is None:
+                    self._dirty.discard(key)
+                    continue
+                try:
+                    cached[1].sync()
+                except OSError as error:
+                    raise DurabilityError(
+                        f"WAL fsync failed for key {key!r}: {error}"
+                    ) from error
                 self._dirty.discard(key)
-                continue
-            try:
-                cached[1].sync()
-            except OSError as error:
-                raise DurabilityError(
-                    f"WAL fsync failed for key {key!r}: {error}"
-                ) from error
-            self._dirty.discard(key)
 
     def probe(self) -> None:
         """Verify ``data_dir`` accepts durable writes (degraded re-probe).

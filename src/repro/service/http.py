@@ -20,11 +20,21 @@ Endpoints::
                                                   -> {buckets: [...]}
     GET  /summary?key=K   JSON summary + stats; with Accept:
                           application/x-pta-wire, the binary Result payload
-    GET  /stats           store-wide counters (incl. replication fields)
+    GET  /stats           store-wide counters (incl. replication fields
+                          and the query engine's cache/cost counters)
+    GET  /metrics         Prometheus text exposition of the process-wide
+                          metrics registry (repro.obs)
     GET  /role            {role, replicas, replication_lag,
                            last_acked_generation}
     GET  /healthz         liveness probe (503 when degraded or when the
                           replication lag exceeds max_replication_lag)
+
+Every request runs under a trace id (:mod:`repro.obs.tracing`): a valid
+``X-Repro-Trace`` request header is adopted, otherwise an id is minted,
+and either way the response carries the effective id in the same header
+— so a client can correlate its slow push with the server's spans and
+structured log lines.  Per-endpoint latency histograms, per-error-code
+counters and an in-flight gauge feed the registry ``/metrics`` renders.
 
 A segment object is ``{"group": [...], "values": [...], "start": int,
 "end": int}`` (``group`` may be omitted for ungrouped streams); ``group=``
@@ -57,12 +67,16 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.merge import AggregateSegment
 from ..api.plan import Budget, ExecutionPolicy
 from ..api.result import Result
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
+from ..obs.logs import get_logger
 from .durability import DurabilityError
 from .query import QueryEngine, WindowBucket
 from .store import Key, LRUTTLEviction, ServiceError, SessionStore, StoreStats
@@ -85,6 +99,26 @@ DEFAULT_MAX_IN_FLIGHT = 64
 
 #: Per-request socket deadline in seconds (slow clients get 400).
 DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Content type of the Prometheus text exposition served by /metrics.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Known GET routes, as the bounded `endpoint` label vocabulary of the
+#: per-endpoint request histogram (unknown paths collapse to "other").
+_GET_ENDPOINTS = frozenset(
+    {
+        "/healthz",
+        "/metrics",
+        "/range_agg",
+        "/role",
+        "/stats",
+        "/summary",
+        "/value_at",
+        "/window",
+    }
+)
+
+_log = get_logger("repro.service.http")
 
 
 class Service:
@@ -283,28 +317,64 @@ class _Handler(BaseHTTPRequestHandler):
 
         Order matters: :class:`DurabilityError` subclasses
         :class:`ValueError`, so the 503 arm must come before the generic
-        400 arm.  Anything unexpected is logged server-side and answered
-        with an opaque 500 — never a stack trace to the client.
+        400 arm.  Anything unexpected is logged server-side (structured,
+        with the trace id) and answered with an opaque 500 — never a
+        stack trace to the client.
+
+        The whole route runs inside a trace context (header-supplied or
+        minted id) and is timed into the per-endpoint latency histogram;
+        an in-flight gauge brackets it.
         """
+        in_flight = _metrics.gauge(
+            "repro_http_in_flight", "HTTP requests currently being handled."
+        )
+        armed = _metrics.enabled()
+        t0 = perf_counter() if armed else 0.0
+        in_flight.inc()
         try:
-            route()
-        except DurabilityError as error:
-            self._send_error(503, str(error), "durability")
-        except (ServiceError, WireError, ValueError) as error:
-            self._send_error(400, str(error), "bad_request")
-        except TimeoutError:
-            self.close_connection = True
-            self._send_error(
-                400, "request deadline exceeded", "deadline_exceeded"
-            )
-        except Exception as error:  # noqa: BLE001 — the 500 catch-all
-            self.log_error(
-                "unhandled %s: %s", type(error).__name__, error
-            )
-            try:
-                self._send_error(500, "internal server error", "internal")
-            except OSError:
-                self.close_connection = True
+            with _tracing.trace(self.headers.get(_tracing.TRACE_HEADER)):
+                try:
+                    route()
+                except DurabilityError as error:
+                    self._send_error(503, str(error), "durability")
+                except (ServiceError, WireError, ValueError) as error:
+                    self._send_error(400, str(error), "bad_request")
+                except TimeoutError:
+                    self.close_connection = True
+                    self._send_error(
+                        400, "request deadline exceeded", "deadline_exceeded"
+                    )
+                except Exception as error:  # noqa: BLE001 — 500 catch-all
+                    _log.exception(
+                        "unhandled handler exception",
+                        code="internal",
+                        method=self.command,
+                        path=self.path,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    try:
+                        self._send_error(
+                            500, "internal server error", "internal"
+                        )
+                    except OSError:
+                        self.close_connection = True
+        finally:
+            in_flight.dec()
+            if armed:
+                _metrics.histogram(
+                    "repro_http_request_seconds",
+                    "HTTP request wall time, labeled by endpoint.",
+                    endpoint=self._endpoint(),
+                ).observe(perf_counter() - t0)
+
+    def _endpoint(self) -> str:
+        """The bounded ``endpoint`` label for this request's path."""
+        path = urlsplit(self.path).path
+        if path.startswith("/push/"):
+            return "push"
+        if path in _GET_ENDPOINTS:
+            return path.lstrip("/")
+        return "other"
 
     def _route_get(self) -> None:
         url = urlsplit(self.path)
@@ -312,7 +382,18 @@ class _Handler(BaseHTTPRequestHandler):
         if url.path == "/healthz":
             self._handle_healthz()
         elif url.path == "/stats":
-            self._send_json(200, self.server.service.stats().as_dict())
+            # The store's counters plus the query engine's cache/cost
+            # accounting — additive keys only, the legacy shape of
+            # StoreStats.as_dict() is regression-locked.
+            payload = self.server.service.stats().as_dict()
+            payload["query"] = self.server.service.engine.counters()
+            self._send_json(200, payload)
+        elif url.path == "/metrics":
+            self._send_bytes(
+                200,
+                _metrics.render().encode("utf-8"),
+                METRICS_CONTENT_TYPE,
+            )
         elif url.path == "/role":
             self._handle_role()
         elif url.path == "/value_at":
@@ -544,6 +625,11 @@ class _Handler(BaseHTTPRequestHandler):
     ) -> None:
         """The one error shape every failure path uses:
         ``{"error": message, "code": slug}``."""
+        _metrics.counter(
+            "repro_http_errors_total",
+            "HTTP error responses, labeled by structured error code.",
+            code=code,
+        ).inc()
         self._send_json(
             status, {"error": message, "code": code}, headers
         )
@@ -558,6 +644,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = _tracing.current_trace_id()
+        if trace_id is not None:
+            self.send_header(_tracing.TRACE_HEADER, trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -565,11 +654,21 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: Any) -> None:
         if not self.server.quiet:
-            super().log_message(format, *args)
+            _log.info(
+                "http access",
+                client=self.client_address[0],
+                detail=format % args,
+            )
 
     def log_error(self, format: str, *args: Any) -> None:
-        # Server-side faults are logged even when access logs are quiet.
-        BaseHTTPRequestHandler.log_message(self, format, *args)
+        # Server-side faults are logged (structured, trace-correlated)
+        # even when access logs are quiet — they used to go to bare
+        # stderr prints and vanished without a TTY.
+        _log.error(
+            "http server fault",
+            client=self.client_address[0],
+            detail=format % args,
+        )
 
 
 class _Responded(Exception):

@@ -35,7 +35,9 @@ summaries (the PR 3 session contract) and the query arithmetic is shared.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,6 +49,7 @@ from ..core.kernels import (
     time_weighted_prefix,
 )
 from ..core.merge import AggregateSegment
+from ..obs import metrics as _metrics
 from .store import Key, ServiceError, SessionStore
 
 #: Range-aggregate functions:``avg`` is the chronon-weighted mean (what the
@@ -143,6 +146,21 @@ class _GroupIndex:
             return tuple(float(v) for v in weighted)
         return tuple(float(v) for v in weighted / covered)
 
+    def cost_rows(self, t1: int, t2: int) -> int:
+        """Estimated rows a range query over ``[t1, t2]`` touches.
+
+        The window span measured against the snapshot index — the same
+        two binary searches :meth:`range_agg` opens with, so the
+        estimate is exact for ``min``/``max`` scans and an upper bound
+        for the prefix-sum path.  This is the per-query cost accounting
+        a cost-aware scheduler consumes (ROADMAP direction 2).
+        """
+        lo = int(np.searchsorted(self.ends, t1, side="left"))
+        hi = int(np.searchsorted(self.starts, t2, side="right")) - 1
+        lo = max(lo, 0)
+        hi = min(hi, len(self.starts) - 1)
+        return max(0, hi - lo + 1)
+
 
 class SnapshotIndex:
     """A whole snapshot prepared for querying, one sub-index per group."""
@@ -204,12 +222,55 @@ class SnapshotIndex:
         return index
 
 
+#: Distinguishes engine instances in the shared metrics registry.
+_ENGINE_IDS = itertools.count()
+
+
 class QueryEngine:
-    """Answer temporal queries from a store's summary snapshots."""
+    """Answer temporal queries from a store's summary snapshots.
+
+    Every engine registers per-instance children in the process-global
+    metrics registry (label ``engine=<n>``).  While observability is
+    armed, snapshot-cache hits and misses are counted on every
+    ``_index`` resolution and each query additionally records its wall
+    time in ``repro_query_seconds`` and its estimated row cost
+    (:meth:`_GroupIndex.cost_rows`) in ``repro_query_cost_rows_total``,
+    the accounting a cost-aware scheduler needs.  When disarmed the
+    warm path pays exactly one global read — no locks, no clock calls
+    (the ``metrics_disabled_overhead`` gate in
+    ``benchmarks/bench_service.py``).  The same numbers are read back
+    by :meth:`counters` for the HTTP ``/stats`` document.
+    """
 
     def __init__(self, store: SessionStore) -> None:
         self._store = store
         self._cache: Dict[Key, Tuple[int, SnapshotIndex]] = {}
+        engine = str(next(_ENGINE_IDS))
+        self._hits = _metrics.counter(
+            "repro_query_cache_hits_total",
+            "Snapshot-cache hits (index reused at the same generation).",
+            engine=engine,
+        )
+        self._misses = _metrics.counter(
+            "repro_query_cache_misses_total",
+            "Snapshot-cache misses (index rebuilt from snapshot columns).",
+            engine=engine,
+        )
+        self._queries = _metrics.counter(
+            "repro_queries_total",
+            "Queries answered while observability was armed.",
+            engine=engine,
+        )
+        self._cost_rows = _metrics.counter(
+            "repro_query_cost_rows_total",
+            "Estimated snapshot rows touched by cost-accounted queries.",
+            engine=engine,
+        )
+        self._latency = _metrics.histogram(
+            "repro_query_seconds",
+            "Query wall time (value_at / range_agg / window).",
+            engine=engine,
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -218,7 +279,13 @@ class QueryEngine:
         self, key: Key, t: int, group: Optional[Sequence[Any]] = None
     ) -> Optional[Tuple[float, ...]]:
         """Aggregate values at chronon ``t``, or ``None`` in a gap."""
-        return self._index(key).resolve(group).value_at(int(t))
+        index = self._index(key).resolve(group)
+        if not _metrics.armed:  # one attribute read on the hot path
+            return index.value_at(int(t))
+        t0 = perf_counter()
+        result = index.value_at(int(t))
+        self._account(1, perf_counter() - t0)
+        return result
 
     def range_agg(
         self,
@@ -242,7 +309,13 @@ class QueryEngine:
         t1, t2 = int(t1), int(t2)
         if t2 < t1:
             raise ServiceError(f"empty range: t2={t2} precedes t1={t1}")
-        return self._index(key).resolve(group).range_agg(t1, t2, fn)
+        index = self._index(key).resolve(group)
+        if not _metrics.armed:  # one attribute read on the hot path
+            return index.range_agg(t1, t2, fn)
+        t0 = perf_counter()
+        result = index.range_agg(t1, t2, fn)
+        self._account(index.cost_rows(t1, t2), perf_counter() - t0)
+        return result
 
     def window(
         self,
@@ -268,6 +341,8 @@ class QueryEngine:
         if t2 < t1:
             raise ServiceError(f"empty range: t2={t2} precedes t1={t1}")
         index = self._index(key).resolve(group)
+        armed = _metrics.armed
+        t0 = perf_counter() if armed else 0.0
         buckets: List[WindowBucket] = []
         start = t1
         while start <= t2:
@@ -276,6 +351,8 @@ class QueryEngine:
                 WindowBucket(start, end, index.range_agg(start, end, fn))
             )
             start += stride
+        if armed:
+            self._account(index.cost_rows(t1, t2), perf_counter() - t0)
         return buckets
 
     def groups(self, key: Key) -> List[Tuple[Any, ...]]:
@@ -289,20 +366,45 @@ class QueryEngine:
         generation = self._store.generation(key)
         cached = self._cache.get(key)
         if cached is not None and cached[0] == generation:
+            if _metrics.armed:  # keep the disarmed hot path lock-free
+                self._hits.inc()
             return cached[1]
         # Cache miss: consume the store's snapshot columns — the live part
         # is the session's delta-patched, generation-cached snapshot, so a
         # cold read after k pushes costs O(k + summary) instead of
         # O(live heap), and repeated reads at one generation are free.
+        if _metrics.armed:
+            self._misses.inc()
         index = SnapshotIndex.from_columns(
             self._store.snapshot_columns(key)
         )
         self._cache[key] = (generation, index)
         return index
 
+    def _account(self, cost_rows: int, seconds: float) -> None:
+        """Record one armed query: count, estimated row cost, latency."""
+        self._queries.inc()
+        self._cost_rows.inc(cost_rows)
+        self._latency.observe(seconds)
+
     def cache_info(self) -> Dict[Key, int]:
         """Cached generation per key (monitoring/test hook)."""
         return {key: gen for key, (gen, _) in self._cache.items()}
+
+    def counters(self) -> Dict[str, int]:
+        """The engine's registry-backed counters (the ``/stats`` view).
+
+        All four accumulate only while observability is armed (the
+        default) — the disarmed warm path is lock-free.  The
+        ``cost_rows``/``queries`` ratio is the mean estimated rows per
+        query — the direction-2 scheduling signal.
+        """
+        return {
+            "cache_hits": int(self._hits.value),
+            "cache_misses": int(self._misses.value),
+            "queries": int(self._queries.value),
+            "cost_rows": int(self._cost_rows.value),
+        }
 
 
 __all__ = [

@@ -34,11 +34,13 @@ can sit directly behind the threaded HTTP front end
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -57,6 +59,8 @@ from ..core.merge import AggregateSegment
 from ..api.plan import Budget, ExecutionPolicy
 from ..api.result import Result
 from ..api.session import Compressor
+from ..obs import metrics as _metrics
+from ..obs.tracing import span
 from ..storage.wal import iter_wal_frames
 from .durability import Durability, DurabilityError, FrozenEpoch, PushToken
 from .wire import encode_result, encode_segments
@@ -229,6 +233,10 @@ class _KeyState:
     dirty: bool = False
 
 
+#: Distinguishes store instances in the shared metrics registry.
+_STORE_IDS = itertools.count()
+
+
 class SessionStore:
     """A keyed registry of live :class:`Compressor` sessions.
 
@@ -342,8 +350,46 @@ class SessionStore:
         self._clock = clock
         self._states: "OrderedDict[Key, _KeyState]" = OrderedDict()
         self._lock = threading.RLock()
-        self._pushed = 0
-        self._evictions = 0
+        # Store-wide counters live in the process-global metrics registry
+        # (label ``store=<n>`` distinguishes instances) — the single
+        # source of truth that both ``GET /metrics`` and
+        # :meth:`stats` / ``/stats`` read.
+        store = str(next(_STORE_IDS))
+        self._c_pushed = _metrics.counter(
+            "repro_store_pushed_segments_total",
+            "Segments acknowledged into live sessions, across keys.",
+            store=store,
+        )
+        self._c_evictions = _metrics.counter(
+            "repro_store_evictions_total",
+            "Live sessions frozen (eviction, manual freeze, checkpoint).",
+            store=store,
+        )
+        self._c_disk_errors = _metrics.counter(
+            "repro_store_disk_errors_total",
+            "Durability-tier faults observed (WAL, checkpoint, probe).",
+            store=store,
+        )
+        self._g_degraded = _metrics.gauge(
+            "repro_store_degraded",
+            "1 while the store serves memory-only after disk faults.",
+            store=store,
+        )
+        self._g_replicas = _metrics.gauge(
+            "repro_store_replicas",
+            "Currently connected replication sinks.",
+            store=store,
+        )
+        self._g_replication_lag = _metrics.gauge(
+            "repro_store_replication_lag",
+            "Replicated events the slowest connected sink trails by.",
+            store=store,
+        )
+        self._h_push = _metrics.histogram(
+            "repro_store_push_seconds",
+            "Store push wall time (WAL append through eviction sweep).",
+            store=store,
+        )
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ServiceError(
                 f"checkpoint_every must be at least 1, got {checkpoint_every}"
@@ -374,7 +420,6 @@ class SessionStore:
         self._degrade_after = degrade_after
         self._reprobe_every = reprobe_every
         self._degraded = False
-        self._disk_errors = 0
         self._error_streak = 0
         self._since_probe = 0
         #: Resident frozen epochs awaiting a checkpoint write that failed
@@ -420,6 +465,19 @@ class SessionStore:
         a periodic re-probe (every ``reprobe_every`` pushes, or a manual
         :meth:`reprobe`) re-attaches the data directory.
         """
+        if not _metrics.enabled():  # one global read on the hot path
+            return self._push(key, segments)
+        t0 = perf_counter()
+        try:
+            return self._push(key, segments)
+        finally:
+            self._h_push.observe(perf_counter() - t0)
+
+    def _push(
+        self,
+        key: Key,
+        segments: Union[AggregateSegment, Iterable[AggregateSegment]],
+    ) -> int:
         with self._lock:
             if self._durability is not None and (
                 not isinstance(key, str) or not key
@@ -487,7 +545,7 @@ class SessionStore:
             state.generation += 1
             state.last_access = self._clock()
             self._states.move_to_end(key)
-            self._pushed += consumed
+            self._c_pushed.inc(consumed)
             if sinking:
                 # Replicate only after the chunk applied: the standby
                 # must see exactly the acknowledged pushes, in order,
@@ -578,7 +636,7 @@ class SessionStore:
         is O(1); after ``k`` pushes it costs amortised O(k) plus the
         summary size — the serving-layer face of the delta snapshot path.
         """
-        with self._lock:
+        with self._lock, span("snapshot_delta"):
             state = self._require(key)
             parts: List[SnapshotColumns] = []
             if state.frozen:
@@ -645,27 +703,35 @@ class SessionStore:
             )
 
     def stats(self) -> StoreStats:
-        """Current store-wide counters."""
+        """Current store-wide counters.
+
+        The counters are read back from the metrics registry — the same
+        children ``GET /metrics`` renders — so ``/stats`` and the
+        Prometheus exposition can never disagree; the replication and
+        degraded gauges are refreshed here on the way out.
+        """
         with self._lock:
             connected = [sink for sink in self._sinks if sink.connected]
             acked = min(
                 (sink.acked_seq for sink in connected), default=-1
             )
+            lag = self._replication_seq - acked if connected else 0
+            self._g_replicas.set(len(connected))
+            self._g_replication_lag.set(lag)
+            self._g_degraded.set(int(self._degraded))
             return StoreStats(
                 live_sessions=len(self),
                 frozen_summaries=sum(
                     len(state.frozen) for state in self._states.values()
                 ),
-                pushed_segments=self._pushed,
-                evictions=self._evictions,
+                pushed_segments=int(self._c_pushed.value),
+                evictions=int(self._c_evictions.value),
                 durable=self._durability is not None,
                 degraded=self._degraded,
-                disk_errors=self._disk_errors,
+                disk_errors=int(self._c_disk_errors.value),
                 role=self.role,
                 replicas=len(connected),
-                replication_lag=(
-                    self._replication_seq - acked if connected else 0
-                ),
+                replication_lag=lag,
                 last_acked_generation=acked,
             )
 
@@ -722,7 +788,8 @@ class SessionStore:
         loses state to a disk fault.
         """
         assert state.session is not None
-        frozen = state.session.finalize()
+        with span("freeze"):
+            frozen = state.session.finalize()
         epoch: FrozenEpoch
         if self._durability is not None and not self._degraded:
             try:
@@ -743,7 +810,7 @@ class SessionStore:
         state.session = None
         state.epoch += 1
         state.generation += 1
-        self._evictions += 1
+        self._c_evictions.inc()
         # Freezes are replicated events: a primary that froze at push g
         # serves frozen-summary + fresh-session answers, which differ
         # from one uninterrupted session's — the standby must finalize
@@ -882,8 +949,8 @@ class SessionStore:
             state.pushed += result.input_size
             state.last_access = self._clock()
             self._states.move_to_end(key)
-            self._pushed += result.input_size
-            self._evictions += 1
+            self._c_pushed.inc(result.input_size)
+            self._c_evictions.inc()
 
     def _replicate(
         self, hook: str, key: Key, payload: Optional[bytes] = None
@@ -895,17 +962,18 @@ class SessionStore:
         """
         self._replication_seq += 1
         seq = self._replication_seq
-        for sink in self._sinks:
-            if not sink.connected:
-                continue
-            try:
-                if hook == "on_push":
-                    assert payload is not None
-                    sink.on_push(key, payload, seq)
-                else:
-                    sink.on_freeze(key, seq)
-            except Exception:  # noqa: BLE001 — protect the push path
-                sink.connected = False
+        with span("replicate_ack"):
+            for sink in self._sinks:
+                if not sink.connected:
+                    continue
+                try:
+                    if hook == "on_push":
+                        assert payload is not None
+                        sink.on_push(key, payload, seq)
+                    else:
+                        sink.on_freeze(key, seq)
+                except Exception:  # noqa: BLE001 — protect the push path
+                    sink.connected = False
 
     # ------------------------------------------------------------------
     # Degraded mode
@@ -937,7 +1005,7 @@ class SessionStore:
         stays healthy.
         """
         assert self._durability is not None
-        self._disk_errors += 1
+        self._c_disk_errors.inc()
         self._error_streak += 1
         state.disk_streak += 1
         if self._error_streak >= self._degrade_after:
@@ -953,7 +1021,7 @@ class SessionStore:
     def _note_demote_error(self) -> None:
         """A checkpoint write failed (no key rotation — the freeze that
         triggered it already rotated the epoch)."""
-        self._disk_errors += 1
+        self._c_disk_errors.inc()
         self._error_streak += 1
         if self._error_streak >= self._degrade_after:
             self._enter_degraded()
@@ -977,6 +1045,7 @@ class SessionStore:
             return
         assert self._durability is not None
         self._degraded = True
+        self._g_degraded.set(1)
         self._error_streak = 0
         self._since_probe = 0
         self._durability.suspend()
@@ -995,9 +1064,10 @@ class SessionStore:
         try:
             self._durability.probe()
         except DurabilityError:
-            self._disk_errors += 1
+            self._c_disk_errors.inc()
             return False
         self._degraded = False
+        self._g_degraded.set(0)
         self._error_streak = 0
         for key, state in list(self._states.items()):
             if self._degraded:
@@ -1095,8 +1165,8 @@ class SessionStore:
                 len(record.live[1]) if record.live is not None else 0
             )
             state.last_access = self._clock()
-            self._pushed += state.pushed
-            self._evictions += len(state.frozen)
+            self._c_pushed.inc(state.pushed)
+            self._c_evictions.inc(len(state.frozen))
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,247 @@
+"""The metrics registry: thread safety, buckets, exposition, arming.
+
+Everything here drives :mod:`repro.obs.metrics` directly — a fresh
+:class:`MetricsRegistry` per test where possible, the process-global
+``REGISTRY`` only where the free functions are under test (with
+delta-style assertions so other suites' registrations don't interfere).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+        assert counter.value == 3.5
+
+    def test_gauge_up_and_down(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(7)
+        assert gauge.value == 8.0
+
+    def test_latency_buckets_shape(self):
+        # Half-decade log steps, 1 µs .. 10 s, strictly increasing.
+        assert len(LATENCY_BUCKETS) == 15
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        assert LATENCY_BUCKETS[-1] == pytest.approx(10.0)
+        assert all(
+            b2 > b1 for b1, b2 in zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:])
+        )
+
+    def test_histogram_edges_are_inclusive(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 100.0):
+            histogram.observe(value)
+        # le semantics: an observation equal to an edge counts into that
+        # bucket; 100.0 lands in the implicit +Inf overflow bucket.
+        assert histogram.cumulative() == [
+            (1.0, 2),
+            (2.0, 4),
+            (4.0, 5),
+            (float("inf"), 6),
+        ]
+        assert histogram.count == 6
+        assert histogram.sum == pytest.approx(109.0)
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=())
+        with pytest.raises(MetricError):
+            Histogram(buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(MetricError):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_t_total", "help", store="0")
+        b = registry.counter("repro_t_total", "ignored on re-register", store="0")
+        c = registry.counter("repro_t_total", "help", store="1")
+        assert a is b
+        assert a is not c
+        a.inc()
+        assert registry.value("repro_t_total", store="0") == 1.0
+        assert registry.value("repro_t_total", store="1") == 0.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_t_total")
+        registry.histogram("repro_t_seconds")
+        with pytest.raises(MetricError):
+            registry.histogram("repro_t_seconds", buckets=(1.0, 2.0))
+
+    def test_label_name_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_total", "", store="0")
+        with pytest.raises(MetricError):
+            registry.counter("repro_t_total", "", engine="0")
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("0bad")
+        with pytest.raises(MetricError):
+            registry.counter("repro_ok_total", **{"0bad": "x"})
+        with pytest.raises(MetricError):
+            registry.counter("repro_ok_total", __reserved="x")
+
+    def test_thread_safety_exact_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_racy_total")
+        histogram = registry.histogram("repro_racy_seconds", buckets=(1.0,))
+        threads = 8
+        per_thread = 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.5)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == threads * per_thread
+        assert histogram.count == threads * per_thread
+        assert histogram.cumulative()[0][1] == threads * per_thread
+
+    def test_reset_drops_families(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_gone_total").inc()
+        registry.reset()
+        assert registry.render() == ""
+        assert registry.value("repro_gone_total") == 0.0
+
+
+class TestExposition:
+    def test_render_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "A thing.", kind="x").inc(3)
+        registry.gauge("repro_b", "B level.").set(2.5)
+        text = registry.render()
+        assert "# HELP repro_a_total A thing.\n" in text
+        assert "# TYPE repro_a_total counter\n" in text
+        assert 'repro_a_total{kind="x"} 3\n' in text
+        assert "# TYPE repro_b gauge\n" in text
+        assert "repro_b 2.5\n" in text
+        assert text.endswith("\n")
+
+    def test_render_histogram_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_h_seconds", "H.", buckets=(0.1, 1.0), stage="s"
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = registry.render()
+        assert 'repro_h_seconds_bucket{stage="s",le="0.1"} 1\n' in text
+        assert 'repro_h_seconds_bucket{stage="s",le="1"} 2\n' in text
+        assert 'repro_h_seconds_bucket{stage="s",le="+Inf"} 3\n' in text
+        assert 'repro_h_seconds_count{stage="s"} 3\n' in text
+        assert re.search(r'repro_h_seconds_sum\{stage="s"\} 5\.55', text)
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_esc_total", "", path='we"ird\\thing\nnewline'
+        ).inc()
+        text = registry.render()
+        assert (
+            'repro_esc_total{path="we\\"ird\\\\thing\\nnewline"} 1' in text
+        )
+
+    def test_every_line_parses(self):
+        """Every non-comment line is `name{labels} value` — the same
+        check the CI service smoke applies to a live /metrics scrape."""
+        registry = MetricsRegistry()
+        registry.counter("repro_p_total", "Help.", code="bad_request").inc()
+        registry.histogram("repro_p_seconds", "Help.").observe(0.01)
+        registry.gauge("repro_p_level").set(-1.5)
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$"
+        )
+        for line in registry.render().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            assert line_re.match(line), line
+            sample_value = line.rsplit(" ", 1)[1]
+            if sample_value not in ("+Inf", "-Inf", "NaN"):
+                float(sample_value)
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("repro_s_total", "S.", kind="x").inc(2)
+        registry.histogram("repro_s_seconds", buckets=(1.0,)).observe(3.0)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["repro_s_total"]["type"] == "counter"
+        assert snap["repro_s_total"]["samples"][0] == {
+            "labels": {"kind": "x"},
+            "value": 2,
+        }
+        histo = snap["repro_s_seconds"]["samples"][0]
+        assert histo["count"] == 1
+        assert histo["buckets"] == {"1": 0, "+Inf": 1}
+
+
+class TestArming:
+    def test_set_enabled_roundtrip(self):
+        previous = metrics.set_enabled(False)
+        try:
+            assert metrics.enabled() is False
+            metrics.set_enabled(True)
+            assert metrics.enabled() is True
+        finally:
+            metrics.set_enabled(previous)
+
+    def test_disabled_context_restores(self):
+        previous = metrics.set_enabled(True)
+        try:
+            with metrics.disabled():
+                assert not metrics.enabled()
+                with metrics.disabled():
+                    assert not metrics.enabled()
+                assert not metrics.enabled()
+            assert metrics.enabled()
+        finally:
+            metrics.set_enabled(previous)
+
+    def test_global_free_functions_share_registry(self):
+        before = metrics.value("repro_free_fn_total", test="global")
+        metrics.counter("repro_free_fn_total", "Free fn.", test="global").inc()
+        after = metrics.value("repro_free_fn_total", test="global")
+        assert after == before + 1
+        assert "repro_free_fn_total" in metrics.render()
+        assert not math.isnan(after)

@@ -176,6 +176,9 @@ class TestHTTPEndpoints:
     def test_health_and_stats(self, server):
         assert get_json(server, "/healthz") == {"status": "ok"}
         stats = get_json(server, "/stats")
+        # The legacy store keys are a stable contract; the "query" sub-dict
+        # is the one additive extension (engine counters, PR 9).
+        query = stats.pop("query")
         assert stats == {
             "live_sessions": 0,
             "frozen_summaries": 0,
@@ -189,6 +192,41 @@ class TestHTTPEndpoints:
             "replication_lag": 0,
             "last_acked_generation": -1,
         }
+        assert query == {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "queries": 0,
+            "cost_rows": 0,
+        }
+
+    def test_metrics_endpoint(self, server):
+        import re
+
+        stream = make_stream(20, seed=35)
+        post(server, "/push/m", segments_to_jsonl(stream).encode())
+        lo = stream[0].interval.start
+        hi = stream[-1].interval.end
+        get_json(server, f"/range_agg?key=m&t1={lo}&t2={hi}&fn=avg")
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/metrics"
+        )
+        with urllib.request.urlopen(request) as response:
+            content_type = response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        # The key families of every instrumented tier are present...
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert 'repro_http_request_seconds_bucket{endpoint="push"' in text
+        assert "# TYPE repro_store_pushed_segments_total counter" in text
+        assert "# TYPE repro_query_cache_hits_total counter" in text
+        assert "# TYPE repro_query_cache_misses_total counter" in text
+        # ... and every non-comment line is Prometheus-parseable.
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$"
+        )
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert line_re.match(line), line
 
 
 class TestHTTPErrors:

@@ -1,0 +1,245 @@
+"""Request tracing: id hygiene, spans, and end-to-end propagation.
+
+The propagation tests run the real processes' worth of plumbing in one
+process: a live HTTP server over a durable store (header → ContextVar →
+WAL span), and a real socket cluster (ContextVar → envelope meta →
+remote worker span, surviving a worker retry).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import Interval
+from repro.core import AggregateSegment
+from repro.cluster import reduce_cluster, start_worker
+from repro.cluster.coordinator import encode_shard_request
+from repro.cluster.transport import unpack_envelope
+from repro.obs import metrics, tracing
+from repro.obs.tracing import (
+    TRACE_HEADER,
+    attach,
+    clear_spans,
+    current_trace_id,
+    finished_spans,
+    new_trace_id,
+    span,
+    trace,
+    valid_trace_id,
+)
+from repro.parallel import encode_segments as encode_parallel
+from repro.service import Service, start_in_background
+from repro.util import failpoints
+
+
+@pytest.fixture(autouse=True)
+def _armed_and_clean():
+    previous = metrics.set_enabled(True)
+    clear_spans()
+    yield
+    clear_spans()
+    metrics.set_enabled(previous)
+
+
+def _segments(count: int) -> list[AggregateSegment]:
+    # Gapped singleton intervals: every segment is its own maximal run,
+    # so plan_shards can cut the stream into real shards.
+    return [
+        AggregateSegment((), (float(i % 7),), Interval(2 * i, 2 * i))
+        for i in range(count)
+    ]
+
+
+class TestTraceIds:
+    def test_validity(self):
+        assert valid_trace_id("abc123")
+        assert valid_trace_id("A-Z_09" * 10)  # 60 chars
+        assert not valid_trace_id("")
+        assert not valid_trace_id("x" * 65)
+        assert not valid_trace_id("bad id")
+        assert not valid_trace_id('evil"id\n')
+        assert not valid_trace_id(None)
+        assert not valid_trace_id(42)
+
+    def test_minted_ids_are_valid_and_distinct(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert valid_trace_id(a) and valid_trace_id(b)
+        assert a != b
+
+    def test_trace_adopts_valid_and_mints_otherwise(self):
+        with trace("client-id-1") as tid:
+            assert tid == "client-id-1"
+            assert current_trace_id() == "client-id-1"
+        assert current_trace_id() is None
+        with trace("not valid!") as tid:
+            assert tid != "not valid!"
+            assert valid_trace_id(tid)
+        with trace(None) as tid:
+            assert valid_trace_id(tid)
+
+    def test_attach_ignores_invalid(self):
+        with attach("adopted-1"):
+            assert current_trace_id() == "adopted-1"
+        assert current_trace_id() is None
+        with attach(None):
+            assert current_trace_id() is None
+        with attach("bad id!"):
+            assert current_trace_id() is None
+
+    def test_nesting_restores_outer(self):
+        with trace("outer") :
+            with attach("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+
+
+class TestSpans:
+    def test_span_records_under_current_trace(self):
+        with trace("spantrace") :
+            with span("unit_stage"):
+                pass
+        records = finished_spans(trace_id="spantrace", stage="unit_stage")
+        assert len(records) == 1
+        assert records[0].seconds >= 0.0
+        # ... and feeds the per-stage histogram family.
+        histogram = metrics.REGISTRY.histogram(
+            "repro_stage_seconds", stage="unit_stage"
+        )
+        assert histogram.count >= 1
+
+    def test_span_without_trace_records_empty_id(self):
+        with span("orphan_stage"):
+            pass
+        records = finished_spans(stage="orphan_stage")
+        assert records and records[-1].trace_id == ""
+
+    def test_disabled_span_is_shared_noop(self):
+        with metrics.disabled():
+            first = span("gated_stage")
+            second = span("other_gated")
+            assert first is second  # the shared no-op instance
+            with first:
+                pass
+        assert finished_spans(stage="gated_stage") == []
+
+    def test_ring_is_bounded(self):
+        with trace("flood"):
+            for _ in range(2100):
+                tracing.record_span("flood_stage", 0.0)
+        assert len(finished_spans()) <= 2048
+
+
+class TestHTTPPropagation:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        service = Service(size=12, data_dir=tmp_path)
+        http_server, _thread = start_in_background(service)
+        yield http_server
+        http_server.shutdown()
+        http_server.server_close()
+
+    def _request(self, server, path, body=None, headers=None):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{path}",
+            data=body,
+            method="POST" if body is not None else "GET",
+            headers=headers or {},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.headers, json.load(response)
+
+    def test_push_trace_reaches_the_wal(self, server):
+        body = json.dumps(
+            [{"group": [], "values": [1.0], "start": 0, "end": 4}]
+        ).encode()
+        headers, reply = self._request(
+            server, "/push/traced", body, {TRACE_HEADER: "pushtrace01"}
+        )
+        assert reply["pushed"] == 1
+        # The response echoes the adopted id, and the WAL append span
+        # carries it: header → ContextVar → store → durability.
+        assert headers[TRACE_HEADER] == "pushtrace01"
+        assert finished_spans(trace_id="pushtrace01", stage="wal_append")
+
+    def test_query_trace_reaches_the_snapshot(self, server):
+        body = json.dumps(
+            [{"group": [], "values": [2.0], "start": 0, "end": 9}]
+        ).encode()
+        self._request(server, "/push/q", body)
+        headers, _reply = self._request(
+            server,
+            "/range_agg?key=q&t1=0&t2=9&fn=avg",
+            headers={TRACE_HEADER: "querytrace1"},
+        )
+        assert headers[TRACE_HEADER] == "querytrace1"
+        assert finished_spans(trace_id="querytrace1", stage="snapshot_delta")
+
+    def test_invalid_header_gets_a_minted_echo(self, server):
+        headers, _reply = self._request(
+            server, "/healthz", headers={TRACE_HEADER: "not valid!!"}
+        )
+        echoed = headers[TRACE_HEADER]
+        assert echoed != "not valid!!"
+        assert valid_trace_id(echoed)
+
+
+class TestClusterPropagation:
+    @pytest.fixture()
+    def workers(self):
+        started = []
+
+        def _start(count=2):
+            for _ in range(count):
+                worker, _ = start_worker()
+                started.append(worker)
+            return [worker.address for worker in started]
+
+        yield _start
+        for worker in started:
+            worker.shutdown()
+            worker.server_close()
+
+    def test_envelope_meta_carries_the_trace_id(self):
+        import numpy as np
+
+        encoded = encode_parallel(_segments(10))
+        payload = encode_shard_request(
+            encoded, 0, 10, np.asarray([1.0]), trace_id="envtrace1"
+        )
+        meta, _body = unpack_envelope(payload, "shard request")
+        assert meta["trace_id"] == "envtrace1"
+        bare = encode_shard_request(encoded, 0, 10, np.asarray([1.0]))
+        meta, _body = unpack_envelope(bare, "shard request")
+        assert "trace_id" not in meta
+
+    def test_trace_follows_a_cluster_reduce(self, workers):
+        addresses = workers(2)
+        with trace("clustertrace") as tid:
+            reduce_cluster(
+                _segments(600), size=60, cluster=addresses, shard_size=128
+            )
+        # The remote workers' reduce spans and the coordinator's final
+        # frontier merge all land under the caller's id.
+        reduce_spans = finished_spans(trace_id=tid, stage="shard_reduce")
+        assert len(reduce_spans) >= 2
+        assert finished_spans(trace_id=tid, stage="frontier_merge")
+
+    def test_trace_survives_a_worker_retry(self, workers):
+        addresses = workers(2)
+        with failpoints.activated(
+            {"cluster.worker": failpoints.Raise(times=1)}
+        ):
+            with trace("retrytrace") as tid:
+                reduce_cluster(
+                    _segments(600),
+                    size=60,
+                    cluster=addresses,
+                    shard_size=128,
+                    shard_retries=1,
+                    retry_backoff=0.0,
+                )
+        assert finished_spans(trace_id=tid, stage="shard_reduce")
+        assert metrics.value("repro_shard_retries_total", tier="cluster") >= 1
