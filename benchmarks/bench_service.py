@@ -36,6 +36,11 @@ and keeps it honest across PRs:
   ``fsync_every=8`` (one fsync sweep per 8 acknowledged pushes,
   store-wide) versus ``fsync_every=1``: what amortising the fsync
   cadence buys on the ingest hot path;
+* **quorum ack overhead** — the same chunked ingest replicated to a
+  warm standby over a local socket with ``sync_replicas=1`` (every push
+  acknowledgement waits for the standby's ack) versus the asynchronous
+  stream: the price of the quorum machinery itself (must stay within
+  1.5x);
 * **recovery** — time to boot a ready-to-serve store from the surviving
   checkpoints + WAL (crash without ``close()``), versus batch
   recompression of the same history.
@@ -336,6 +341,40 @@ def measure(scale: str) -> dict:
     per_push_fsync = best_of(cadence_pushes, 1, repeats=5)
     grouped_fsync = best_of(cadence_pushes, 8, repeats=5)
 
+    # Quorum ack overhead: the same chunked ingest replicated to a warm
+    # standby over a real local socket, with the push acknowledgement
+    # gated on the standby's ack (`sync_replicas=1`) versus the
+    # asynchronous stream.  Frames already ship synchronously per push
+    # either way, so the quorum machinery itself — sequencing into the
+    # resync journal, counting acks, rollback bookkeeping — is what this
+    # ratio isolates.
+    from repro.cluster import ReplicationLink, start_standby
+    from repro.cluster.replica import standby_store
+
+    def replicated_pushes(sync_replicas: int) -> None:
+        standby, _ = start_standby(
+            standby_store(
+                size=summary_size, policy=ExecutionPolicy(backend="numpy")
+            )
+        )
+        try:
+            replicated_store = SessionStore(
+                size=summary_size,
+                policy=ExecutionPolicy(backend="numpy"),
+                sync_replicas=sync_replicas,
+            )
+            link = ReplicationLink(standby.address, auto_resync=False)
+            link.attach(replicated_store)
+            for piece in chunks:
+                replicated_store.push("k", piece)
+            link.detach()
+        finally:
+            standby.shutdown()
+            standby.server_close()
+
+    async_replicated = best_of(replicated_pushes, 0, repeats=3)
+    quorum_replicated = best_of(replicated_pushes, 1, repeats=3)
+
     # Recovery: crash a durable store (no close()) and time how long a
     # fresh store takes to become ready to serve from the surviving
     # checkpoints + WAL — checkpoint mmap + torn-tail scan + replay +
@@ -375,6 +414,9 @@ def measure(scale: str) -> dict:
         ),
         "group_commit_vs_per_push_fsync": speedup(
             per_push_fsync.seconds, grouped_fsync.seconds
+        ),
+        "quorum_ack_overhead": speedup(
+            async_replicated.seconds, quorum_replicated.seconds
         ),
         "recovery_vs_batch_recompress": speedup(
             batch.seconds, recovery_s
@@ -423,6 +465,8 @@ def measure(scale: str) -> dict:
             "group_chunk": group_chunk,
             "per_push_fsync_s": per_push_fsync.seconds,
             "grouped_fsync_s": grouped_fsync.seconds,
+            "async_replicated_push_s": async_replicated.seconds,
+            "quorum_replicated_push_s": quorum_replicated.seconds,
             "recovery_s": recovery_s,
         },
     }
@@ -467,6 +511,10 @@ def bench_service(benchmark):
         f"(per-push fsync {raw['per_push_fsync_s'] * 1e3:.2f} ms, "
         f"{ratios['group_commit_vs_per_push_fsync']:.2f}x, "
         f"chunk={raw['group_chunk']})",
+        f"  quorum-acked ingest      : "
+        f"{raw['quorum_replicated_push_s'] * 1e3:9.2f} ms "
+        f"(async replication {raw['async_replicated_push_s'] * 1e3:.2f} ms, "
+        f"{raw['quorum_replicated_push_s'] / raw['async_replicated_push_s']:.2f}x)",
         f"  crash recovery to serve  : {raw['recovery_s'] * 1e3:9.2f} ms "
         f"({ratios['recovery_vs_batch_recompress']:.1f}x vs recompress)",
     ]
@@ -486,6 +534,10 @@ def bench_service(benchmark):
     # Group commit amortises the fsync; it must never make ingest slower
     # than per-push fsync (wide band: fsync cost varies across CI disks).
     assert ratios["group_commit_vs_per_push_fsync"] >= 0.8
+    # Frames ship synchronously either way; waiting for the quorum ack
+    # (sync_replicas=1) adds only sequencing + ack bookkeeping and must
+    # stay within 1.5x of the asynchronous stream over local sockets.
+    assert ratios["quorum_ack_overhead"] >= 1.0 / 1.5
     # Zero-copy decode aliases the payload instead of copying every
     # column; if it stops being cheaper, copy=False has silently started
     # copying (measured ~2.8x at smoke scale; wide band for CI noise).

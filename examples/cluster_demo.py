@@ -17,6 +17,13 @@ distribution contracts the tier makes:
    into a serving primary whose ``value_at`` / ``range_agg`` / ``window``
    answers are bit-identical to the failed primary's at every
    acknowledged push generation.
+3. **The cluster self-heals.**  A durable primary with *two* standbys
+   and ``sync_replicas=1`` keeps acknowledging pushes while one standby
+   is killed mid-stream (the quorum is satisfied by the survivor), and
+   when an *empty* replacement comes back at the dead standby's address
+   the severed link re-seeds it on its own — auto-resync, no manual
+   ``replicate_to`` — until the replacement serves the full history
+   bit-identically.
 
 Run with::
 
@@ -29,6 +36,9 @@ Exits non-zero if any answer diverges, which is what makes it the CI
 import argparse
 import math
 import random
+import shutil
+import tempfile
+import time
 
 from repro import Interval
 from repro.core import AggregateSegment
@@ -36,6 +46,8 @@ from repro.cluster import ReplicationLink, start_standby, start_worker
 from repro.cluster.replica import standby_store
 from repro.pipeline import compress
 from repro.service import QueryEngine, SessionStore
+from repro.util import failpoints
+from repro.util.health import PeerHealth
 
 SUMMARY_SIZE = 48
 CHUNK = 32
@@ -142,6 +154,77 @@ def main() -> int:
     assert match, "promoted standby diverged from the failed primary"
     standby.shutdown()
     standby.server_close()
+
+    # ------------------------------------------------------------------
+    # 4. Self-healing: quorum acks through a standby kill + auto-resync.
+    # ------------------------------------------------------------------
+    data_dir = tempfile.mkdtemp(prefix="pta-cluster-demo-")
+    doomed, _ = start_standby(standby_store(size=SUMMARY_SIZE))
+    survivor, _ = start_standby(standby_store(size=SUMMARY_SIZE))
+    doomed_port = doomed.port
+    print(f"\nquorum primary with standbys on "
+          f"[{doomed.address}, {survivor.address}], sync_replicas=1")
+
+    primary = SessionStore(size=SUMMARY_SIZE, sync_replicas=1,
+                           data_dir=data_dir)
+    # Short cooldowns keep the demo snappy; the first-attached link is
+    # the one a single injected socket fault will sever below.
+    doomed_link = ReplicationLink(doomed.address, reconnect_backoff=0.05,
+                                  health=PeerHealth(cooldown=0.05))
+    survivor_link = ReplicationLink(survivor.address, reconnect_backoff=0.05,
+                                    health=PeerHealth(cooldown=0.05))
+    doomed_link.attach(primary)
+    survivor_link.attach(primary)
+
+    half = len(chunks) // 2
+    for chunk in chunks[:half]:
+        primary.push("sensor", chunk)  # each ack waited for a standby ack
+
+    # Kill one standby mid-stream: close its server, then sever the
+    # established link with a one-shot socket fault (the in-process
+    # stand-in for the peer dying).  The push still acks — the quorum
+    # is satisfied by the survivor.
+    doomed.shutdown()
+    doomed.server_close()
+    with failpoints.activated(
+        {"transport.send": failpoints.Raise(
+            OSError(32, "Broken pipe"), times=1)}
+    ):
+        primary.push("sensor", chunks[half])
+    print(f"killed standby {doomed.address} mid-stream; "
+          f"push {half} still acked (quorum via the survivor)")
+    for chunk in chunks[half + 1:]:
+        primary.push("sensor", chunk)
+
+    # An *empty* replacement takes over the dead standby's address; the
+    # severed link finds it on its own and re-seeds it from the
+    # primary's WAL — full catch-up, then live streaming again.
+    replacement, _ = start_standby(
+        standby_store(size=SUMMARY_SIZE), port=doomed_port)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline and not (
+        doomed_link.connected
+        and "sensor" in replacement.store
+        and replacement.store.pushed("sensor") == primary.pushed("sensor")
+    ):
+        time.sleep(0.05)
+    lags = {entry["address"]: entry["lag"] for entry in primary.stats().sinks}
+    print(f"replacement re-seeded by auto-resync; per-sink lag: {lags}")
+    assert doomed_link.connected, "auto-resync never reconnected"
+    assert all(lag == 0 for lag in lags.values()), f"sinks still lag: {lags}"
+
+    engine = QueryEngine(primary)
+    expected_values = [engine.value_at("sensor", t) for t in probes]
+    healed = QueryEngine(replacement.promote())
+    match = [healed.value_at("sensor", t) for t in probes] == expected_values
+    print(f"promoted replacement answers bit-identical={match}")
+    assert match, "auto-resynced replacement diverged from the primary"
+
+    for server in (survivor, replacement):
+        server.shutdown()
+        server.server_close()
+    primary.close()
+    shutil.rmtree(data_dir, ignore_errors=True)
 
     print("\nOK")
     return 0

@@ -18,12 +18,19 @@ the same code:
    answers with the shard's complete merge schedule (``KIND_TRAJECTORY``).
    Shards are dispatched concurrently, one thread per cluster address.
 4. **Survive faults** — a shard whose worker dies, times out, or answers
-   garbage is retried across the remaining addresses with linear backoff
-   (:func:`repro.cluster.transport.request_with_retries`); when every
-   address fails, the shard runs **in-process** — the same fallback
-   ladder as the pool engine's ``BrokenProcessPool`` handling.  Requests
-   the workers themselves reject as malformed (``bad_request``) are not
-   retried: resending identical bytes cannot succeed.
+   garbage is retried across the remaining addresses with
+   decorrelated-jitter exponential backoff
+   (:func:`repro.cluster.transport.request_with_retries`); peers whose
+   circuit breaker is open (:data:`repro.util.health.SHARED`) are
+   skipped until a half-open probe readmits them; when every address
+   fails, the shard runs **in-process** — the same fallback ladder as
+   the pool engine's ``BrokenProcessPool`` handling.  Requests the
+   workers themselves reject as malformed (``bad_request``) or as
+   arriving past their end-to-end deadline (``deadline_exceeded``) are
+   not retried: resending identical bytes cannot succeed.  When the
+   caller runs under a :func:`repro.util.deadline.deadline_scope`, the
+   remaining budget rides in each shard envelope and bounds every
+   connect, read and backoff sleep.
 5. **Reconcile + rebuild** — :func:`repro.parallel.assemble_result`
    consumes trajectories by shard index, never completion order, so the
    output is bit-identical to ``workers=1`` / ``workers=N`` no matter
@@ -57,11 +64,14 @@ from ..parallel import (
     validate_budget,
 )
 from ..service import wire
+from ..util import deadline as _deadline
+from ..util.health import SHARED as SHARED_HEALTH
 from .transport import (
     DEFAULT_CONNECT_TIMEOUT,
     DEFAULT_READ_TIMEOUT,
     KIND_REDUCE,
     KIND_TRAJECTORY,
+    NON_RETRYABLE_CODES,
     RemoteError,
     TransportError,
     decode_trajectory,
@@ -79,6 +89,7 @@ def encode_shard_request(
     hi: int,
     w2: np.ndarray,
     trace_id: Optional[str] = None,
+    deadline_budget: Optional[float] = None,
 ) -> bytes:
     """One shard as a self-contained ``KIND_REDUCE`` payload.
 
@@ -88,7 +99,10 @@ def encode_shard_request(
     floats survive a JSON roundtrip bit-exactly (``repr`` semantics), so
     remote and local reductions use identical ``w2``.  When the caller
     runs under a trace, the ``trace_id`` rides in the envelope meta so
-    the worker's ``shard_reduce`` span joins the coordinator's trace.
+    the worker's ``shard_reduce`` span joins the coordinator's trace;
+    ``deadline_budget`` (the request's *remaining* seconds at send time)
+    rides next to it so the worker can refuse work that would finish
+    after the caller has given up.
     """
     body = wire.encode_segments(
         EncodedSegments(
@@ -102,6 +116,8 @@ def encode_shard_request(
     meta: dict = {"w2": w2.tolist(), "shard": [lo, hi]}
     if trace_id is not None:
         meta["trace_id"] = trace_id
+    if deadline_budget is not None:
+        meta["deadline"] = deadline_budget
     return pack_envelope(meta, body)
 
 
@@ -171,6 +187,7 @@ def reduce_cluster(
     # dispatch re-enters the trace explicitly and the id also rides in
     # the shard envelope for the remote worker's spans.
     trace_id = _tracing.current_trace_id()
+    deadline = _deadline.current_deadline()
     fallbacks = _metrics.counter(
         "repro_shard_fallbacks_total",
         "Shards reduced in-process after every cluster peer failed.",
@@ -182,12 +199,21 @@ def reduce_cluster(
     # rotation only changes *where* a schedule is computed, never what it
     # contains, so placement cannot perturb the output.
     def _reduce_remote(index: int, lo: int, hi: int) -> ShardTrajectory:
-        payload = encode_shard_request(encoded, lo, hi, w2, trace_id)
+        if deadline is not None:
+            deadline.check(f"dispatching shard {index}")
+        payload = encode_shard_request(
+            encoded,
+            lo,
+            hi,
+            w2,
+            trace_id,
+            deadline.remaining() if deadline is not None else None,
+        )
         rotated = [
             addresses[(index + step) % len(addresses)]
             for step in range(len(addresses))
         ]
-        with _tracing.attach(trace_id):
+        with _tracing.attach(trace_id), _deadline.attach(deadline):
             try:
                 answer = request_with_retries(
                     rotated,
@@ -198,10 +224,15 @@ def reduce_cluster(
                     backoff=retry_backoff,
                     connect_timeout=connect_timeout,
                     read_timeout=read_timeout,
+                    deadline=deadline,
+                    health=SHARED_HEALTH,
                 )
             except RemoteError as error:
-                if error.code == "bad_request":
-                    raise  # resending identical bytes cannot succeed
+                if error.code in NON_RETRYABLE_CODES:
+                    # bad_request: resending identical bytes cannot
+                    # succeed.  deadline_exceeded: the budget is spent —
+                    # a local fallback would blow it just the same.
+                    raise
                 fallbacks.inc()
                 return _reduce_local(index)
             except TransportError:

@@ -15,9 +15,19 @@ just *shipping that same delta log over a socket as it is written*:
   sends the frame, waits for the standby's ``KIND_ACK`` and records the
   acknowledged sequence number (the store's replication-lag metric).  A
   socket fault disconnects the link (``connected = False``) without
-  failing the primary's push; lag then grows until an operator attaches
-  a fresh link.  The replicated push body is **byte-identical to the
-  primary's WAL frame payload** — no re-encoding on the hot path.
+  failing the primary's push — and, by default (``auto_resync=True``),
+  starts a background **reconnect loop**: exponential backoff with
+  decorrelated jitter (:mod:`repro.util.backoff`), gated by the shared
+  per-peer circuit breaker (:mod:`repro.util.health`), re-``HELLO``-ing
+  the standby and replaying exactly the missed gap through
+  :meth:`~repro.service.store.SessionStore.resync` with the standby's
+  self-reported ``applied_seq`` as the resume cursor.  The loop gives
+  up permanently only when the store refuses the standby (divergence
+  after a quorum abort, or a resync window trimmed past its frontier).
+  The replicated push body is **byte-identical to the primary's WAL
+  frame payload** — no re-encoding on the hot path.  The
+  ``repro_replica_link_state`` gauge (0 detached, 1 reconnecting,
+  2 connected) tracks every link.
 * :class:`StandbyServer` owns its own
   :class:`~repro.service.store.SessionStore` (``role = "standby"``) and
   applies the frames in arrival order: ``PUSH`` through ``store.push``
@@ -46,13 +56,21 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
 from ..api.plan import Budget, ExecutionPolicy
+from ..obs import metrics as _metrics
 from ..service.store import ServiceError, SessionStore
 from ..service.wire import WireError, decode_result, decode_segments
+from ..util import failpoints
+from ..util.backoff import DEFAULT_CAP_S as DEFAULT_RECONNECT_CAP_S
+from ..util.backoff import Backoff
+from ..util.health import SHARED as SHARED_HEALTH
+from ..util.health import PeerHealth
 from .transport import (
+    DEFAULT_BACKOFF_S,
     DEFAULT_CONNECT_TIMEOUT,
     DEFAULT_READ_TIMEOUT,
     KIND_ACK,
@@ -72,11 +90,19 @@ from .transport import (
 )
 
 __all__ = [
+    "LINK_CONNECTED",
+    "LINK_DETACHED",
+    "LINK_RECONNECTING",
     "ReplicationLink",
     "StandbyServer",
     "standby_store",
     "start_standby",
 ]
+
+#: ``repro_replica_link_state`` gauge values.
+LINK_DETACHED = 0
+LINK_RECONNECTING = 1
+LINK_CONNECTED = 2
 
 
 def standby_store(
@@ -110,6 +136,15 @@ class ReplicationLink:
     protocol; :meth:`attach` performs catch-up and registration in one
     atomic step.  All ``on_*`` hooks run under the store's lock, so
     frames hit the wire in apply order with no interleaving.
+
+    With ``auto_resync=True`` (the default) a ship fault additionally
+    arms a background reconnect loop: exponential backoff with
+    decorrelated jitter, per-peer circuit breaker (``health``, the
+    process-shared tracker unless one is injected), then
+    ``HELLO`` → :meth:`SessionStore.resync` with the standby's reported
+    ``applied_seq`` — the missed gap replays from the store's journal
+    (or the full history, if the standby restarted empty) and streaming
+    resumes, all without an operator touching ``replicate_to``.
     """
 
     def __init__(
@@ -117,14 +152,25 @@ class ReplicationLink:
         address: str,
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+        auto_resync: bool = True,
+        reconnect_backoff: float = DEFAULT_BACKOFF_S,
+        reconnect_cap: float = DEFAULT_RECONNECT_CAP_S,
+        health: Optional[PeerHealth] = None,
     ) -> None:
         self.address = address
         self.connect_timeout = connect_timeout
         self.read_timeout = read_timeout
+        self.auto_resync = auto_resync
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_cap = max(reconnect_cap, reconnect_backoff)
         self.connected = False
         self.acked_seq = -1
+        self._health = health if health is not None else SHARED_HEALTH
         self._conn: Optional[Connection] = None
         self._store: Optional[SessionStore] = None
+        self._closed = False
+        self._reconnect_lock = threading.Lock()
+        self._reconnector: Optional[threading.Thread] = None
 
     def attach(self, store: SessionStore) -> None:
         """Connect, catch the standby up, and start streaming.
@@ -132,35 +178,34 @@ class ReplicationLink:
         Raises :class:`TransportError` if the standby is unreachable and
         :class:`~repro.service.store.ServiceError` if the primary's live
         state cannot be caught up from its WAL (memory-only primary with
-        live pushes, or a degraded one) — in both cases nothing is
-        registered.  The standby must be empty (freshly started): catch-up
-        replays the full history, so a second attach to the same standby
-        would double-apply it.
+        live pushes, or a degraded one), or if the standby is not empty
+        — catch-up replays the full history, so attaching a standby
+        that already applied frames would double-apply it (a returning
+        standby rejoins through the auto-resync loop instead).  In all
+        cases nothing is registered.
         """
-        conn = Connection(
-            self.address, self.connect_timeout, self.read_timeout
-        )
-        try:
-            kind, answer = conn.request(KIND_HELLO, b"{}")
-            if kind != KIND_OK:
-                raise TransportError(
-                    f"standby {self.address} answered frame kind {kind} "
-                    f"to HELLO, expected OK"
-                )
-        except TransportError:
+        conn, applied = self._dial()
+        if applied != -1:
             conn.close()
-            raise
+            raise ServiceError(
+                f"standby {self.address} reports applied sequence "
+                f"{applied}; attach requires an empty standby (returning "
+                f"standbys rejoin via resync)"
+            )
         self._conn = conn
         self._store = store
+        self._closed = False
         self.connected = True
         try:
             store.replicate_to(self)  # atomic catch-up + registration
         except ServiceError:
             self.detach()
             raise
+        self._publish(LINK_CONNECTED)
 
     def detach(self) -> None:
-        """Stop streaming and deregister from the store."""
+        """Stop streaming (and any reconnect loop), deregister."""
+        self._closed = True
         self.connected = False
         if self._store is not None:
             self._store.remove_replication_sink(self)
@@ -168,6 +213,7 @@ class ReplicationLink:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+        self._publish(LINK_DETACHED)
 
     # ------------------------------------------------------------------
     # ReplicationSink hooks (called under the store lock; never raise)
@@ -187,7 +233,8 @@ class ReplicationLink:
         """Send one frame and wait for its ack; disconnect on any fault.
 
         Never raises — a lost standby must not fail the primary's push;
-        it only stops the stream (the lag metric shows the damage).
+        it only stops the stream (the lag metric shows the damage) and,
+        when auto-resync is armed, starts the reconnect loop.
         """
         if not self.connected or self._conn is None:
             return
@@ -204,6 +251,122 @@ class ReplicationLink:
             if self._conn is not None:
                 self._conn.close()
                 self._conn = None
+            self._health.failure(self.address)
+            self._schedule_reconnect()
+
+    # ------------------------------------------------------------------
+    # Auto-resync
+    # ------------------------------------------------------------------
+    def _dial(self) -> Tuple[Connection, int]:
+        """Connect and ``HELLO``; returns the connection and the
+        standby's reported ``applied_seq`` (``-1`` = empty standby)."""
+        conn = Connection(
+            self.address, self.connect_timeout, self.read_timeout
+        )
+        try:
+            kind, answer = conn.request(KIND_HELLO, b"{}")
+            if kind != KIND_OK:
+                raise TransportError(
+                    f"standby {self.address} answered frame kind {kind} "
+                    f"to HELLO, expected OK"
+                )
+            applied = int(
+                decode_json(answer, "hello answer").get("applied_seq", -1)
+            )
+        except (TransportError, KeyError, TypeError, ValueError) as error:
+            conn.close()
+            if isinstance(error, TransportError):
+                raise
+            raise TransportError(
+                f"standby {self.address} answered a malformed HELLO: "
+                f"{error}"
+            ) from error
+        return conn, applied
+
+    def _schedule_reconnect(self) -> None:
+        if not self.auto_resync or self._closed or self._store is None:
+            return
+        with self._reconnect_lock:
+            if self._reconnector is not None and self._reconnector.is_alive():
+                return
+            self._reconnector = threading.Thread(
+                target=self._reconnect_loop,
+                name=f"pta-resync-{self.address}",
+                daemon=True,
+            )
+            self._reconnector.start()
+
+    def _reconnect_loop(self) -> None:
+        """Dial → ``HELLO`` → resync until streaming resumes.
+
+        Gives up only on :meth:`detach` or when the store refuses the
+        standby permanently (divergence, exhausted resync window) — in
+        that case the link deregisters itself so quorum counting and
+        journal trimming stop waiting for it.
+        """
+        ladder = Backoff(self.reconnect_backoff, self.reconnect_cap)
+        self._publish(LINK_RECONNECTING)
+        try:
+            while not self._closed:
+                delay = ladder.next()
+                if delay > 0:
+                    time.sleep(delay)
+                if self._closed:
+                    return
+                injected = failpoints.fail("replica.reconnect")
+                if injected is not None:
+                    continue  # the attempt "failed" before dialing
+                if not self._health.allow(self.address):
+                    continue
+                store = self._store
+                if store is None:
+                    return
+                try:
+                    conn, applied = self._dial()
+                except TransportError:
+                    self._health.failure(self.address)
+                    continue
+                self._health.success(self.address)
+
+                def adopt() -> None:
+                    self._conn = conn
+                    self.connected = True
+
+                try:
+                    store.resync(self, applied, adopt=adopt)
+                except ServiceError:
+                    # Permanent refusal: the standby must be re-seeded.
+                    self.connected = False
+                    conn.close()
+                    self._conn = None
+                    store.remove_replication_sink(self)
+                    self._publish(LINK_DETACHED)
+                    return
+                except (ConnectionError, TransportError, OSError):
+                    self.connected = False
+                    conn.close()
+                    self._conn = None
+                    continue
+                with self._reconnect_lock:
+                    if self.connected:
+                        self._publish(LINK_CONNECTED)
+                        return
+                # A ship fault raced the resync; go around again.
+        finally:
+            # Whatever the exit path (healed, detached, permanently
+            # refused), stop owning the reconnector slot — but never
+            # clobber a newer thread a fresh ship fault scheduled.
+            with self._reconnect_lock:
+                if self._reconnector is threading.current_thread():
+                    self._reconnector = None
+
+    def _publish(self, value: int) -> None:
+        _metrics.gauge(
+            "repro_replica_link_state",
+            "Replication link per standby: 0 detached, 1 reconnecting, "
+            "2 connected.",
+            peer=self.address,
+        ).set(value)
 
 
 class _StandbyHandler(socketserver.BaseRequestHandler):
@@ -235,7 +398,13 @@ class _StandbyHandler(socketserver.BaseRequestHandler):
     ) -> None:
         server = self.server
         if kind == KIND_HELLO:
-            send_frame(sock, KIND_OK, b"{}")
+            # The answer carries the standby's replication frontier —
+            # the resume cursor a reconnecting link hands to
+            # ``SessionStore.resync`` (-1 = empty standby, full
+            # catch-up).
+            with server.apply_lock:
+                applied = server.applied_seq
+            send_frame(sock, KIND_OK, b'{"applied_seq": %d}' % applied)
             return
         if kind not in (KIND_PUSH, KIND_FREEZE, KIND_FROZEN):
             send_frame(
@@ -270,7 +439,13 @@ class _StandbyHandler(socketserver.BaseRequestHandler):
                     ),
                 )
                 return
-            if kind == KIND_PUSH:
+            if seq < server.applied_seq:
+                # Already applied (an ack was lost in transit): ack
+                # again without re-applying.  Strictly ``<`` — catch-up
+                # streams many frames under one frontier sequence
+                # number, all of which must apply.
+                pass
+            elif kind == KIND_PUSH:
                 server.store.push(key, decode_segments(body))
             elif kind == KIND_FREEZE:
                 server.store.freeze(key)

@@ -25,8 +25,15 @@ UTF-8 JSON, and **error frames** carry the same structured
 Client plumbing: :class:`Connection` wraps a socket with a connect
 timeout, a per-read deadline, and a ``request()`` round trip that raises
 :class:`RemoteError` when the peer answers with an error frame;
-:func:`request_with_retries` adds the bounded linear-backoff retry
-ladder (the network face of ``parallel.py``'s pool-rebuild ladder).
+:func:`request_with_retries` adds the bounded retry ladder (the network
+face of ``parallel.py``'s pool-rebuild ladder) with exponential backoff
+plus decorrelated jitter (:mod:`repro.util.backoff`).  Two optional
+cross-cutting inputs harden it further: a
+:class:`~repro.util.health.PeerHealth` tracker skips peers whose
+circuit breaker is open (and ``PING``-probes half-open ones before
+trusting them with the real request), and a
+:class:`~repro.util.deadline.Deadline` bounds every sleep and socket
+timeout by the request's remaining end-to-end budget.
 
 Failpoints (``repro.util.failpoints``): ``transport.connect``,
 ``transport.send`` and ``transport.recv`` sit on the three fragile
@@ -38,6 +45,7 @@ spec with per-rule test citations lives in ``docs/FORMATS.md``.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import struct
 import time
@@ -46,6 +54,10 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..obs import metrics as _metrics
 from ..util import failpoints
+from ..util.backoff import DEFAULT_CAP_S as DEFAULT_BACKOFF_CAP_S
+from ..util.backoff import Backoff
+from ..util.deadline import Deadline
+from ..util.health import PeerHealth
 
 #: Magic tag and version of transport frames.  Bump the version on any
 #: layout change; readers reject every other version.
@@ -74,7 +86,8 @@ KIND_OK = 10         #: JSON (generic success answer)
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 #: Client-side defaults: TCP connect deadline, per-read deadline, retry
-#: attempts and the base of the linear backoff between attempts.
+#: attempts and the base of the exponential backoff between rounds
+#: (decorrelated jitter, capped at ``DEFAULT_BACKOFF_CAP_S``).
 DEFAULT_CONNECT_TIMEOUT = 2.0
 DEFAULT_READ_TIMEOUT = 30.0
 DEFAULT_RETRIES = 2
@@ -358,6 +371,12 @@ class Connection:
         self.close()
 
 
+#: RemoteError codes that no amount of retrying can fix: the payload is
+#: at fault (``bad_request``) or the request's budget is spent
+#: (``deadline_exceeded``) — re-raised immediately, no peer rotation.
+NON_RETRYABLE_CODES = frozenset({"bad_request", "deadline_exceeded"})
+
+
 def request_with_retries(
     addresses: Sequence[str],
     kind: int,
@@ -367,17 +386,35 @@ def request_with_retries(
     backoff: float = DEFAULT_BACKOFF_S,
     connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
     read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+    deadline: Optional[Deadline] = None,
+    health: Optional[PeerHealth] = None,
+    backoff_cap: float = DEFAULT_BACKOFF_CAP_S,
+    rng: Optional[random.Random] = None,
 ) -> bytes:
     """One request, tried against ``addresses`` with bounded retries.
 
     Attempt ``1 + retries`` rounds; within a round every address is
     tried once (rotated so consecutive rounds lead with different
-    peers), with a linear backoff (``n * backoff`` seconds before round
-    ``n``) between rounds — the same ladder shape as the pool rebuilds
-    in :mod:`repro.parallel`.  A :class:`RemoteError` with code
-    ``bad_request`` is re-raised immediately (the payload is at fault,
-    no peer will accept it); everything else rotates to the next peer.
-    Raises the last failure when every attempt is exhausted.
+    peers), with exponential backoff plus decorrelated jitter between
+    rounds (:class:`repro.util.backoff.Backoff`; ``rng`` makes the
+    schedule deterministic in tests, ``backoff=0`` disables sleeping
+    entirely).  A :class:`RemoteError` whose code is in
+    :data:`NON_RETRYABLE_CODES` is re-raised immediately; everything
+    else rotates to the next peer.  Raises the last failure when every
+    attempt is exhausted.
+
+    ``deadline`` bounds the whole ladder: sleeps and socket timeouts
+    are clamped to the remaining budget, and an expired deadline raises
+    :class:`~repro.util.deadline.DeadlineExceeded` instead of starting
+    another attempt.
+
+    ``health`` consults a per-peer circuit breaker before every dial:
+    open peers are skipped without burning a connect timeout, half-open
+    peers get a ``PING`` probe before being trusted with the real
+    request, and every outcome is recorded (a :class:`RemoteError`
+    counts as *success* — the peer is alive, it just disliked the
+    request).  When every address is breaker-blocked the call fails
+    fast with :class:`TransportError`.
     """
     if not addresses:
         raise TransportError("no addresses to send to")
@@ -386,27 +423,64 @@ def request_with_retries(
         "Failed request attempts rotated to another peer.",
         tier="cluster",
     )
+    skipped = _metrics.counter(
+        "repro_peer_breaker_skips_total",
+        "Dial attempts skipped because the peer's breaker was open.",
+        tier="cluster",
+    )
+    ladder = Backoff(backoff, max(backoff_cap, backoff), rng=rng)
     last: Optional[Exception] = None
     for round_index in range(1 + max(retries, 0)):
-        if round_index and backoff > 0:
-            time.sleep(backoff * round_index)
+        if round_index:
+            delay = ladder.next()
+            if deadline is not None:
+                deadline.check(f"retry round {round_index}")
+                delay = min(delay, max(deadline.remaining(), 0.0))
+            if delay > 0:
+                time.sleep(delay)
         for step in range(len(addresses)):
             address = addresses[(round_index + step) % len(addresses)]
+            if deadline is not None:
+                deadline.check(f"dialing {address}")
+            if health is not None and not health.allow(address):
+                skipped.inc()
+                continue
+            probing = health is not None and health.probation(address)
+            if deadline is not None:
+                dial_timeout = deadline.clamp(connect_timeout)
+                wait_timeout: Optional[float] = deadline.clamp(read_timeout)
+            else:
+                dial_timeout = connect_timeout
+                wait_timeout = read_timeout
             try:
                 with Connection(
-                    address, connect_timeout, read_timeout
+                    address, dial_timeout, wait_timeout
                 ) as connection:
+                    if probing:
+                        probe_kind, _ = connection.request(KIND_PING)
+                        if probe_kind != KIND_PONG:
+                            raise TransportError(
+                                f"{address} answered frame kind "
+                                f"{probe_kind} to the half-open PING probe"
+                            )
                     answer_kind, answer = connection.request(kind, payload)
             except RemoteError as error:
-                if error.code == "bad_request":
+                # The peer is alive enough to answer an error frame.
+                if health is not None:
+                    health.success(address)
+                if error.code in NON_RETRYABLE_CODES:
                     raise
                 last = error
                 retried.inc()
                 continue
             except TransportError as error:
+                if health is not None:
+                    health.failure(address)
                 last = error
                 retried.inc()
                 continue
+            if health is not None:
+                health.success(address)
             if answer_kind != expect:
                 last = TransportError(
                     f"{address} answered frame kind {answer_kind}, "
@@ -415,12 +489,17 @@ def request_with_retries(
                 retried.inc()
                 continue
             return answer
-    assert last is not None
+    if last is None:
+        raise TransportError(
+            "every peer's circuit breaker is open "
+            f"({', '.join(addresses)})"
+        )
     raise last
 
 
 __all__ = [
     "Connection",
+    "DEFAULT_BACKOFF_CAP_S",
     "DEFAULT_BACKOFF_S",
     "DEFAULT_CONNECT_TIMEOUT",
     "DEFAULT_READ_TIMEOUT",
@@ -439,6 +518,7 @@ __all__ = [
     "KIND_REDUCE",
     "KIND_TRAJECTORY",
     "MAX_FRAME_BYTES",
+    "NON_RETRYABLE_CODES",
     "RemoteError",
     "TRAJECTORY_MAGIC",
     "TRAJECTORY_VERSION",

@@ -21,8 +21,10 @@ The worker is stateless between requests: shard placement, budgets and
 reconciliation all live in the coordinator, which is what makes workers
 interchangeable — any shard may run on any worker (or locally) without
 changing a bit of the output.  Malformed payloads are answered with a
-structured error frame (code ``bad_request``); unexpected faults with
-code ``internal``.  The ``cluster.worker`` failpoint sits at the top of
+structured error frame (code ``bad_request``); requests whose envelope
+deadline budget is already spent with ``deadline_exceeded`` (the worker
+refuses work its caller has given up on); unexpected faults with code
+``internal``.  The ``cluster.worker`` failpoint sits at the top of
 shard handling so fault tests can kill or fail a worker at exactly one
 deterministic request.
 
@@ -41,6 +43,8 @@ from ..obs.logs import get_logger
 from ..service.wire import WireError, decode_encoded
 from ..storage.columns import ColumnCodecError
 from ..util import failpoints
+from ..util.deadline import Deadline, DeadlineExceeded
+from ..util.deadline import attach as _attach_deadline
 from .transport import (
     KIND_PING,
     KIND_PONG,
@@ -82,10 +86,31 @@ def reduce_request(payload: bytes):
             f"shard request carries {w2.shape} weights for "
             f"{encoded.dimensions}-dimensional values"
         )
+    # Rebuild the coordinator's remaining budget on *this* machine's
+    # monotonic clock (wall clocks disagree; relative budgets survive
+    # the hop) and refuse work that is already past its deadline — the
+    # caller has given up, so grinding on only wastes the cluster.
+    deadline: Optional[Deadline] = None
+    deadline_raw = meta.get("deadline")
+    if deadline_raw is not None:
+        if isinstance(deadline_raw, bool) or not isinstance(
+            deadline_raw, (int, float)
+        ):
+            raise WireError(
+                "shard request deadline must be the remaining budget in "
+                f"seconds, got {deadline_raw!r}"
+            )
+        if deadline_raw <= 0:
+            raise DeadlineExceeded(
+                "shard request arrived with an exhausted deadline budget"
+            )
+        deadline = Deadline.after(float(deadline_raw))
     # Adopt the coordinator's trace id (if the envelope carries one) so
     # the worker's shard_reduce span lands in the caller's trace.
     trace_raw = meta.get("trace_id")
-    with _tracing.attach(trace_raw if isinstance(trace_raw, str) else None):
+    with _tracing.attach(
+        trace_raw if isinstance(trace_raw, str) else None
+    ), _attach_deadline(deadline):
         return reduce_shard(
             (encoded.starts, encoded.ends, encoded.values, encoded.groups, w2)
         )
@@ -118,6 +143,11 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                             f"unsupported frame kind {kind}", "bad_request"
                         ),
                     )
+            except DeadlineExceeded as error:
+                if not self._answer_error(
+                    sock, str(error), "deadline_exceeded"
+                ):
+                    return
             except (WireError, ColumnCodecError, TransportError) as error:
                 if not self._answer_error(sock, str(error), "bad_request"):
                     return

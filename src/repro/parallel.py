@@ -70,6 +70,8 @@ from .obs import metrics as _metrics
 from .obs.tracing import span
 from .temporal import Interval
 from .util import failpoints
+from .util.backoff import DEFAULT_CAP_S as DEFAULT_BACKOFF_CAP
+from .util.backoff import Backoff
 
 #: Default number of segments per shard.  A function of the input only —
 #: never of the worker count — so that the shard plan (and with it the
@@ -82,8 +84,8 @@ DEFAULT_SHARD_SIZE = 8192
 #: on multiprocessing and finishes the remaining shards in-process.
 SHARD_RETRIES = 2
 
-#: Base of the linear backoff between pool rebuilds, in seconds (the
-#: ``n``-th rebuild waits ``n * RETRY_BACKOFF_S``).
+#: Base of the exponential backoff between pool rebuilds, in seconds
+#: (decorrelated jitter, shared ladder: :class:`repro.util.backoff.Backoff`).
 RETRY_BACKOFF_S = 0.05
 
 
@@ -295,8 +297,9 @@ def _reduce_shards_pooled(
     """Run every shard on a process pool, surviving worker deaths.
 
     Shards that completed before a :class:`BrokenProcessPool` keep their
-    results; the pool is rebuilt (after a linear backoff) and only the
-    missing shards are resubmitted, up to ``retries`` rebuilds.  After
+    results; the pool is rebuilt (after an exponential backoff with
+    decorrelated jitter) and only the missing shards are resubmitted, up
+    to ``retries`` rebuilds.  After
     that the remaining shards run in-process — slower, never wrong.
     Results are indexed by shard, so the reconciliation order (and with
     it the output) is bit-identical to the fault-free run no matter
@@ -307,6 +310,7 @@ def _reduce_shards_pooled(
     ] * len(payloads)
     pending = list(range(len(payloads)))
     rebuilds = 0
+    ladder = Backoff(backoff, max(backoff, DEFAULT_BACKOFF_CAP))
     while pending:
         try:
             width = min(pool_width, len(pending))
@@ -338,7 +342,9 @@ def _reduce_shards_pooled(
                     "Process-pool rebuilds after worker deaths.",
                     tier="pool",
                 ).inc()
-                time.sleep(backoff * rebuilds)
+                delay = ladder.next()
+                if delay > 0:
+                    time.sleep(delay)
     assert all(result is not None for result in results)
     return results  # type: ignore[return-value]
 
@@ -404,8 +410,8 @@ def run_sharded(
     :mod:`repro.api.plan` for direct callers.
 
     Worker deaths (``BrokenProcessPool``) are survived: completed shards
-    keep their results, the pool is rebuilt with linear backoff up to
-    ``shard_retries`` times (default :data:`SHARD_RETRIES`), and the
+    keep their results, the pool is rebuilt with exponential backoff up
+    to ``shard_retries`` times (default :data:`SHARD_RETRIES`), and the
     remaining shards then fall back to in-process execution — the output
     is bit-identical to the fault-free run in every case, because the
     shard plan and the reconciliation consume results by shard index,

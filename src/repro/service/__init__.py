@@ -49,6 +49,7 @@ from .query import QueryEngine, RANGE_FUNCTIONS, SnapshotIndex, WindowBucket
 from .store import (
     Key,
     LRUTTLEviction,
+    ReplicationError,
     ServiceError,
     SessionStore,
     StoreStats,
@@ -74,6 +75,7 @@ __all__ = [
     "Key",
     "LRUTTLEviction",
     "RecoveredKey",
+    "ReplicationError",
     "QueryEngine",
     "RANGE_FUNCTIONS",
     "RESULT_MAGIC",

@@ -27,7 +27,9 @@ Endpoints::
     GET  /role            {role, replicas, replication_lag,
                            last_acked_generation}
     GET  /healthz         liveness probe (503 when degraded or when the
-                          replication lag exceeds max_replication_lag)
+                          replication lag exceeds max_replication_lag);
+                          reports per-sink replication lag when any
+                          replication sinks are registered
 
 Every request runs under a trace id (:mod:`repro.obs.tracing`): a valid
 ``X-Repro-Trace`` request header is adopted, otherwise an id is minted,
@@ -35,6 +37,13 @@ and either way the response carries the effective id in the same header
 — so a client can correlate its slow push with the server's spans and
 structured log lines.  Per-endpoint latency histograms, per-error-code
 counters and an in-flight gauge feed the registry ``/metrics`` renders.
+
+Requests may also carry an end-to-end deadline: a positive
+``X-Repro-Deadline`` header (remaining budget in seconds — relative,
+because wall clocks across machines disagree) installs a
+:mod:`repro.util.deadline` scope around the route, which the store's
+replication quorum wait and the cluster coordinator's fan-out honour;
+an expired deadline answers 400 ``deadline_exceeded``.
 
 A segment object is ``{"group": [...], "values": [...], "start": int,
 "end": int}`` (``group`` may be omitted for ungrouped streams); ``group=``
@@ -58,6 +67,9 @@ status    code                   meaning
                                  or the replication lag exceeds the
                                  configured threshold
 503       ``not_primary``        ``POST /push`` on a standby replica
+503       ``replication_quorum`` a push could not reach its
+                                 ``sync_replicas`` quorum; fully rolled
+                                 back, safe to retry
 ========  =====================  ==========================================
 """
 
@@ -77,9 +89,18 @@ from ..api.result import Result
 from ..obs import metrics as _metrics
 from ..obs import tracing as _tracing
 from ..obs.logs import get_logger
+from ..util.deadline import DEADLINE_HEADER, DeadlineExceeded, deadline_scope
 from .durability import DurabilityError
 from .query import QueryEngine, WindowBucket
-from .store import Key, LRUTTLEviction, ServiceError, SessionStore, StoreStats
+from .store import (
+    DEFAULT_RESYNC_JOURNAL_BYTES,
+    Key,
+    LRUTTLEviction,
+    ReplicationError,
+    ServiceError,
+    SessionStore,
+    StoreStats,
+)
 from .wire import (
     WireError,
     decode_segments,
@@ -153,6 +174,8 @@ class Service:
         degrade_after: Optional[int] = None,
         reprobe_every: Optional[int] = None,
         wal_compact_factor: Optional[float] = None,
+        sync_replicas: Optional[int] = None,
+        resync_journal_bytes: Optional[int] = None,
         max_replication_lag: Optional[int] = None,
     ) -> None:
         if max_replication_lag is not None and max_replication_lag < 0:
@@ -165,7 +188,8 @@ class Service:
             if (budget, size, max_error, policy, eviction, max_sessions,
                     ttl, session_factory, data_dir, fsync_every,
                     checkpoint_every, degrade_after, reprobe_every,
-                    wal_compact_factor) != (None,) * 14:
+                    wal_compact_factor, sync_replicas,
+                    resync_journal_bytes) != (None,) * 16:
                 raise ServiceError(
                     "pass either a prebuilt store or store-construction "
                     "keywords, not both"
@@ -187,6 +211,12 @@ class Service:
                 degrade_after=3 if degrade_after is None else degrade_after,
                 reprobe_every=8 if reprobe_every is None else reprobe_every,
                 wal_compact_factor=wal_compact_factor,
+                sync_replicas=0 if sync_replicas is None else sync_replicas,
+                resync_journal_bytes=(
+                    DEFAULT_RESYNC_JOURNAL_BYTES
+                    if resync_journal_bytes is None
+                    else resync_journal_bytes
+                ),
             )
         self.engine = QueryEngine(self.store)
 
@@ -334,7 +364,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             with _tracing.trace(self.headers.get(_tracing.TRACE_HEADER)):
                 try:
-                    route()
+                    with deadline_scope(self._deadline_budget()):
+                        route()
+                except ReplicationError as error:
+                    # Before the generic 400 arm: a quorum failure is a
+                    # ServiceError by class but a retryable 503 by
+                    # nature (the write was fully rolled back).
+                    self._send_error(503, str(error), "replication_quorum")
                 except DurabilityError as error:
                     self._send_error(503, str(error), "durability")
                 except (ServiceError, WireError, ValueError) as error:
@@ -366,6 +402,26 @@ class _Handler(BaseHTTPRequestHandler):
                     "HTTP request wall time, labeled by endpoint.",
                     endpoint=self._endpoint(),
                 ).observe(perf_counter() - t0)
+
+    def _deadline_budget(self) -> Optional[float]:
+        """The request's remaining end-to-end budget, if the client sent
+        one (``X-Repro-Deadline``, seconds).  An already-expired budget
+        fails here — before the route does any work."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            budget = float(raw)
+        except ValueError:
+            raise ServiceError(
+                f"invalid {DEADLINE_HEADER} header {raw!r}: expected the "
+                f"remaining budget in seconds"
+            ) from None
+        if budget <= 0:
+            raise DeadlineExceeded(
+                "request deadline exceeded before handling began"
+            )
+        return budget
 
     def _endpoint(self) -> str:
         """The bounded ``endpoint`` label for this request's path."""
@@ -423,6 +479,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_healthz(self) -> None:
         stats = self.server.service.stats()
         limit = self.server.service.max_replication_lag
+        # Per-sink lag rides along whenever sinks are registered; the
+        # bare {"status": "ok"} shape without replication is
+        # regression-locked.
+        extra: Dict[str, Any] = (
+            {"sinks": [dict(entry) for entry in stats.sinks]}
+            if stats.sinks
+            else {}
+        )
         if stats.degraded:
             self._send_json(
                 503,
@@ -431,6 +495,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "error": "durable store is in memory-only degraded "
                     "mode (disk faults); pushes are not being logged",
                     "code": "degraded",
+                    **extra,
                 },
             )
         elif limit is not None and stats.replication_lag > limit:
@@ -442,10 +507,11 @@ class _Handler(BaseHTTPRequestHandler):
                     f"{stats.replication_lag} exceeds the threshold of "
                     f"{limit}; a failover now would lose pushes",
                     "code": "degraded",
+                    **extra,
                 },
             )
         else:
-            self._send_json(200, {"status": "ok"})
+            self._send_json(200, {"status": "ok", **extra})
 
     def _handle_role(self) -> None:
         stats = self.server.service.stats()

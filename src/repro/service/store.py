@@ -37,19 +37,21 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import (
     Any,
     Callable,
+    Deque,
     Dict,
     Iterable,
     List,
     Mapping,
     Optional,
     Protocol,
+    Set,
     Tuple,
     Union,
 )
@@ -62,6 +64,7 @@ from ..api.session import Compressor
 from ..obs import metrics as _metrics
 from ..obs.tracing import span
 from ..storage.wal import iter_wal_frames
+from ..util.deadline import current_deadline
 from .durability import Durability, DurabilityError, FrozenEpoch, PushToken
 from .wire import encode_result, encode_segments
 
@@ -74,9 +77,32 @@ Key = Any
 #: on their first few pushes).
 WAL_COMPACT_FLOOR_BYTES = 4096
 
+#: Default byte budget of the in-memory resync journal — the window of
+#: recent replicated events a briefly-disconnected standby can replay
+#: instead of being re-seeded from scratch (:meth:`SessionStore.resync`).
+DEFAULT_RESYNC_JOURNAL_BYTES = 16 * 1024 * 1024
+
+#: Fixed per-entry bookkeeping charge in the journal's byte accounting
+#: (tuple + deque slot + small metadata), on top of the payload bytes.
+_JOURNAL_ENTRY_OVERHEAD = 64
+
 
 class ServiceError(ValueError):
     """An invalid serving-layer request (unknown key, bad query, ...)."""
+
+
+class ReplicationError(ServiceError):
+    """A push could not reach its replication quorum.
+
+    Raised (and mapped to HTTP 503 ``replication_quorum``) when a store
+    built with ``sync_replicas=k`` cannot collect ``k`` standby
+    acknowledgements for a push.  The write is **fully rolled back** —
+    memory untouched, the WAL frame truncated back off the log — so the
+    push is safe to retry verbatim once enough standbys are reachable.
+    The consumed sequence number is recorded as *aborted*: a standby
+    that applied it before the abort has diverged and is refused at
+    :meth:`SessionStore.resync` instead of silently rejoining.
+    """
 
 
 class ReplicationSink(Protocol):
@@ -125,6 +151,9 @@ class StoreStats:
     anything was acked) — and ``replication_lag`` is how many replicated
     events (pushes and freezes) the slowest connected sink still trails
     by.  With no connected replicas the lag is reported as 0.
+    ``sinks`` breaks the same picture down per registered sink
+    (connected or not): address, connection state, acknowledged
+    sequence number and individual lag.
     """
 
     live_sessions: int
@@ -138,6 +167,7 @@ class StoreStats:
     replicas: int = 0
     replication_lag: int = 0
     last_acked_generation: int = -1
+    sinks: Tuple[Dict[str, Any], ...] = ()
 
     def as_dict(self) -> Dict[str, Any]:
         """The stats as a plain mapping (the HTTP ``/stats`` shape)."""
@@ -153,6 +183,7 @@ class StoreStats:
             "replicas": self.replicas,
             "replication_lag": self.replication_lag,
             "last_acked_generation": self.last_acked_generation,
+            "sinks": [dict(entry) for entry in self.sinks],
         }
 
 
@@ -301,6 +332,21 @@ class SessionStore:
         recovery *and standby catch-up* stay bounded even for keys that
         never hit ``checkpoint_every`` or the eviction policy.  ``None``
         (default) disables the trigger.
+    sync_replicas:
+        Replication quorum (cluster tier).  ``0`` (default) keeps
+        replication asynchronous: pushes are acknowledged locally and
+        the lag metric shows how far standbys trail.  ``k > 0`` makes a
+        push **hold its acknowledgement** until ``k`` of the registered
+        sinks acked the push's sequence number; a push that cannot
+        reach quorum is fully rolled back and raises
+        :class:`ReplicationError` (HTTP 503 ``replication_quorum``) —
+        memory, WAL and standby-visible history never diverge.
+    resync_journal_bytes:
+        Byte budget of the in-memory journal of recent replicated
+        events (default 16 MiB).  A sink that disconnects and returns
+        within the window is caught up by replaying only the gap
+        (:meth:`resync`); once trimmed past a sink's last-acked
+        sequence number, that sink must be re-seeded from scratch.
     """
 
     def __init__(
@@ -321,6 +367,8 @@ class SessionStore:
         degrade_after: int = 3,
         reprobe_every: int = 8,
         wal_compact_factor: Optional[float] = None,
+        sync_replicas: int = 0,
+        resync_journal_bytes: int = DEFAULT_RESYNC_JOURNAL_BYTES,
     ) -> None:
         if eviction is not None and (
             max_sessions is not None or ttl is not None
@@ -390,6 +438,11 @@ class SessionStore:
             "Store push wall time (WAL append through eviction sweep).",
             store=store,
         )
+        self._h_quorum = _metrics.histogram(
+            "repro_quorum_wait_seconds",
+            "Time a push spent collecting its replication quorum.",
+            store=store,
+        )
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ServiceError(
                 f"checkpoint_every must be at least 1, got {checkpoint_every}"
@@ -427,12 +480,36 @@ class SessionStore:
         #: the key's frozen list).  Retried after every fully-durable
         #: push and at re-attach.
         self._pending_demote: List[Tuple[Key, int, int]] = []
+        if sync_replicas < 0:
+            raise ServiceError(
+                f"sync_replicas must be non-negative, got {sync_replicas}"
+            )
+        if resync_journal_bytes < 1:
+            raise ServiceError(
+                f"resync_journal_bytes must be positive, got "
+                f"{resync_journal_bytes}"
+            )
         #: Replication (cluster tier): the store's serving role, the
         #: registered sinks, and the monotone sequence number stamped on
         #: every replicated event (push or freeze) in apply order.
         self.role: str = "primary"
+        self.sync_replicas = sync_replicas
         self._sinks: List[ReplicationSink] = []
         self._replication_seq = 0
+        #: Journal of recent committed replicated events,
+        #: ``(seq, hook, key, payload)`` oldest first — what
+        #: :meth:`resync` replays to a returning sink.  Trimmed to what
+        #: every registered sink has acked, then to the byte budget.
+        self._journal: Deque[Tuple[int, str, Key, Optional[bytes]]] = deque()
+        self._journal_bytes = 0
+        self._journal_cap = resync_journal_bytes
+        #: Highest sequence number trimmed out of the journal: a sink
+        #: whose ack frontier is below this can no longer resync
+        #: incrementally.  Also the prune line for ``_aborted_seqs``.
+        self._journal_floor = -1
+        #: Sequence numbers consumed by pushes that were rolled back
+        #: (quorum failures): a standby that applied one has diverged.
+        self._aborted_seqs: Set[int] = set()
         self._durability: Optional[Durability] = None
         if data_dir is not None:
             self._durability = Durability(data_dir, fsync_every=fsync_every)
@@ -505,10 +582,11 @@ class SessionStore:
                 else list(segments)
             )
             logging = self._durability is not None and not self._degraded
-            sinking = any(sink.connected for sink in self._sinks)
+            replicating = bool(self._sinks)
+            quorum = self.sync_replicas if replicating else 0
             token: Optional[PushToken] = None
             payload: Optional[bytes] = None
-            if logging or sinking:
+            if logging or replicating:
                 payload = encode_segments(chunk)  # validates before any I/O
             if logging:
                 assert self._durability is not None
@@ -527,10 +605,37 @@ class SessionStore:
                         if created:
                             del self._states[key]
                     raise
+            seq = 0
+            if quorum > 0:
+                # Quorum mode ships *before* the in-memory apply: if the
+                # standbys cannot ack, everything rolls back — WAL frame
+                # truncated, no session state, no journal entry — and
+                # the client's 503 really means "nothing happened".
+                assert payload is not None
+                seq = self._next_seq()
+                try:
+                    self._await_quorum(key, payload, seq, quorum)
+                except Exception:
+                    self._mark_aborted(seq)
+                    if token is not None:
+                        assert self._durability is not None
+                        try:
+                            self._durability.rollback(token)
+                        except DurabilityError:
+                            self._note_disk_error(key, state)
+                    if opened:
+                        state.session = None
+                        if created:
+                            del self._states[key]
+                    raise
             before = state.session.pushed
             try:
                 state.session.push(chunk)
             except Exception:
+                if quorum > 0:
+                    # Standbys already applied this sequence number; the
+                    # primary could not.  Record the divergence.
+                    self._mark_aborted(seq)
                 if token is not None:
                     assert self._durability is not None
                     try:
@@ -546,12 +651,19 @@ class SessionStore:
             state.last_access = self._clock()
             self._states.move_to_end(key)
             self._c_pushed.inc(consumed)
-            if sinking:
-                # Replicate only after the chunk applied: the standby
-                # must see exactly the acknowledged pushes, in order,
-                # before any freeze this same call might trigger below.
+            if replicating:
+                # The standby must see exactly the acknowledged pushes,
+                # in order, before any freeze this same call might
+                # trigger below.  Quorum mode shipped above and only
+                # journals here; async mode stamps, fans out to the
+                # connected sinks and journals in one step — sequence
+                # numbers advance even while every sink is disconnected,
+                # so a returning sink can replay the gap.
                 assert payload is not None
-                self._replicate("on_push", key, payload)
+                if quorum > 0:
+                    self._journal_event("on_push", key, payload, seq)
+                else:
+                    self._replicate("on_push", key, payload)
             if token is not None:
                 assert self._durability is not None
                 try:
@@ -719,6 +831,17 @@ class SessionStore:
             self._g_replicas.set(len(connected))
             self._g_replication_lag.set(lag)
             self._g_degraded.set(int(self._degraded))
+            sinks = tuple(
+                {
+                    "address": str(
+                        getattr(sink, "address", f"sink-{index}")
+                    ),
+                    "connected": int(sink.connected),
+                    "acked_seq": sink.acked_seq,
+                    "lag": self._replication_seq - sink.acked_seq,
+                }
+                for index, sink in enumerate(self._sinks)
+            )
             return StoreStats(
                 live_sessions=len(self),
                 frozen_summaries=sum(
@@ -733,6 +856,7 @@ class SessionStore:
                 replicas=len(connected),
                 replication_lag=lag,
                 last_acked_generation=acked,
+                sinks=sinks,
             )
 
     @property
@@ -814,8 +938,10 @@ class SessionStore:
         # Freezes are replicated events: a primary that froze at push g
         # serves frozen-summary + fresh-session answers, which differ
         # from one uninterrupted session's — the standby must finalize
-        # at exactly the same points to stay bit-identical.
-        if any(sink.connected for sink in self._sinks):
+        # at exactly the same points to stay bit-identical.  Stamped and
+        # journaled even while every sink is disconnected, so a
+        # returning sink replays the freeze in order.
+        if self._sinks:
             self._replicate("on_freeze", key)
         return frozen
 
@@ -867,32 +993,120 @@ class SessionStore:
         faithful copy.  Both raise :class:`ServiceError`.
         """
         with self._lock:
-            seq = self._replication_seq
-            for key, state in self._states.items():
-                for epoch in state.frozen:
-                    sink.on_frozen(key, encode_result(epoch.result()), seq)
+            try:
+                self._catch_up(sink)
+            except ConnectionError as error:
+                raise ServiceError(str(error)) from error
+            sink.acked_seq = max(sink.acked_seq, self._replication_seq)
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def _catch_up(self, sink: ReplicationSink) -> None:
+        """Stream the full history to ``sink`` (caller holds the lock).
+
+        Every frame carries the current replication frontier as its
+        sequence number.  Raises :class:`ConnectionError` if the sink
+        drops mid-stream (retryable) and :class:`ServiceError` when the
+        history itself cannot be streamed faithfully (memory-only or
+        degraded primary with live pushes — permanent until fixed).
+        """
+        seq = self._replication_seq
+        for key, state in self._states.items():
+            for epoch in state.frozen:
+                sink.on_frozen(key, encode_result(epoch.result()), seq)
+                if not sink.connected:
+                    raise ConnectionError(
+                        "replication sink disconnected during catch-up"
+                    )
+            if state.session is not None and state.session.pushed > 0:
+                if self._durability is None or state.dirty:
+                    raise ServiceError(
+                        f"cannot catch a standby up on key {key!r}: "
+                        f"its live pushes are not on a write-ahead "
+                        f"log (memory-only or degraded primary); "
+                        f"attach the standby before the first push "
+                        f"or use a healthy durable primary"
+                    )
+                wal = self._durability.wal_path(key, state.epoch)
+                for _, payload in iter_wal_frames(wal):
+                    sink.on_push(key, payload, seq)
                     if not sink.connected:
-                        raise ServiceError(
-                            "replication sink disconnected during catch-up"
+                        raise ConnectionError(
+                            "replication sink disconnected during "
+                            "catch-up"
                         )
-                if state.session is not None and state.session.pushed > 0:
-                    if self._durability is None or state.dirty:
-                        raise ServiceError(
-                            f"cannot catch a standby up on key {key!r}: "
-                            f"its live pushes are not on a write-ahead "
-                            f"log (memory-only or degraded primary); "
-                            f"attach the standby before the first push "
-                            f"or use a healthy durable primary"
+
+    def resync(
+        self,
+        sink: ReplicationSink,
+        applied_seq: int,
+        adopt: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Catch a *returning* sink up from the resync journal.
+
+        ``applied_seq`` is the standby's self-reported frontier (from
+        its ``HELLO`` answer): every journaled event above it replays
+        with its **original** sequence number, then the sink is
+        registered — all under the store lock, so no concurrent push
+        can interleave a newer event before the gap is closed.  The
+        optional ``adopt`` callback runs under that same lock *after*
+        the viability checks and is where a
+        :class:`~repro.cluster.replica.ReplicationLink` installs its
+        freshly-dialed connection.
+
+        ``applied_seq == -1`` means the standby is empty (e.g. it was
+        restarted): the full history streams via catch-up instead.
+
+        Raises :class:`ServiceError` — permanently, the standby must be
+        re-seeded from scratch — when the standby is ahead of this
+        primary, applied a sequence number this primary aborted
+        (quorum-failure divergence), or fell behind the journal's
+        trimmed window.  Raises :class:`ConnectionError` (retryable)
+        when the sink drops mid-replay.
+        """
+        with self._lock:
+            if applied_seq > self._replication_seq:
+                raise ServiceError(
+                    f"standby reports applied sequence {applied_seq}, "
+                    f"ahead of this primary's frontier "
+                    f"{self._replication_seq}: it was fed by a "
+                    f"different primary and cannot rejoin"
+                )
+            if applied_seq in self._aborted_seqs:
+                raise ServiceError(
+                    f"standby applied sequence {applied_seq}, which "
+                    f"this primary aborted after a quorum failure: the "
+                    f"replica has diverged and must be re-seeded from "
+                    f"scratch"
+                )
+            if applied_seq >= 0 and applied_seq < self._journal_floor:
+                raise ServiceError(
+                    f"resync window exhausted: the journal was trimmed "
+                    f"through sequence {self._journal_floor} but the "
+                    f"standby only applied {applied_seq}; re-seed it "
+                    f"from scratch"
+                )
+            if adopt is not None:
+                adopt()
+            if applied_seq < 0:
+                self._catch_up(sink)
+            else:
+                for seq, hook, key, payload in list(self._journal):
+                    if seq <= applied_seq:
+                        continue
+                    try:
+                        if hook == "on_push":
+                            assert payload is not None
+                            sink.on_push(key, payload, seq)
+                        else:
+                            sink.on_freeze(key, seq)
+                    except Exception:  # noqa: BLE001 — sink contract
+                        sink.connected = False
+                    if not sink.connected:
+                        raise ConnectionError(
+                            "replication sink disconnected during resync"
                         )
-                    wal = self._durability.wal_path(key, state.epoch)
-                    for _, payload in iter_wal_frames(wal):
-                        sink.on_push(key, payload, seq)
-                        if not sink.connected:
-                            raise ServiceError(
-                                "replication sink disconnected during "
-                                "catch-up"
-                            )
-            sink.acked_seq = max(sink.acked_seq, seq)
+            sink.acked_seq = max(sink.acked_seq, self._replication_seq)
             if sink not in self._sinks:
                 self._sinks.append(sink)
 
@@ -955,13 +1169,23 @@ class SessionStore:
     def _replicate(
         self, hook: str, key: Key, payload: Optional[bytes] = None
     ) -> None:
-        """Stamp the next sequence number and fan one event out.
+        """Stamp the next sequence number, fan one event out, journal it.
 
         Sinks must not raise (the :class:`ReplicationSink` contract); one
         that does anyway is disconnected rather than failing the push.
         """
+        seq = self._next_seq()
+        self._fan_out(hook, key, payload, seq)
+        self._journal_event(hook, key, payload, seq)
+
+    def _next_seq(self) -> int:
         self._replication_seq += 1
-        seq = self._replication_seq
+        return self._replication_seq
+
+    def _fan_out(
+        self, hook: str, key: Key, payload: Optional[bytes], seq: int
+    ) -> None:
+        """Ship one event to every connected sink (never raises)."""
         with span("replicate_ack"):
             for sink in self._sinks:
                 if not sink.connected:
@@ -974,6 +1198,83 @@ class SessionStore:
                         sink.on_freeze(key, seq)
                 except Exception:  # noqa: BLE001 — protect the push path
                     sink.connected = False
+
+    def _await_quorum(
+        self, key: Key, payload: bytes, seq: int, quorum: int
+    ) -> None:
+        """Ship a push and demand ``quorum`` acknowledgements of it.
+
+        The link sinks are synchronous (their ``on_push`` returns only
+        after the standby's ack, bounded by the transport read timeout),
+        so "waiting" is just fanning out and counting.  An ambient
+        request deadline (:func:`~repro.util.deadline.current_deadline`)
+        is honoured before any standby sees the sequence number.
+        """
+        if len(self._sinks) < quorum:
+            raise ReplicationError(
+                f"sync_replicas={quorum} but only {len(self._sinks)} "
+                f"replication sinks are attached; the push was not "
+                f"applied"
+            )
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("replication quorum")
+        t0 = perf_counter()
+        self._fan_out("on_push", key, payload, seq)
+        acked = sum(
+            1
+            for sink in self._sinks
+            if sink.connected and sink.acked_seq >= seq
+        )
+        self._h_quorum.observe(perf_counter() - t0)
+        if acked < quorum:
+            raise ReplicationError(
+                f"push to key {key!r} collected {acked} of the "
+                f"{quorum} synchronous replica acknowledgements it "
+                f"needs (sequence {seq}); the write was rolled back "
+                f"and is safe to retry"
+            )
+
+    def _mark_aborted(self, seq: int) -> None:
+        """Record a rolled-back sequence number and cut off any sink
+        that already applied it (it has diverged; :meth:`resync` will
+        refuse it by this very record)."""
+        self._aborted_seqs.add(seq)
+        for sink in self._sinks:
+            if sink.connected and sink.acked_seq >= seq:
+                sink.connected = False
+
+    def _journal_event(
+        self, hook: str, key: Key, payload: Optional[bytes], seq: int
+    ) -> None:
+        """Append one committed event to the resync journal and trim."""
+        self._journal.append((seq, hook, key, payload))
+        self._journal_bytes += (
+            len(payload) if payload is not None else 0
+        ) + _JOURNAL_ENTRY_OVERHEAD
+        # Drop what every registered sink has already acknowledged.
+        horizon = min(
+            (sink.acked_seq for sink in self._sinks),
+            default=self._replication_seq,
+        )
+        while self._journal and self._journal[0][0] <= horizon:
+            self._drop_oldest()
+        # Byte budget: sacrifice the slowest sinks' resync window (they
+        # fall back to a full re-seed) rather than growing unboundedly.
+        # The newest entry always survives, even oversized.
+        while self._journal_bytes > self._journal_cap and len(self._journal) > 1:
+            self._drop_oldest()
+
+    def _drop_oldest(self) -> None:
+        seq, _, _, payload = self._journal.popleft()
+        self._journal_bytes -= (
+            len(payload) if payload is not None else 0
+        ) + _JOURNAL_ENTRY_OVERHEAD
+        self._journal_floor = seq
+        if self._aborted_seqs:
+            self._aborted_seqs = {
+                aborted for aborted in self._aborted_seqs if aborted > seq
+            }
 
     # ------------------------------------------------------------------
     # Degraded mode
@@ -1201,8 +1502,10 @@ class SessionStore:
 
 
 __all__ = [
+    "DEFAULT_RESYNC_JOURNAL_BYTES",
     "Key",
     "LRUTTLEviction",
+    "ReplicationError",
     "ReplicationSink",
     "ServiceError",
     "SessionStore",

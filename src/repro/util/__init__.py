@@ -1,10 +1,18 @@
 """Cross-cutting utilities shared by every layer.
 
-Currently one module: :mod:`repro.util.failpoints`, the deterministic
-fault-injection framework the robustness test suites drive the storage,
-serving and parallel layers with.
+* :mod:`repro.util.failpoints` — the deterministic fault-injection
+  framework the robustness test suites drive the storage, serving and
+  parallel layers with.
+* :mod:`repro.util.backoff` — the shared exponential-backoff-with-
+  decorrelated-jitter retry ladder (transport retries, pool rebuilds,
+  replication reconnects).
+* :mod:`repro.util.health` — per-peer circuit breakers consulted by the
+  cluster coordinator's rotation and the replication links.
+* :mod:`repro.util.deadline` — end-to-end request deadlines, carried
+  across threads (context vars) and machines (envelope meta / the
+  ``X-Repro-Deadline`` header).
 """
 
-from . import failpoints
+from . import backoff, deadline, failpoints, health
 
-__all__ = ["failpoints"]
+__all__ = ["backoff", "deadline", "failpoints", "health"]

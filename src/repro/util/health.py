@@ -1,0 +1,198 @@
+"""Peer health tracking: per-address circuit breakers.
+
+PR 8's cluster tier re-dialed a dead peer on every shard request and
+every replication reconnect attempt, eating a full connect timeout each
+time.  This module gives every layer one shared view of peer health —
+a classic three-state circuit breaker per ``"host:port"`` address:
+
+* **closed** — the peer is believed healthy; dials are allowed.  Each
+  recorded failure increments a consecutive-failure streak; at
+  ``threshold`` the breaker *opens*.
+* **open** — the peer is believed dead; :meth:`PeerHealth.allow`
+  answers ``False`` (no dial, no timeout burned) until ``cooldown``
+  seconds have passed since the breaker opened.
+* **half-open** — the cooldown elapsed; exactly **one** caller is
+  granted a probe (the transport sends a ``PING`` before reusing the
+  peer — see :func:`repro.cluster.transport.request_with_retries`).
+  Success closes the breaker (the peer is re-admitted); failure
+  re-opens it for another cooldown.
+
+The tracker is thread-safe (one lock, transitions are cheap) and
+publishes every address's state as the ``repro_peer_breaker_state``
+gauge (0 = closed, 1 = half-open, 2 = open) so an operator can see
+which peers the cluster has written off.  Consulted by
+``reduce_cluster``'s peer rotation and the replication links'
+reconnect loops; both share :data:`SHARED` by default so a peer that
+died under shard traffic is also not hammered by replication, and vice
+versa.  Time is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Tuple
+
+from ..obs import metrics as _metrics
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "PeerHealth",
+    "SHARED",
+    "STATE_VALUES",
+]
+
+CLOSED = "closed"
+HALF_OPEN = "half_open"
+OPEN = "open"
+
+#: Gauge encoding of breaker states (what ``/metrics`` renders).
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Consecutive failures before a closed breaker opens.
+DEFAULT_THRESHOLD = 3
+
+#: Seconds an open breaker refuses dials before allowing one probe.
+DEFAULT_COOLDOWN_S = 5.0
+
+
+class _Breaker:
+    __slots__ = ("state", "failures", "opened_at")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+
+
+class PeerHealth:
+    """A registry of per-address circuit breakers.
+
+    ``allow(address)`` is the gate consulted before every dial;
+    ``success(address)`` / ``failure(address)`` record the outcome of
+    an attempt.  Unknown addresses are implicitly closed (healthy) —
+    the breaker is created on first contact.
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown: float = DEFAULT_COOLDOWN_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(
+                f"breaker threshold must be at least 1, got {threshold}"
+            )
+        if cooldown <= 0:
+            raise ValueError(
+                f"breaker cooldown must be positive, got {cooldown}"
+            )
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, _Breaker] = {}
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+    def allow(self, address: str) -> bool:
+        """May ``address`` be dialed right now?
+
+        Closed: yes.  Open within the cooldown: no.  Open past the
+        cooldown: the breaker moves to half-open and this one caller is
+        granted the probe; concurrent callers keep getting ``False``
+        until the probe's outcome is recorded.
+        """
+        with self._lock:
+            breaker = self._breakers.get(address)
+            if breaker is None or breaker.state == CLOSED:
+                return True
+            if breaker.state == HALF_OPEN:
+                return False  # a probe is already in flight
+            if self._clock() - breaker.opened_at >= self.cooldown:
+                breaker.state = HALF_OPEN
+                self._publish(address, breaker)
+                return True
+            return False
+
+    def probation(self, address: str) -> bool:
+        """Whether ``address`` is currently in its half-open probe
+        window — the transport prefixes the request with a ``PING``
+        probe for such peers."""
+        with self._lock:
+            breaker = self._breakers.get(address)
+            return breaker is not None and breaker.state == HALF_OPEN
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+    def success(self, address: str) -> None:
+        """The peer answered: close its breaker, clear the streak."""
+        with self._lock:
+            breaker = self._breakers.get(address)
+            if breaker is None:
+                return
+            changed = breaker.state != CLOSED or breaker.failures
+            breaker.state = CLOSED
+            breaker.failures = 0
+            if changed:
+                self._publish(address, breaker)
+
+    def failure(self, address: str) -> None:
+        """A dial or request failed: grow the streak / (re-)open."""
+        with self._lock:
+            breaker = self._breakers.setdefault(address, _Breaker())
+            if breaker.state == HALF_OPEN:
+                # The probe failed: straight back to open, new cooldown.
+                breaker.state = OPEN
+                breaker.opened_at = self._clock()
+                self._publish(address, breaker)
+                return
+            breaker.failures += 1
+            if breaker.state == CLOSED and breaker.failures >= self.threshold:
+                breaker.state = OPEN
+                breaker.opened_at = self._clock()
+                self._publish(address, breaker)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state(self, address: str) -> str:
+        """``"closed"`` / ``"open"`` / ``"half_open"`` for ``address``."""
+        with self._lock:
+            breaker = self._breakers.get(address)
+            return CLOSED if breaker is None else breaker.state
+
+    def states(self) -> List[Tuple[str, str]]:
+        """Every tracked ``(address, state)`` pair (operator surface)."""
+        with self._lock:
+            return [
+                (address, breaker.state)
+                for address, breaker in self._breakers.items()
+            ]
+
+    def reset(self) -> None:
+        """Forget every breaker (test isolation)."""
+        with self._lock:
+            for address, breaker in self._breakers.items():
+                breaker.state = CLOSED
+                breaker.failures = 0
+                self._publish(address, breaker)
+            self._breakers.clear()
+
+    @staticmethod
+    def _publish(address: str, breaker: _Breaker) -> None:
+        _metrics.gauge(
+            "repro_peer_breaker_state",
+            "Circuit breaker per peer: 0 closed, 1 half-open, 2 open.",
+            peer=address,
+        ).set(STATE_VALUES[breaker.state])
+
+
+#: The process-wide tracker shared by the cluster coordinator and the
+#: replication links (pass a private instance to either for isolation).
+SHARED = PeerHealth()

@@ -6,6 +6,21 @@ import pytest
 
 from repro import Interval, TemporalRelation, ita
 from repro.core import AggregateSegment, segments_from_relation
+from repro.util.health import SHARED as SHARED_HEALTH
+
+
+@pytest.fixture(autouse=True)
+def _fresh_peer_health():
+    """Reset the process-wide circuit breakers around every test.
+
+    The cluster transport and the replication links share one
+    :data:`repro.util.health.SHARED` tracker; without a reset, a test
+    that hammers a dead address (``127.0.0.1:1``) would trip its breaker
+    for every later test and silently change their retry behavior.
+    """
+    SHARED_HEALTH.reset()
+    yield
+    SHARED_HEALTH.reset()
 
 
 @pytest.fixture

@@ -1,0 +1,62 @@
+"""The decorrelated-jitter backoff ladder (`repro.util.backoff`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.util.backoff import Backoff, DEFAULT_CAP_S
+
+
+class TestLadder:
+    def test_first_delay_is_exactly_base(self):
+        assert Backoff(0.05).next() == 0.05
+        assert Backoff(1.5, cap=2.0).next() == 1.5
+
+    def test_delays_stay_within_the_decorrelated_envelope(self):
+        ladder = Backoff(0.05, cap=2.0, rng=random.Random(11))
+        previous = ladder.next()
+        for _ in range(50):
+            delay = ladder.next()
+            assert 0.05 <= delay <= min(2.0, 3.0 * previous)
+            previous = delay
+
+    def test_cap_bounds_every_delay(self):
+        ladder = Backoff(0.5, cap=0.75, rng=random.Random(3))
+        assert all(delay <= 0.75 for delay in ladder.delays(100))
+
+    def test_expected_growth_is_geometric_until_the_cap(self):
+        # Averaged over many seeded ladders the third delay should be
+        # clearly larger than the first: the ladder escalates, a linear
+        # one with the same base would still be at 3 * base = 0.003.
+        thirds = []
+        for seed in range(200):
+            ladder = Backoff(0.001, cap=10.0, rng=random.Random(seed))
+            delays = list(ladder.delays(5))
+            thirds.append(delays[4])
+        assert sum(thirds) / len(thirds) > 0.003
+
+    def test_zero_base_never_sleeps(self):
+        ladder = Backoff(0.0, rng=random.Random(1))
+        assert list(ladder.delays(10)) == [0.0] * 10
+
+    def test_seeded_ladders_are_reproducible(self):
+        a = Backoff(0.05, rng=random.Random(42))
+        b = Backoff(0.05, rng=random.Random(42))
+        assert list(a.delays(20)) == list(b.delays(20))
+
+    def test_reset_restarts_from_base(self):
+        ladder = Backoff(0.05, rng=random.Random(5))
+        list(ladder.delays(7))
+        ladder.reset()
+        assert ladder.next() == 0.05
+
+    def test_base_above_default_cap_is_clamped_not_rejected(self):
+        # Call sites pass max(cap, base); the class itself requires it.
+        with pytest.raises(ValueError, match="cap"):
+            Backoff(DEFAULT_CAP_S + 1.0)
+
+    def test_negative_base_is_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Backoff(-0.1)

@@ -24,20 +24,31 @@ from __future__ import annotations
 import json
 import os
 import random
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
 from repro import compress
+from repro.cluster import (
+    ReplicationLink,
+    reduce_cluster,
+    standby_store,
+    start_standby,
+    start_worker,
+)
+from repro.parallel import run_sharded
 from repro.service import (
     DurabilityError,
+    ReplicationError,
     Service,
     SessionStore,
     encode_result,
     start_in_background,
 )
 from repro.util.failpoints import Exit, Raise, activated
+from repro.util.health import PeerHealth
 
 from test_fault_injection import SEGMENT_JSON, stream
 
@@ -230,3 +241,149 @@ class TestComputeChaos:
         assert survived.segments == baseline.segments
         assert survived.error == baseline.error
         assert survived.merges == baseline.merges
+
+
+# ----------------------------------------------------------------------
+# Cluster chaos: quorum replication under link faults and standby kills
+# ----------------------------------------------------------------------
+def _wait_until(predicate, timeout=30.0, interval=0.01):
+    limit = time.monotonic() + timeout
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestClusterChaos:
+    """One durable primary (``sync_replicas=1``) and a standby under a
+    seeded transport-fault schedule: links drop mid-stream (including
+    mid-quorum-wait, rolling the push back), a standby is killed while
+    disconnected and an empty replacement binds its address.  The
+    invariants: every *acknowledged* push is servable bit-identically
+    from the standby the acks covered, and the store never wedges —
+    once the faults stop, the link re-homes itself and acks resume with
+    no manual ``replicate_to``.
+    """
+
+    OPS = 30
+
+    def test_acked_pushes_stay_bit_identical_under_link_chaos(
+        self, tmp_path, seed
+    ):
+        rng = random.Random(seed)
+        servers = []
+
+        def boot(port=0):
+            server, _ = start_standby(standby_store(size=30), port=port)
+            servers.append(server)
+            return server
+
+        standby = boot()
+        port = standby.port
+        primary = SessionStore(
+            size=30, sync_replicas=1, data_dir=tmp_path / "p"
+        )
+        oracle = SessionStore(size=30)
+        link = ReplicationLink(
+            standby.address,
+            reconnect_backoff=0.01,
+            health=PeerHealth(cooldown=0.05),
+        )
+        link.attach(primary)
+        feed = iter(range(10_000))
+        acked = 0
+        killed = False
+        kill_from = rng.randrange(5, self.OPS - 5)
+        broken = lambda: OSError(32, "Broken pipe")  # noqa: E731
+        try:
+            with activated(
+                {"transport.send": Raise(broken, probability=0.12)},
+                seed=seed,
+            ):
+                for op in range(self.OPS):
+                    if op >= kill_from and not killed and not link.connected:
+                        # The standby dies for real while the link is
+                        # down; an *empty* replacement takes over its
+                        # address and must be re-seeded by auto-resync.
+                        standby.shutdown()
+                        standby.server_close()
+                        standby = boot(port)
+                        killed = True
+                    chunk = stream(rng.randint(1, 6), seed=next(feed))
+                    try:
+                        primary.push("k", chunk)
+                    except ReplicationError:
+                        continue  # rolled back: neither side moved
+                    oracle.push("k", chunk)
+                    acked += len(chunk)
+                    if rng.random() < 0.15 and primary.is_live("k"):
+                        primary.freeze("k")
+                        oracle.freeze("k")
+                    if rng.random() < 0.3:
+                        time.sleep(0.01)  # give the reconnect loop air
+
+            # Heal: faults are gone.  The link must re-home itself and
+            # synchronous acks must resume — the store never wedged.
+            assert _wait_until(lambda: link.connected)
+            final = stream(3, seed=next(feed))
+            primary.push("k", final)
+            oracle.push("k", final)
+            acked += 3
+
+            # Whichever standby the primary's acks covered holds every
+            # acknowledged push, bit-identically.
+            assert acked == primary.pushed("k")
+            assert _wait_until(
+                lambda: any(
+                    "k" in server.store
+                    and server.store.pushed("k") == acked
+                    for server in servers
+                )
+            )
+            target = next(
+                server
+                for server in servers
+                if "k" in server.store
+                and server.store.pushed("k") == acked
+            )
+            promoted = target.promote()
+            assert encode_result(promoted.snapshot("k")) == encode_result(
+                oracle.snapshot("k")
+            )
+        finally:
+            for server in servers:
+                server.shutdown()
+                server.server_close()
+            primary.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestClusterComputeChaos:
+    def test_reduce_cluster_bit_identical_under_worker_faults(self, seed):
+        # Probabilistic worker deaths (the cluster.worker failpoint) on
+        # both reducers: retries, peer rotation and the local fallback
+        # must keep the distributed answer bit-identical.
+        segments = stream(150, seed=seed)
+        oracle = run_sharded(segments, size=15, workers=1, shard_size=25)
+        reducers = [start_worker()[0] for _ in range(2)]
+        try:
+            with activated(
+                {"cluster.worker": Raise(probability=0.25)}, seed=seed
+            ):
+                result = reduce_cluster(
+                    segments,
+                    size=15,
+                    cluster=[worker.address for worker in reducers],
+                    shard_size=25,
+                    shard_retries=1,
+                    retry_backoff=0.0,
+                )
+        finally:
+            for worker in reducers:
+                worker.shutdown()
+                worker.server_close()
+        assert result.segments == oracle.segments
+        assert result.error == oracle.error
+        assert result.size == oracle.size

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import socket
 import struct
+import time
 import zlib
 
 import numpy as np
@@ -43,10 +44,15 @@ from repro.cluster.transport import (
     pack_envelope,
     unpack_envelope,
 )
+from repro.cluster.coordinator import encode_shard_request
 from repro.datasets import synthetic_sequential_segments
-from repro.parallel import run_sharded
+from repro.obs import metrics as _metrics
+from repro.parallel import encode_segments, run_sharded
 from repro.pipeline import compress
 from repro.util import failpoints
+from repro.util.deadline import DeadlineExceeded, deadline_scope
+from repro.util.health import SHARED as SHARED_HEALTH
+from repro.util.health import PeerHealth
 
 _HEADER = struct.Struct("<4sHBBII")
 
@@ -445,3 +451,126 @@ class TestClusterPolicy:
                 _stream(10), size=5, method="dp",
                 cluster=["127.0.0.1:9041"],
             )
+
+
+# ----------------------------------------------------------------------
+# Peer health circuit breakers in the retry ladder
+# ----------------------------------------------------------------------
+class TestBreakers:
+    def test_failures_open_the_breaker(self):
+        health = PeerHealth(threshold=2, cooldown=60.0)
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                request_with_retries(
+                    [DEAD], KIND_PING, b"", expect=KIND_PONG,
+                    retries=0, connect_timeout=0.2, health=health,
+                )
+        assert health.state(DEAD) == "open"
+
+    def test_open_breaker_refuses_without_burning_the_timeout(self):
+        health = PeerHealth(threshold=1, cooldown=60.0)
+        health.failure(DEAD)  # opened by an earlier caller
+        t0 = time.monotonic()
+        with pytest.raises(TransportError, match="circuit breaker"):
+            request_with_retries(
+                [DEAD], KIND_PING, b"", expect=KIND_PONG,
+                retries=0, connect_timeout=5.0, health=health,
+            )
+        # No dial happened: the refusal is instant, not a connect
+        # timeout's worth of waiting.
+        assert time.monotonic() - t0 < 1.0
+
+    def test_half_open_probe_readmits_a_revived_peer(self, workers):
+        (address,) = workers(1)
+        health = PeerHealth(threshold=1, cooldown=0.01)
+        health.failure(address)  # the peer "died" once
+        assert health.state(address) == "open"
+        time.sleep(0.02)  # cooldown elapses; next caller gets the probe
+        answer = request_with_retries(
+            [address], KIND_PING, b"", expect=KIND_PONG,
+            retries=0, health=health,
+        )
+        assert answer == b""
+        assert health.state(address) == "closed"
+        # The lifecycle is visible on the metrics surface.
+        assert _metrics.value(
+            "repro_peer_breaker_state", peer=address
+        ) == 0
+        assert "repro_peer_breaker_state" in _metrics.render()
+
+    def test_reduce_cluster_skips_peers_with_open_breakers(self, workers):
+        addresses = workers(1)
+        stream = _stream(1500)
+        oracle = run_sharded(stream, size=90, workers=1, shard_size=200)
+        for _ in range(3):
+            SHARED_HEALTH.failure(DEAD)  # written off by earlier traffic
+        t0 = time.monotonic()
+        result = reduce_cluster(
+            stream, size=90, cluster=[DEAD] + addresses, shard_size=200,
+            connect_timeout=5.0, shard_retries=0, retry_backoff=0.0,
+        )
+        _assert_same(result, oracle)
+        # Seven shards, each rotated through DEAD first: without the
+        # breaker that is 7 connect timeouts of dead waiting.
+        assert time.monotonic() - t0 < 5.0
+        assert SHARED_HEALTH.state(DEAD) == "open"
+
+
+# ----------------------------------------------------------------------
+# End-to-end deadlines across the cluster hop
+# ----------------------------------------------------------------------
+class TestClusterDeadlines:
+    def test_an_expired_deadline_fails_before_dialing(self):
+        with deadline_scope(0.001):
+            time.sleep(0.01)
+            with pytest.raises(DeadlineExceeded):
+                reduce_cluster(
+                    _stream(100), size=10, cluster=[DEAD],
+                    connect_timeout=0.2, retry_backoff=0.0,
+                )
+
+    def test_a_live_deadline_keeps_the_answer_bit_identical(self, workers):
+        addresses = workers(2)
+        stream = _stream(1500)
+        oracle = run_sharded(stream, size=90, workers=1, shard_size=200)
+        with deadline_scope(30.0):
+            result = reduce_cluster(
+                stream, size=90, cluster=addresses, shard_size=200
+            )
+        _assert_same(result, oracle)
+
+    def _shard_payload(self, deadline_budget):
+        stream = _stream(100)
+        encoded = encode_segments(stream)
+        w2 = np.ones(encoded.dimensions, dtype=np.float64)
+        return encode_shard_request(
+            encoded, 0, len(encoded), w2, None, deadline_budget
+        )
+
+    def test_worker_refuses_an_exhausted_budget(self, workers):
+        (address,) = workers(1)
+        with Connection(address) as connection:
+            with pytest.raises(RemoteError) as excinfo:
+                connection.request(
+                    KIND_REDUCE, self._shard_payload(0.0)
+                )
+        assert excinfo.value.code == "deadline_exceeded"
+
+    def test_deadline_exceeded_is_not_retried(self, workers):
+        (address,) = workers(1)
+        with pytest.raises(RemoteError) as excinfo:
+            request_with_retries(
+                [address, address], KIND_REDUCE,
+                self._shard_payload(0.0), expect=KIND_TRAJECTORY,
+                retries=3, backoff=0.0,
+            )
+        assert excinfo.value.code == "deadline_exceeded"
+
+    def test_non_numeric_budget_is_a_bad_request(self, workers):
+        (address,) = workers(1)
+        with Connection(address) as connection:
+            with pytest.raises(RemoteError) as excinfo:
+                connection.request(
+                    KIND_REDUCE, self._shard_payload("soon")
+                )
+        assert excinfo.value.code == "bad_request"

@@ -1,0 +1,165 @@
+"""Per-peer circuit breakers (`repro.util.health`)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.util.health import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    PeerHealth,
+    STATE_VALUES,
+)
+
+PEER = "127.0.0.1:9999"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def health(clock):
+    return PeerHealth(threshold=3, cooldown=5.0, clock=clock)
+
+
+class TestBreakerLifecycle:
+    def test_unknown_peers_are_implicitly_closed(self, health):
+        assert health.allow(PEER)
+        assert health.state(PEER) == CLOSED
+        assert not health.probation(PEER)
+
+    def test_failures_below_threshold_keep_the_breaker_closed(self, health):
+        health.failure(PEER)
+        health.failure(PEER)
+        assert health.state(PEER) == CLOSED
+        assert health.allow(PEER)
+
+    def test_threshold_consecutive_failures_open_the_breaker(self, health):
+        for _ in range(3):
+            health.failure(PEER)
+        assert health.state(PEER) == OPEN
+        assert not health.allow(PEER)
+
+    def test_success_resets_the_failure_streak(self, health):
+        health.failure(PEER)
+        health.failure(PEER)
+        health.success(PEER)
+        health.failure(PEER)
+        health.failure(PEER)
+        assert health.state(PEER) == CLOSED
+
+    def test_open_refuses_dials_for_the_whole_cooldown(self, health, clock):
+        for _ in range(3):
+            health.failure(PEER)
+        clock.advance(4.999)
+        assert not health.allow(PEER)
+
+    def test_cooldown_expiry_grants_exactly_one_probe(self, health, clock):
+        for _ in range(3):
+            health.failure(PEER)
+        clock.advance(5.0)
+        assert health.allow(PEER)  # the probe slot
+        assert health.state(PEER) == HALF_OPEN
+        assert health.probation(PEER)
+        assert not health.allow(PEER)  # concurrent callers keep waiting
+
+    def test_probe_success_closes_the_breaker(self, health, clock):
+        for _ in range(3):
+            health.failure(PEER)
+        clock.advance(5.0)
+        assert health.allow(PEER)
+        health.success(PEER)
+        assert health.state(PEER) == CLOSED
+        assert health.allow(PEER)
+
+    def test_probe_failure_reopens_with_a_fresh_cooldown(self, health, clock):
+        for _ in range(3):
+            health.failure(PEER)
+        clock.advance(5.0)
+        assert health.allow(PEER)
+        health.failure(PEER)
+        assert health.state(PEER) == OPEN
+        clock.advance(4.999)
+        assert not health.allow(PEER)
+        clock.advance(0.001)
+        assert health.allow(PEER)
+
+    def test_breakers_are_independent_per_address(self, health):
+        for _ in range(3):
+            health.failure(PEER)
+        assert not health.allow(PEER)
+        assert health.allow("127.0.0.1:8888")
+
+    def test_states_lists_every_tracked_peer(self, health):
+        health.failure("a:1")
+        for _ in range(3):
+            health.failure("b:2")
+        assert dict(health.states()) == {"a:1": CLOSED, "b:2": OPEN}
+
+    def test_reset_forgets_everything(self, health):
+        for _ in range(3):
+            health.failure(PEER)
+        health.reset()
+        assert health.allow(PEER)
+        assert health.states() == []
+
+
+class TestValidationAndMetrics:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            PeerHealth(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            PeerHealth(cooldown=0.0)
+
+    def test_state_transitions_publish_the_gauge(self, health, clock):
+        for _ in range(3):
+            health.failure(PEER)
+        assert _metrics.value("repro_peer_breaker_state", peer=PEER) == (
+            STATE_VALUES[OPEN]
+        )
+        clock.advance(5.0)
+        health.allow(PEER)
+        assert _metrics.value("repro_peer_breaker_state", peer=PEER) == (
+            STATE_VALUES[HALF_OPEN]
+        )
+        health.success(PEER)
+        assert _metrics.value("repro_peer_breaker_state", peer=PEER) == (
+            STATE_VALUES[CLOSED]
+        )
+        assert "repro_peer_breaker_state" in _metrics.render()
+
+    def test_concurrent_probe_claims_admit_exactly_one(self, health, clock):
+        for _ in range(3):
+            health.failure(PEER)
+        clock.advance(5.0)
+        granted = []
+        barrier = threading.Barrier(8)
+
+        def claim():
+            barrier.wait()
+            if health.allow(PEER):
+                granted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=claim) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(granted) == 1

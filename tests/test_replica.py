@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import random
+import time
 import urllib.error
 import urllib.request
 
@@ -27,18 +28,36 @@ from repro.cluster import (
     standby_store,
     start_standby,
 )
+from repro.cluster.replica import (
+    LINK_CONNECTED,
+    LINK_DETACHED,
+)
 from repro.cluster.transport import KIND_PUSH, pack_envelope
 from repro.datasets import synthetic_sequential_segments
+from repro.obs import metrics as _metrics
 from repro.service import (
     QueryEngine,
+    ReplicationError,
     Service,
     ServiceError,
     SessionStore,
+    WIRE_CONTENT_TYPE,
     encode_segments,
     start_in_background,
 )
 from repro.service.store import WAL_COMPACT_FLOOR_BYTES
 from repro.util import failpoints
+from repro.util.health import PeerHealth
+
+
+def _wait_until(predicate, timeout=8.0, interval=0.01):
+    """Poll ``predicate`` until it holds or ``timeout`` elapses."""
+    limit = time.monotonic() + timeout
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
 
 
 def _chunks(n=600, dims=2, seed=3, chunk=40):
@@ -144,7 +163,9 @@ class TestReplicationStream:
     def test_transport_fault_disconnects_link_not_primary(self, standbys):
         standby = standbys()
         primary = SessionStore(size=80)
-        link = ReplicationLink(standby.address)
+        # auto_resync off: this test pins the *disconnect* behaviour —
+        # with it on, the link would quietly rejoin the live standby.
+        link = ReplicationLink(standby.address, auto_resync=False)
         link.attach(primary)
         chunks = _chunks(n=200, chunk=50)
         primary.push("k", chunks[0])
@@ -466,3 +487,446 @@ class TestWalCompaction:
             SessionStore(
                 size=10, data_dir=tmp_path, wal_compact_factor=0.0
             )
+
+
+# ----------------------------------------------------------------------
+# Quorum replication: sync_replicas=k gates the push acknowledgement
+# ----------------------------------------------------------------------
+class _RecordingSink:
+    """An in-process sink that applies and acks every frame it is shipped."""
+
+    def __init__(self):
+        self.connected = True
+        self.acked_seq = -1
+        self.events = []
+
+    def on_push(self, key, payload, seq):
+        self.events.append(("push", key, seq))
+        self.acked_seq = seq
+
+    def on_freeze(self, key, seq):
+        self.events.append(("freeze", key, seq))
+        self.acked_seq = seq
+
+    def on_frozen(self, key, payload, seq):
+        self.events.append(("frozen", key, seq))
+        self.acked_seq = seq
+
+
+class _BrokenSink(_RecordingSink):
+    """A sink whose apply path blows up (exercises the disconnect arm)."""
+
+    def on_push(self, key, payload, seq):
+        raise RuntimeError("standby apply failed")
+
+
+class TestQuorum:
+    def test_sync_replica_acks_gate_every_push(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80, sync_replicas=1)
+        link = ReplicationLink(standby.address, auto_resync=False)
+        link.attach(primary)
+        total = 0
+        for chunk in _chunks(n=200, chunk=50):
+            primary.push("k", chunk)
+            total += len(chunk)
+            # The ack the caller got covers the standby: the push is
+            # already applied there, not merely queued.
+            assert standby.store.pushed("k") == total
+        assert primary.stats().replication_lag == 0
+        assert "repro_quorum_wait_seconds" in _metrics.render()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_randomized_crash_sweep_with_quorum(self, standbys, backend):
+        # With sync_replicas=1, every push acked to the client is
+        # servable bit-identically from a promoted standby even when
+        # the primary dies immediately after the ack — the ack itself
+        # certifies the standby applied it.
+        policy = ExecutionPolicy(backend=backend)
+        for seed in range(4):
+            rng = random.Random(3000 + seed)
+            standby = standbys(size=60, policy=policy)
+            primary = SessionStore(size=60, policy=policy, sync_replicas=1)
+            oracle = SessionStore(size=60, policy=policy)
+            link = ReplicationLink(standby.address)
+            link.attach(primary)
+            chunks = _chunks(n=400, seed=seed, chunk=25)
+            crash_at = rng.randrange(1, len(chunks) + 1)
+            pushed = 0
+            for index, chunk in enumerate(chunks):
+                if index == crash_at:
+                    break  # dies right after the last acked push
+                primary.push("k", chunk)
+                oracle.push("k", chunk)
+                pushed += len(chunk)
+                if rng.random() < 0.25:
+                    primary.freeze("k")
+                    oracle.freeze("k")
+            promoted = standby.promote()
+            assert promoted.pushed("k") == pushed
+            _assert_same_answers(promoted, oracle, hi=pushed - 1)
+
+    def test_sync_replicas_without_sinks_stays_async(self):
+        # Bootstrapping: quorum counting starts once replicas attach;
+        # a freshly-started primary accepts writes alone.
+        primary = SessionStore(size=80, sync_replicas=1)
+        chunk = _chunks(n=40, chunk=40)[0]
+        primary.push("k", chunk)
+        assert primary.pushed("k") == 40
+
+    def test_quorum_failure_rolls_back_without_divergence(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80, sync_replicas=1)
+        link = ReplicationLink(standby.address, auto_resync=False)
+        link.attach(primary)
+        chunks = _chunks(n=120, chunk=40)
+        primary.push("k", chunks[0])
+        with failpoints.activated(
+            {"transport.send": failpoints.Raise(
+                OSError(32, "Broken pipe"), times=1)}
+        ):
+            with pytest.raises(ReplicationError, match="rolled back"):
+                primary.push("k", chunks[1])
+        # Neither side moved: the primary's memory did not diverge from
+        # what its replicas acknowledged.
+        assert primary.pushed("k") == 40
+        assert standby.store.pushed("k") == 40
+        # The store is not wedged — the next push fails the same way
+        # (the link is down) without corrupting anything.
+        with pytest.raises(ReplicationError):
+            primary.push("k", chunks[2])
+        assert primary.pushed("k") == 40
+
+    def test_quorum_abort_rolls_back_the_wal(self, standbys, tmp_path):
+        standby = standbys()
+        primary = SessionStore(
+            size=80, sync_replicas=1, data_dir=tmp_path
+        )
+        link = ReplicationLink(standby.address, auto_resync=False)
+        link.attach(primary)
+        chunks = _chunks(n=120, chunk=40)
+        primary.push("k", chunks[0])
+        with failpoints.activated(
+            {"transport.send": failpoints.Raise(
+                OSError(32, "Broken pipe"), times=1)}
+        ):
+            with pytest.raises(ReplicationError):
+                primary.push("k", chunks[1])
+        primary.close()
+        # Crash-recover: the aborted push must not resurrect.
+        revived = SessionStore(size=80, data_dir=tmp_path)
+        assert revived.pushed("k") == 40
+        revived.close()
+
+    def test_quorum_larger_than_fleet_is_refused(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80, sync_replicas=2)
+        link = ReplicationLink(standby.address, auto_resync=False)
+        link.attach(primary)
+        with pytest.raises(ReplicationError, match="sync_replicas"):
+            primary.push("k", _chunks(n=40, chunk=40)[0])
+        # The rollback was complete: the key never existed.
+        assert primary.stats().live_sessions == 0
+        assert standby.store.stats().live_sessions == 0
+
+    def test_partial_quorum_disconnects_the_diverged_sink(self):
+        # One of two sinks applies the push, the other blows up: the
+        # quorum of 2 fails, and the sink that *did* apply now holds a
+        # sequence number the primary rolled back — it must be cut off
+        # and refused at resync (it has diverged).
+        store = SessionStore(size=80, sync_replicas=2)
+        good, broken = _RecordingSink(), _BrokenSink()
+        store.add_replication_sink(good)
+        store.add_replication_sink(broken)
+        with pytest.raises(ReplicationError, match="1 of the 2"):
+            store.push("k", _chunks(n=40, chunk=40)[0])
+        assert store.stats().live_sessions == 0  # fully rolled back
+        assert not good.connected
+        good.connected = True
+        with pytest.raises(ServiceError, match="diverged"):
+            store.resync(good, applied_seq=good.acked_seq)
+
+    def test_http_push_answers_503_replication_quorum(self, standbys):
+        standby = standbys()
+        store = SessionStore(size=80, sync_replicas=1)
+        link = ReplicationLink(standby.address, auto_resync=False)
+        link.attach(store)
+        service = Service(store=store)
+        server, _ = start_in_background(service)
+        try:
+            link.connected = False  # the standby "died" mid-stream
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/push/k",
+                data=encode_segments(_chunks(n=40, chunk=40)[0]),
+                headers={"Content-Type": WIRE_CONTENT_TYPE},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 503
+            assert json.load(excinfo.value)["code"] == "replication_quorum"
+            assert store.stats().live_sessions == 0  # fully rolled back
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_healthz_and_stats_report_per_sink_lag(self, standbys):
+        standby = standbys()
+        store = SessionStore(size=80, sync_replicas=1)
+        link = ReplicationLink(standby.address, auto_resync=False)
+        link.attach(store)
+        store.push("k", _chunks(n=40, chunk=40)[0])
+        service = Service(store=store)
+        server, _ = start_in_background(service)
+        try:
+            body = _get(server, "/healthz")
+            assert body["status"] == "ok"
+            (entry,) = body["sinks"]
+            assert entry["address"] == standby.address
+            assert entry["connected"] == 1
+            assert entry["lag"] == 0
+            (stat,) = _get(server, "/stats")["sinks"]
+            assert stat == entry
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# Resync journal semantics (store level)
+# ----------------------------------------------------------------------
+class TestResyncJournal:
+    def test_resync_replays_exactly_the_gap(self):
+        store = SessionStore(size=80)
+        sink = _RecordingSink()
+        store.add_replication_sink(sink)
+        chunks = _chunks(n=240, chunk=40)
+        for chunk in chunks[:2]:
+            store.push("k", chunk)
+        store.freeze("k")
+        sink.connected = False  # the standby "crashes"
+        frontier = sink.acked_seq
+        before = len(sink.events)
+        for chunk in chunks[2:]:
+            store.push("k", chunk)
+        assert len(sink.events) == before  # nothing shipped while down
+        sink.connected = True
+        store.resync(sink, applied_seq=frontier)
+        replayed = [event[-1] for event in sink.events[before:]]
+        assert replayed == list(
+            range(frontier + 1, store.stats().last_acked_generation + 1)
+        )
+        # Live streaming resumes after the gap is closed.
+        store.push("k", chunks[0])
+        assert sink.events[-1][-1] == store.stats().last_acked_generation
+
+    def test_resync_refuses_a_sink_from_the_future(self):
+        store = SessionStore(size=80)
+        with pytest.raises(ServiceError, match="different primary"):
+            store.resync(_RecordingSink(), applied_seq=7)
+
+    def test_resync_window_exhausts_permanently(self):
+        store = SessionStore(size=80)
+        sink = _RecordingSink()
+        store.add_replication_sink(sink)
+        for chunk in _chunks(n=240, chunk=40):
+            store.push("k", chunk)
+        # The journal trimmed everything the (only, fully-acked) sink
+        # acknowledged, so a standby claiming an ancient frontier is
+        # past the window and must be re-seeded.
+        with pytest.raises(ServiceError, match="window exhausted"):
+            store.resync(_RecordingSink(), applied_seq=1)
+
+    def test_journal_stays_within_its_byte_budget(self):
+        store = SessionStore(size=80, resync_journal_bytes=4096)
+        lagger = _RecordingSink()
+        lagger.connected = False  # never acks: only the cap trims
+        store.add_replication_sink(lagger)
+        for chunk in _chunks(n=400, chunk=40):
+            store.push("k", chunk)
+        assert (
+            store._journal_bytes <= 4096 or len(store._journal) == 1
+        )
+        assert store._journal_floor >= 0
+
+    def test_empty_sink_resyncs_via_full_catch_up(self, tmp_path):
+        # applied_seq == -1 (a restarted, empty standby) takes the
+        # catch-up path — frozen epochs first, then the live WAL —
+        # rather than a journal replay.
+        store = SessionStore(size=80, data_dir=tmp_path)
+        chunks = _chunks(n=240, chunk=40)
+        for chunk in chunks[:3]:
+            store.push("k", chunk)
+        store.freeze("k")
+        for chunk in chunks[3:]:
+            store.push("k", chunk)
+        sink = _RecordingSink()
+        store.resync(sink, applied_seq=-1)
+        kinds = [event[0] for event in sink.events]
+        assert kinds[0] == "frozen"
+        assert kinds.count("frozen") == 1
+        assert kinds.count("push") == 3  # the live epoch's WAL frames
+        # The sink is registered and streaming resumes live.
+        assert store.stats().replicas == 1
+        store.push("k", chunks[0])
+        assert sink.events[-1][0] == "push"
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Replica auto-resync: the reconnect loop
+# ----------------------------------------------------------------------
+class TestAutoResync:
+    def test_severed_link_reconnects_and_replays_the_gap(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        oracle = SessionStore(size=80)
+        link = ReplicationLink(standby.address, reconnect_backoff=0.01)
+        link.attach(primary)
+        chunks = _chunks()
+        for index, chunk in enumerate(chunks):
+            if index == 5:  # sever the stream mid-flight
+                with failpoints.activated(
+                    {"transport.send": failpoints.Raise(
+                        OSError(32, "Broken pipe"), times=1)}
+                ):
+                    primary.push("k", chunk)
+            else:
+                primary.push("k", chunk)
+            oracle.push("k", chunk)
+            if index == 8:
+                primary.freeze("k")
+                oracle.freeze("k")
+        # No manual replicate_to: the link heals itself and closes the
+        # gap from the resync journal.
+        assert _wait_until(
+            lambda: link.connected
+            and standby.store.pushed("k") == primary.pushed("k")
+        )
+        assert primary.stats().replicas == 1
+        _assert_same_answers(standby.promote(), oracle, hi=599)
+
+    def test_quorum_pushes_resume_after_auto_resync(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80, sync_replicas=1)
+        link = ReplicationLink(standby.address, reconnect_backoff=0.01)
+        link.attach(primary)
+        chunks = _chunks(n=200, chunk=40)
+        primary.push("k", chunks[0])
+        with failpoints.activated(
+            {"transport.send": failpoints.Raise(
+                OSError(32, "Broken pipe"), times=1)}
+        ):
+            with pytest.raises(ReplicationError):
+                primary.push("k", chunks[1])
+        assert _wait_until(lambda: link.connected)
+        for chunk in chunks[1:]:
+            primary.push("k", chunk)
+        assert primary.pushed("k") == 200
+        assert standby.store.pushed("k") == 200
+
+    def test_reconnect_failpoint_stalls_the_loop(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address, reconnect_backoff=0.01)
+        link.attach(primary)
+        chunks = _chunks(n=120, chunk=40)
+        primary.push("k", chunks[0])  # the standby applies a frontier
+        with failpoints.activated(
+            {
+                "transport.send": failpoints.Raise(
+                    OSError(32, "Broken pipe"), times=1
+                ),
+                "replica.reconnect": failpoints.Return(True, times=3),
+            }
+        ):
+            primary.push("k", chunks[1])  # severs the link
+            assert not link.connected
+        # Once the failpoint budget is spent the loop proceeds normally.
+        assert _wait_until(lambda: link.connected)
+        primary.push("k", chunks[2])
+        assert _wait_until(
+            lambda: standby.store.pushed("k") == primary.pushed("k")
+        )
+
+    def test_link_state_gauge_tracks_the_lifecycle(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address, reconnect_backoff=0.01)
+        link.attach(primary)
+        assert _metrics.value(
+            "repro_replica_link_state", peer=standby.address
+        ) == LINK_CONNECTED
+        link.detach()
+        assert _metrics.value(
+            "repro_replica_link_state", peer=standby.address
+        ) == LINK_DETACHED
+
+    def test_restarted_empty_standby_rejoins_via_catch_up(
+        self, standbys, tmp_path
+    ):
+        primary = SessionStore(size=80, data_dir=tmp_path)
+        oracle = SessionStore(size=80)
+        standby = standbys()
+        port = standby.port
+        # A private breaker with a short cooldown: the dials that fail
+        # while the replacement standby boots must not gate the test on
+        # the shared tracker's 5 s default.
+        link = ReplicationLink(
+            standby.address,
+            reconnect_backoff=0.01,
+            health=PeerHealth(cooldown=0.05),
+        )
+        link.attach(primary)
+        chunks = _chunks()
+        for chunk in chunks[:6]:
+            primary.push("k", chunk)
+            oracle.push("k", chunk)
+        # "Restart" the standby: kill the server, bring up an *empty*
+        # one at the same address.  Its HELLO answers applied_seq=-1,
+        # so the reconnect loop re-seeds it with the full history from
+        # the primary's WAL.
+        standby.shutdown()
+        standby.server_close()
+        with failpoints.activated(
+            {"transport.send": failpoints.Raise(
+                OSError(32, "Broken pipe"), times=1)}
+        ):
+            primary.push("k", chunks[6])  # discovers the dead standby
+        oracle.push("k", chunks[6])
+        replacement, _ = start_standby(
+            standby_store(size=80), port=port
+        )
+        try:
+            for chunk in chunks[7:]:
+                primary.push("k", chunk)
+                oracle.push("k", chunk)
+            assert _wait_until(
+                lambda: link.connected
+                and replacement.store.pushed("k") == primary.pushed("k")
+            )
+            _assert_same_answers(replacement.promote(), oracle, hi=599)
+        finally:
+            replacement.shutdown()
+            replacement.server_close()
+        primary.close()
+
+    def test_detach_stops_the_reconnect_loop(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(standby.address, reconnect_backoff=0.01)
+        link.attach(primary)
+        with failpoints.activated(
+            {
+                "transport.send": failpoints.Raise(
+                    OSError(32, "Broken pipe"), times=1
+                ),
+                "replica.reconnect": failpoints.Return(True, times=200),
+            }
+        ):
+            primary.push("k", _chunks(n=40, chunk=40)[0])
+            link.detach()
+        assert _wait_until(lambda: link._reconnector is None)
+        assert not link.connected
+        assert primary.stats().replicas == 0

@@ -177,8 +177,10 @@ class TestHTTPEndpoints:
         assert get_json(server, "/healthz") == {"status": "ok"}
         stats = get_json(server, "/stats")
         # The legacy store keys are a stable contract; the "query" sub-dict
-        # is the one additive extension (engine counters, PR 9).
+        # (engine counters, PR 9) and per-sink replication lag ("sinks",
+        # PR 10) are the additive extensions.
         query = stats.pop("query")
+        assert stats.pop("sinks") == []
         assert stats == {
             "live_sessions": 0,
             "frozen_summaries": 0,
@@ -267,3 +269,37 @@ class TestHTTPErrors:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(server, "/push/", b"[]")
         assert excinfo.value.code == 400
+
+
+# ----------------------------------------------------------------------
+# End-to-end deadlines: the X-Repro-Deadline header
+# ----------------------------------------------------------------------
+class TestRequestDeadlines:
+    def test_a_generous_budget_changes_nothing(self, server):
+        assert get_json(
+            server, "/healthz", headers={"X-Repro-Deadline": "30"}
+        ) == {"status": "ok"}
+
+    def test_an_exhausted_budget_is_refused_before_any_work(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/stats", headers={"X-Repro-Deadline": "0"})
+        assert excinfo.value.code == 400
+        assert json.load(excinfo.value)["code"] == "deadline_exceeded"
+
+    def test_a_negative_budget_is_refused(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(
+                server, "/stats", headers={"X-Repro-Deadline": "-1.5"}
+            )
+        assert excinfo.value.code == 400
+        assert json.load(excinfo.value)["code"] == "deadline_exceeded"
+
+    def test_a_malformed_budget_is_a_bad_request(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(
+                server, "/stats", headers={"X-Repro-Deadline": "soon"}
+            )
+        assert excinfo.value.code == 400
+        body = json.load(excinfo.value)
+        assert body["code"] == "bad_request"
+        assert "X-Repro-Deadline" in body["error"]
