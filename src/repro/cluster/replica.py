@@ -10,7 +10,11 @@ just *shipping that same delta log over a socket as it is written*:
   the standby up under the store lock — frozen epochs as ``KIND_FROZEN``
   frames (``PTAR`` bytes, installed verbatim), the live epochs'
   acknowledged pushes as ``KIND_PUSH`` frames tailed straight from the
-  primary's WAL files — then registers itself, after which every
+  primary's WAL files, every catch-up frame carrying the
+  ``CATCH_UP_SEQ`` sentinel and a final ``KIND_CATCHUP`` marker
+  carrying the real frontier (so a catch-up severed mid-stream leaves
+  the standby reporting no progress plus a ``seeding`` taint, never a
+  frontier it does not hold) — then registers itself, after which every
   acknowledged push and every freeze streams synchronously: the link
   sends the frame, waits for the standby's ``KIND_ACK`` and records the
   acknowledged sequence number (the store's replication-lag metric).  A
@@ -62,11 +66,12 @@ from typing import Optional, Tuple, Union
 
 from ..api.plan import Budget, ExecutionPolicy
 from ..obs import metrics as _metrics
-from ..service.store import ServiceError, SessionStore
+from ..service.store import CATCH_UP_SEQ, ServiceError, SessionStore
 from ..service.wire import WireError, decode_result, decode_segments
 from ..util import failpoints
 from ..util.backoff import DEFAULT_CAP_S as DEFAULT_RECONNECT_CAP_S
 from ..util.backoff import Backoff
+from ..util.deadline import current_deadline
 from ..util.health import SHARED as SHARED_HEALTH
 from ..util.health import PeerHealth
 from .transport import (
@@ -74,6 +79,7 @@ from .transport import (
     DEFAULT_CONNECT_TIMEOUT,
     DEFAULT_READ_TIMEOUT,
     KIND_ACK,
+    KIND_CATCHUP,
     KIND_ERROR,
     KIND_FREEZE,
     KIND_FROZEN,
@@ -184,9 +190,15 @@ class ReplicationLink:
         standby rejoins through the auto-resync loop instead).  In all
         cases nothing is registered.
         """
-        conn, applied = self._dial()
-        if applied != -1:
+        conn, applied, seeding = self._dial()
+        if applied != -1 or seeding:
             conn.close()
+            if seeding:
+                raise ServiceError(
+                    f"standby {self.address} is half-seeded by an "
+                    f"interrupted catch-up and cannot be attached; "
+                    f"restart it empty and re-attach"
+                )
             raise ServiceError(
                 f"standby {self.address} reports applied sequence "
                 f"{applied}; attach requires an empty standby (returning "
@@ -229,17 +241,30 @@ class ReplicationLink:
             KIND_FROZEN, pack_envelope({"key": key, "seq": seq}, payload)
         )
 
+    def on_catch_up(self, seq: int) -> None:
+        self._ship(KIND_CATCHUP, b'{"seq": %d}' % seq)
+
     def _ship(self, kind: int, frame_payload: bytes) -> None:
         """Send one frame and wait for its ack; disconnect on any fault.
 
         Never raises — a lost standby must not fail the primary's push;
         it only stops the stream (the lag metric shows the damage) and,
-        when auto-resync is armed, starts the reconnect loop.
+        when auto-resync is armed, starts the reconnect loop.  The ack
+        wait is bounded by the link's read timeout *clamped to the
+        ambient request deadline's remaining budget* — shipping runs
+        under the store lock, so a stalled standby must never block
+        the store past the deadline of the request being served.
         """
         if not self.connected or self._conn is None:
             return
+        deadline = current_deadline()
+        timeout = (
+            None if deadline is None else deadline.clamp(self.read_timeout)
+        )
         try:
-            answer_kind, answer = self._conn.request(kind, frame_payload)
+            answer_kind, answer = self._conn.request(
+                kind, frame_payload, timeout=timeout
+            )
             if answer_kind != KIND_ACK:
                 raise TransportError(
                     f"standby {self.address} answered frame kind "
@@ -257,9 +282,12 @@ class ReplicationLink:
     # ------------------------------------------------------------------
     # Auto-resync
     # ------------------------------------------------------------------
-    def _dial(self) -> Tuple[Connection, int]:
-        """Connect and ``HELLO``; returns the connection and the
-        standby's reported ``applied_seq`` (``-1`` = empty standby)."""
+    def _dial(self) -> Tuple[Connection, int, bool]:
+        """Connect and ``HELLO``; returns the connection, the standby's
+        reported ``applied_seq`` (``-1`` = no committed progress) and
+        its ``seeding`` taint (``True`` = a previous catch-up was
+        severed mid-stream, so its store holds an unknown prefix of the
+        history and nothing can safely be replayed onto it)."""
         conn = Connection(
             self.address, self.connect_timeout, self.read_timeout
         )
@@ -270,9 +298,9 @@ class ReplicationLink:
                     f"standby {self.address} answered frame kind {kind} "
                     f"to HELLO, expected OK"
                 )
-            applied = int(
-                decode_json(answer, "hello answer").get("applied_seq", -1)
-            )
+            hello = decode_json(answer, "hello answer")
+            applied = int(hello.get("applied_seq", -1))
+            seeding = bool(hello.get("seeding", False))
         except (TransportError, KeyError, TypeError, ValueError) as error:
             conn.close()
             if isinstance(error, TransportError):
@@ -281,7 +309,7 @@ class ReplicationLink:
                 f"standby {self.address} answered a malformed HELLO: "
                 f"{error}"
             ) from error
-        return conn, applied
+        return conn, applied, seeding
 
     def _schedule_reconnect(self) -> None:
         if not self.auto_resync or self._closed or self._store is None:
@@ -322,11 +350,22 @@ class ReplicationLink:
                 if store is None:
                     return
                 try:
-                    conn, applied = self._dial()
+                    conn, applied, seeding = self._dial()
                 except TransportError:
                     self._health.failure(self.address)
                     continue
                 self._health.success(self.address)
+                if seeding:
+                    # Permanent refusal: a previous catch-up was severed
+                    # mid-stream, so the standby holds an unknown prefix
+                    # of the history — replaying anything onto it would
+                    # diverge.  It must be restarted empty.
+                    conn.close()
+                    self.connected = False
+                    self._conn = None
+                    store.remove_replication_sink(self)
+                    self._publish(LINK_DETACHED)
+                    return
 
                 def adopt() -> None:
                     self._conn = conn
@@ -349,6 +388,13 @@ class ReplicationLink:
                     continue
                 with self._reconnect_lock:
                     if self.connected:
+                        # Release the reconnector slot *inside* this
+                        # critical section: a ship fault that fires the
+                        # instant we return must see the slot free and
+                        # spawn a fresh thread, not no-op against this
+                        # dying one (which would leave the link down
+                        # forever — on_push never reschedules).
+                        self._reconnector = None
                         self._publish(LINK_CONNECTED)
                         return
                 # A ship fault raced the resync; go around again.
@@ -400,11 +446,38 @@ class _StandbyHandler(socketserver.BaseRequestHandler):
         if kind == KIND_HELLO:
             # The answer carries the standby's replication frontier —
             # the resume cursor a reconnecting link hands to
-            # ``SessionStore.resync`` (-1 = empty standby, full
-            # catch-up).
+            # ``SessionStore.resync`` (-1 = no committed progress, full
+            # catch-up) — and its seeding taint: a catch-up severed
+            # mid-stream left this store holding an unknown prefix of
+            # the history, which the primary must refuse to replay onto.
             with server.apply_lock:
                 applied = server.applied_seq
-            send_frame(sock, KIND_OK, b'{"applied_seq": %d}' % applied)
+                seeding = server.seeding
+            send_frame(
+                sock,
+                KIND_OK,
+                b'{"applied_seq": %d, "seeding": %s}'
+                % (applied, b"true" if seeding else b"false"),
+            )
+            return
+        if kind == KIND_CATCHUP:
+            # End-of-catch-up marker: the whole history arrived, so the
+            # resume cursor may finally advance to the frontier and the
+            # seeding taint clears.
+            meta = decode_json(payload, "end-of-catch-up marker")
+            seq = meta.get("seq")
+            if not isinstance(seq, int) or seq < 0:
+                raise TransportError(
+                    "end-of-catch-up marker must carry a non-negative "
+                    "integer seq"
+                )
+            with server.apply_lock:
+                if server.promoted:
+                    self._answer_promoted(sock)
+                    return
+                server.applied_seq = max(server.applied_seq, seq)
+                server.seeding = False
+            send_frame(sock, KIND_ACK, b'{"seq": %d}' % seq)
             return
         if kind not in (KIND_PUSH, KIND_FREEZE, KIND_FROZEN):
             send_frame(
@@ -429,30 +502,43 @@ class _StandbyHandler(socketserver.BaseRequestHandler):
         # frame.
         with server.apply_lock:
             if server.promoted:
-                send_frame(
-                    sock,
-                    KIND_ERROR,
-                    error_payload(
-                        "this replica was promoted to primary and no "
-                        "longer applies replication frames",
-                        "not_standby",
-                    ),
-                )
+                self._answer_promoted(sock)
                 return
-            if seq < server.applied_seq:
+            if seq == CATCH_UP_SEQ:
+                # Catch-up stream: apply without advancing the resume
+                # cursor — only the end-of-catch-up marker commits it.
+                # The taint set here clears with that marker; a severed
+                # catch-up leaves this standby loudly half-seeded
+                # instead of silently claiming the frontier.
+                server.seeding = True
+                self._apply(kind, key, body)
+            elif seq <= server.applied_seq:
                 # Already applied (an ack was lost in transit): ack
-                # again without re-applying.  Strictly ``<`` — catch-up
-                # streams many frames under one frontier sequence
-                # number, all of which must apply.
+                # again without re-applying.
                 pass
-            elif kind == KIND_PUSH:
-                server.store.push(key, decode_segments(body))
-            elif kind == KIND_FREEZE:
-                server.store.freeze(key)
             else:
-                server.store.install_frozen(key, decode_result(body))
-            server.applied_seq = max(server.applied_seq, seq)
+                self._apply(kind, key, body)
+                server.applied_seq = seq
         send_frame(sock, KIND_ACK, b'{"seq": %d}' % seq)
+
+    def _apply(self, kind: int, key: str, body: bytes) -> None:
+        if kind == KIND_PUSH:
+            self.server.store.push(key, decode_segments(body))
+        elif kind == KIND_FREEZE:
+            self.server.store.freeze(key)
+        else:
+            self.server.store.install_frozen(key, decode_result(body))
+
+    def _answer_promoted(self, sock: socket.socket) -> None:
+        send_frame(
+            sock,
+            KIND_ERROR,
+            error_payload(
+                "this replica was promoted to primary and no "
+                "longer applies replication frames",
+                "not_standby",
+            ),
+        )
 
     @staticmethod
     def _answer_error(sock: socket.socket, message: str, code: str) -> bool:
@@ -504,7 +590,14 @@ class StandbyServer(socketserver.ThreadingTCPServer):
         self.apply_lock = threading.Lock()
         self.promoted = False
         #: Highest replication sequence number applied and acked.
+        #: Catch-up frames (``seq == CATCH_UP_SEQ``) never advance it —
+        #: only the end-of-catch-up marker commits the frontier.
         self.applied_seq = -1
+        #: True while a catch-up stream is in flight (set by its first
+        #: frame, cleared by its end marker).  Reported in the ``HELLO``
+        #: answer: a standby still seeding holds an unknown prefix of
+        #: the history, and the primary refuses to replay onto it.
+        self.seeding = False
 
     @property
     def port(self) -> int:

@@ -80,6 +80,7 @@ KIND_FREEZE = 7      #: JSON ``{"key": ..., "seq": ...}``
 KIND_FROZEN = 8      #: PTAR container + ``key``/``epoch``/``seq`` columns
 KIND_ACK = 9         #: JSON ``{"seq": ...}``
 KIND_OK = 10         #: JSON (generic success answer)
+KIND_CATCHUP = 11    #: JSON ``{"seq": ...}`` (end-of-catch-up marker)
 
 #: Largest accepted frame payload.  The length field is peer-controlled,
 #: so the reader bounds it before allocating anything.
@@ -328,6 +329,7 @@ class Connection:
             raise TransportError(
                 f"connect to {address} failed: {error}"
             ) from error
+        self.read_timeout = read_timeout
         self._sock.settimeout(read_timeout)
 
     def send(self, kind: int, payload: bytes = b"") -> None:
@@ -346,10 +348,38 @@ class Connection:
                 f"read from {self.address} failed: {error}"
             ) from error
 
-    def request(self, kind: int, payload: bytes = b"") -> Tuple[int, bytes]:
-        """One round trip; error frames become :class:`RemoteError`."""
-        self.send(kind, payload)
-        answer_kind, answer = self.recv()
+    def request(
+        self,
+        kind: int,
+        payload: bytes = b"",
+        *,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, bytes]:
+        """One round trip; error frames become :class:`RemoteError`.
+
+        ``timeout`` overrides the connection's per-read deadline for
+        just this round trip — the replication links pass the ambient
+        end-to-end deadline's remaining budget through it, so no ack
+        wait outlives the request that triggered it.
+        """
+        if timeout is not None and timeout != self.read_timeout:
+            try:
+                self._sock.settimeout(timeout)
+            except OSError as error:
+                raise TransportError(
+                    f"read from {self.address} failed: {error}"
+                ) from error
+            try:
+                self.send(kind, payload)
+                answer_kind, answer = self.recv()
+            finally:
+                try:
+                    self._sock.settimeout(self.read_timeout)
+                except OSError:
+                    pass  # the socket died; close() follows anyway
+        else:
+            self.send(kind, payload)
+            answer_kind, answer = self.recv()
         if answer_kind == KIND_ERROR:
             detail = decode_json(answer, "error frame")
             raise RemoteError(
@@ -507,6 +537,7 @@ __all__ = [
     "FRAME_MAGIC",
     "FRAME_VERSION",
     "KIND_ACK",
+    "KIND_CATCHUP",
     "KIND_ERROR",
     "KIND_FREEZE",
     "KIND_FROZEN",

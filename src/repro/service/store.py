@@ -105,12 +105,21 @@ class ReplicationError(ServiceError):
     """
 
 
+#: Sentinel sequence number on catch-up frames: the standby applies the
+#: frame but must **not** advance its resume cursor — only the explicit
+#: end-of-catch-up marker (:meth:`ReplicationSink.on_catch_up`) carries
+#: the real frontier.  A catch-up severed mid-stream therefore leaves
+#: the standby reporting no progress (and a seeding taint), never a
+#: frontier it does not actually hold.
+CATCH_UP_SEQ = -1
+
+
 class ReplicationSink(Protocol):
     """What the store needs from a replication target (duck-typed).
 
     The cluster tier's :class:`repro.cluster.replica.ReplicationLink`
     implements this over a socket; tests implement it in-process.  The
-    contract: the three ``on_*`` hooks are called under the store's lock
+    contract: the ``on_*`` hooks are called under the store's lock
     in apply order and **must not raise** — a sink that loses its peer
     sets ``connected = False`` and returns (replication lag then grows
     until the operator re-attaches); ``acked_seq`` is the highest
@@ -131,6 +140,11 @@ class ReplicationSink(Protocol):
     def on_frozen(self, key: "Key", payload: bytes, seq: int) -> None:
         """Catch-up only: a pre-existing frozen epoch as ``PTAR`` bytes,
         installed verbatim on the standby without replaying its pushes."""
+
+    def on_catch_up(self, seq: int) -> None:
+        """Catch-up only: the end-of-stream marker.  Every preceding
+        catch-up frame carried :data:`CATCH_UP_SEQ`; only now may the
+        standby advance its resume cursor to ``seq`` (the frontier)."""
 
 
 @dataclass(frozen=True)
@@ -1004,16 +1018,23 @@ class SessionStore:
     def _catch_up(self, sink: ReplicationSink) -> None:
         """Stream the full history to ``sink`` (caller holds the lock).
 
-        Every frame carries the current replication frontier as its
-        sequence number.  Raises :class:`ConnectionError` if the sink
-        drops mid-stream (retryable) and :class:`ServiceError` when the
-        history itself cannot be streamed faithfully (memory-only or
-        degraded primary with live pushes — permanent until fixed).
+        Every history frame carries :data:`CATCH_UP_SEQ` — the standby
+        applies it without advancing its resume cursor — and the stream
+        closes with an explicit :meth:`ReplicationSink.on_catch_up`
+        marker carrying the real frontier.  Only that marker commits
+        the cursor, so a catch-up severed mid-stream leaves the standby
+        half-seeded *and saying so* (it reports no progress plus a
+        seeding taint), never claiming a frontier it does not hold.
+        Raises :class:`ConnectionError` if the sink drops mid-stream
+        (retryable) and :class:`ServiceError` when the history itself
+        cannot be streamed faithfully (memory-only or degraded primary
+        with live pushes — permanent until fixed).
         """
-        seq = self._replication_seq
         for key, state in self._states.items():
             for epoch in state.frozen:
-                sink.on_frozen(key, encode_result(epoch.result()), seq)
+                sink.on_frozen(
+                    key, encode_result(epoch.result()), CATCH_UP_SEQ
+                )
                 if not sink.connected:
                     raise ConnectionError(
                         "replication sink disconnected during catch-up"
@@ -1029,12 +1050,18 @@ class SessionStore:
                     )
                 wal = self._durability.wal_path(key, state.epoch)
                 for _, payload in iter_wal_frames(wal):
-                    sink.on_push(key, payload, seq)
+                    sink.on_push(key, payload, CATCH_UP_SEQ)
                     if not sink.connected:
                         raise ConnectionError(
                             "replication sink disconnected during "
                             "catch-up"
                         )
+        sink.on_catch_up(self._replication_seq)
+        if not sink.connected:
+            raise ConnectionError(
+                "replication sink disconnected before acknowledging "
+                "the end of catch-up"
+            )
 
     def resync(
         self,
@@ -1205,10 +1232,15 @@ class SessionStore:
         """Ship a push and demand ``quorum`` acknowledgements of it.
 
         The link sinks are synchronous (their ``on_push`` returns only
-        after the standby's ack, bounded by the transport read timeout),
-        so "waiting" is just fanning out and counting.  An ambient
-        request deadline (:func:`~repro.util.deadline.current_deadline`)
-        is honoured before any standby sees the sequence number.
+        after the standby's ack, bounded by the transport read timeout
+        — which the links themselves clamp to the ambient deadline's
+        remaining budget), so "waiting" is just fanning out and
+        counting.  The ambient request deadline
+        (:func:`~repro.util.deadline.current_deadline`) is re-checked
+        between sinks: once it expires, no further standby sees the
+        sequence number and the push fails over to the rollback path
+        instead of serially eating a full read timeout per stalled
+        sink while every other store operation waits on the lock.
         """
         if len(self._sinks) < quorum:
             raise ReplicationError(
@@ -1217,16 +1249,25 @@ class SessionStore:
                 f"applied"
             )
         deadline = current_deadline()
-        if deadline is not None:
-            deadline.check("replication quorum")
         t0 = perf_counter()
-        self._fan_out("on_push", key, payload, seq)
+        try:
+            with span("replicate_ack"):
+                for sink in self._sinks:
+                    if deadline is not None:
+                        deadline.check("replication quorum")
+                    if not sink.connected:
+                        continue
+                    try:
+                        sink.on_push(key, payload, seq)
+                    except Exception:  # noqa: BLE001 — sink contract
+                        sink.connected = False
+        finally:
+            self._h_quorum.observe(perf_counter() - t0)
         acked = sum(
             1
             for sink in self._sinks
             if sink.connected and sink.acked_seq >= seq
         )
-        self._h_quorum.observe(perf_counter() - t0)
         if acked < quorum:
             raise ReplicationError(
                 f"push to key {key!r} collected {acked} of the "

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import json
 import random
+import socket
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -32,7 +34,16 @@ from repro.cluster.replica import (
     LINK_CONNECTED,
     LINK_DETACHED,
 )
-from repro.cluster.transport import KIND_PUSH, pack_envelope
+from repro.cluster.transport import (
+    KIND_ACK,
+    KIND_CATCHUP,
+    KIND_HELLO,
+    KIND_OK,
+    KIND_PUSH,
+    pack_envelope,
+    recv_frame,
+    send_frame,
+)
 from repro.datasets import synthetic_sequential_segments
 from repro.obs import metrics as _metrics
 from repro.service import (
@@ -47,6 +58,7 @@ from repro.service import (
 )
 from repro.service.store import WAL_COMPACT_FLOOR_BYTES
 from repro.util import failpoints
+from repro.util.deadline import Deadline, DeadlineExceeded, deadline_scope
 from repro.util.health import PeerHealth
 
 
@@ -351,6 +363,9 @@ class _StuckSink:
     def on_frozen(self, key, payload, seq):
         pass
 
+    def on_catch_up(self, seq):
+        pass
+
 
 class TestReplicationHTTP:
     def test_role_endpoint_reports_replication_state(self):
@@ -510,6 +525,10 @@ class _RecordingSink:
 
     def on_frozen(self, key, payload, seq):
         self.events.append(("frozen", key, seq))
+        self.acked_seq = seq
+
+    def on_catch_up(self, seq):
+        self.events.append(("catch_up", None, seq))
         self.acked_seq = seq
 
 
@@ -930,3 +949,225 @@ class TestAutoResync:
         assert _wait_until(lambda: link._reconnector is None)
         assert not link.connected
         assert primary.stats().replicas == 0
+
+    def test_link_heals_repeatedly_across_consecutive_faults(
+        self, standbys
+    ):
+        # Regression: after the reconnect loop healed, its slot must be
+        # free *before* the loop thread exits — a ship fault firing the
+        # instant streaming resumed used to see the dying thread still
+        # registered, skip scheduling, and leave the link down forever.
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(
+            standby.address,
+            reconnect_backoff=0.01,
+            health=PeerHealth(cooldown=0.01),
+        )
+        link.attach(primary)
+        chunks = _chunks(n=240, chunk=40)
+        for index, chunk in enumerate(chunks):
+            if index in (1, 3):
+                with failpoints.activated(
+                    {"transport.send": failpoints.Raise(
+                        OSError(32, "Broken pipe"), times=1)}
+                ):
+                    primary.push("k", chunk)
+                assert _wait_until(lambda: link.connected)
+            else:
+                primary.push("k", chunk)
+        assert _wait_until(
+            lambda: standby.store.pushed("k") == primary.pushed("k")
+        )
+        assert _wait_until(lambda: link._reconnector is None)
+
+
+# ----------------------------------------------------------------------
+# Catch-up cursor discipline: a severed catch-up must never look done
+# ----------------------------------------------------------------------
+class _DroppingSink(_RecordingSink):
+    """Disconnects itself after applying ``survive`` catch-up pushes."""
+
+    def __init__(self, survive):
+        super().__init__()
+        self._survive = survive
+
+    def on_push(self, key, payload, seq):
+        super().on_push(key, payload, seq)
+        self._survive -= 1
+        if self._survive <= 0:
+            self.connected = False
+
+
+class TestCatchUpCursor:
+    def test_catch_up_streams_sentinels_then_commits_the_frontier(
+        self, tmp_path
+    ):
+        store = SessionStore(size=80, data_dir=tmp_path)
+        chunks = _chunks(n=240, chunk=40)
+        for chunk in chunks[:3]:
+            store.push("k", chunk)
+        store.freeze("k")
+        for chunk in chunks[3:5]:
+            store.push("k", chunk)
+        sink = _RecordingSink()
+        store.replicate_to(sink)
+        *history, end = sink.events
+        # Every history frame carries the sentinel — none of them may
+        # advance the standby's resume cursor …
+        assert history and all(event[-1] == -1 for event in history)
+        # … and only the explicit end marker commits the frontier.
+        assert end[0] == "catch_up"
+        assert end[-1] == sink.acked_seq >= 0
+        store.close()
+
+    def test_severed_catch_up_commits_nothing(self, tmp_path):
+        store = SessionStore(size=80, data_dir=tmp_path)
+        chunks = _chunks(n=240, chunk=40)
+        for chunk in chunks[:4]:
+            store.push("k", chunk)
+        sink = _DroppingSink(survive=2)  # dies mid-stream
+        with pytest.raises(ServiceError):
+            store.replicate_to(sink)
+        assert all(event[0] != "catch_up" for event in sink.events)
+        assert store.stats().replicas == 0  # never registered
+        store.close()
+
+    def test_half_seeded_standby_reports_taint_and_refuses_attach(
+        self, standbys
+    ):
+        # A catch-up frame (sentinel seq) arrives, then the primary dies
+        # before the end marker: the standby must answer HELLO with no
+        # frontier plus the seeding taint — not claim the history it
+        # only partially holds — and a fresh attach must refuse it.
+        standby = standbys()
+        payload = encode_segments(_chunks(n=40, chunk=40)[0])
+        with Connection(standby.address) as conn:
+            kind, _ = conn.request(
+                KIND_PUSH, pack_envelope({"key": "k", "seq": -1}, payload)
+            )
+            assert kind == KIND_ACK
+        assert standby.applied_seq == -1  # no false frontier
+        assert standby.seeding
+        link = ReplicationLink(standby.address, auto_resync=False)
+        with pytest.raises(ServiceError, match="half-seeded"):
+            link.attach(SessionStore(size=80))
+
+    def test_end_of_catch_up_marker_clears_the_taint(self, standbys):
+        standby = standbys()
+        payload = encode_segments(_chunks(n=40, chunk=40)[0])
+        with Connection(standby.address) as conn:
+            conn.request(
+                KIND_PUSH, pack_envelope({"key": "k", "seq": -1}, payload)
+            )
+            kind, _ = conn.request(KIND_CATCHUP, b'{"seq": 5}')
+            assert kind == KIND_ACK
+        assert standby.applied_seq == 5
+        assert not standby.seeding
+
+    def test_reconnect_loop_refuses_a_half_seeded_standby(self, standbys):
+        standby = standbys()
+        primary = SessionStore(size=80)
+        link = ReplicationLink(
+            standby.address,
+            reconnect_backoff=0.01,
+            health=PeerHealth(cooldown=0.01),
+        )
+        link.attach(primary)
+        chunks = _chunks(n=120, chunk=40)
+        primary.push("k", chunks[0])
+        # Taint the standby as an interrupted catch-up would.
+        with standby.apply_lock:
+            standby.seeding = True
+        with failpoints.activated(
+            {"transport.send": failpoints.Raise(
+                OSError(32, "Broken pipe"), times=1)}
+        ):
+            primary.push("k", chunks[1])  # severs the link
+        # The loop dials, sees the taint, and gives up permanently
+        # (replaying anything onto an unknown prefix would diverge).
+        assert _wait_until(lambda: link._reconnector is None)
+        assert not link.connected
+        assert primary.stats().replicas == 0
+        assert _metrics.value(
+            "repro_replica_link_state", peer=standby.address
+        ) == LINK_DETACHED
+
+
+# ----------------------------------------------------------------------
+# Quorum waits bounded by the end-to-end deadline
+# ----------------------------------------------------------------------
+class TestQuorumDeadline:
+    def test_fan_out_stops_at_the_deadline_between_sinks(self):
+        # The first sink's ack wait eats the whole budget: the second
+        # sink must never see the sequence number, and the push rolls
+        # back as deadline_exceeded instead of waiting on every sink.
+        clock = [0.0]
+
+        class _SlowSink(_RecordingSink):
+            def on_push(self, key, payload, seq):
+                clock[0] += 10.0
+                super().on_push(key, payload, seq)
+
+        store = SessionStore(size=80, sync_replicas=2)
+        slow, starved = _SlowSink(), _RecordingSink()
+        store.add_replication_sink(slow)
+        store.add_replication_sink(starved)
+        with deadline_scope(
+            Deadline(expires_at=1.0, clock=lambda: clock[0])
+        ):
+            with pytest.raises(DeadlineExceeded):
+                store.push("k", _chunks(n=40, chunk=40)[0])
+        assert starved.events == []  # never shipped past the deadline
+        assert store.stats().live_sessions == 0  # fully rolled back
+
+    def test_ack_wait_is_clamped_to_the_request_deadline(self):
+        # A standby that accepts the push frame but never acks must hold
+        # the store for at most the deadline's remaining budget — not
+        # the full 30 s transport read timeout.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        stall = threading.Event()
+
+        def serve():
+            conn, _ = listener.accept()
+            try:
+                while True:
+                    kind, payload = recv_frame(conn)
+                    if kind == KIND_HELLO:
+                        send_frame(
+                            conn,
+                            KIND_OK,
+                            b'{"applied_seq": -1, "seeding": false}',
+                        )
+                    elif kind == KIND_CATCHUP:
+                        seq = json.loads(payload)["seq"]
+                        send_frame(conn, KIND_ACK, b'{"seq": %d}' % seq)
+                    else:
+                        stall.wait(30.0)  # swallow the push, never ack
+                        return
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        store = SessionStore(size=80, sync_replicas=1)
+        link = ReplicationLink(f"127.0.0.1:{port}", auto_resync=False)
+        try:
+            link.attach(store)
+            t0 = time.monotonic()
+            with deadline_scope(0.3):
+                with pytest.raises(ReplicationError):
+                    store.push("k", _chunks(n=40, chunk=40)[0])
+            elapsed = time.monotonic() - t0
+            assert elapsed < 5.0  # nowhere near the read timeout
+            assert not link.connected  # the stalled standby was cut off
+            assert store.stats().live_sessions == 0  # fully rolled back
+        finally:
+            stall.set()
+            link.detach()
+            listener.close()
